@@ -1,0 +1,126 @@
+// Ablations over the design choices DESIGN.md calls out:
+//
+//  * optimizer: Adam+LARC (the paper's §III-B stack) vs plain Adam vs
+//    SGD+momentum, at a large effective batch — where LARC's per-layer
+//    trust ratio is supposed to earn its keep;
+//  * LARC clip: LARC vs unclipped LARS;
+//  * simulation fidelity: Zel'dovich vs 2LPT displacement as the
+//    training-data generator;
+//  * deposit scheme: NGP (the paper's histogramdd) vs CIC.
+//
+//   ./bench_ablation [--epochs=6] [--sims=16]
+#include <cstdio>
+#include <cstring>
+
+#include "core/dataset_gen.hpp"
+#include "core/trainer.hpp"
+
+namespace {
+
+using namespace cf;
+
+std::vector<data::Sample> clone_all(const std::vector<data::Sample>& v) {
+  std::vector<data::Sample> copy;
+  copy.reserve(v.size());
+  for (const auto& s : v) copy.push_back(s.clone());
+  return copy;
+}
+
+double train_once(const core::GeneratedDataset& dataset,
+                  core::TrainerConfig config) {
+  data::InMemorySource train(clone_all(dataset.train));
+  data::InMemorySource val(clone_all(dataset.val));
+  core::Trainer trainer(core::cosmoflow_scaled(16), train, val, config);
+  return trainer.run().back().val_loss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int epochs = 6;
+  std::size_t sims = 16;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::atoi(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--sims=", 7) == 0) {
+      sims = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  std::printf("=== bench_ablation: design-choice ablations ===\n\n");
+
+  runtime::ThreadPool pool;
+  core::DatasetGenConfig gen;
+  gen.simulations = sims;
+  gen.sim.grid = {64, 128.0};  // mean count 8, the paper's density
+  gen.sim.voxels = 32;
+  gen.seed = 29;
+  const core::GeneratedDataset za = core::generate_dataset(gen, pool);
+
+  std::printf("--- optimizer at large effective batch (8 ranks, %d "
+              "epochs) ---\n",
+              epochs);
+  core::TrainerConfig base;
+  base.nranks = 8;
+  base.epochs = epochs;
+  base.base_lr = 4e-3;
+
+  {
+    core::TrainerConfig larc = base;
+    std::printf("%-24s final val loss %.5f\n", "Adam + LARC (paper)",
+                train_once(za, larc));
+  }
+  {
+    core::TrainerConfig lars = base;
+    lars.larc.clip = false;
+    std::printf("%-24s final val loss %.5f\n", "Adam + LARS (no clip)",
+                train_once(za, lars));
+  }
+  {
+    core::TrainerConfig adam = base;
+    adam.optimizer = core::OptimizerKind::kAdam;
+    std::printf("%-24s final val loss %.5f\n", "plain Adam",
+                train_once(za, adam));
+  }
+  {
+    core::TrainerConfig sgd = base;
+    sgd.optimizer = core::OptimizerKind::kSgdMomentum;
+    std::printf("%-24s final val loss %.5f\n", "SGD + momentum 0.9",
+                train_once(za, sgd));
+  }
+
+  std::printf("\n--- simulation fidelity: Zel'dovich vs 2LPT training "
+              "data ---\n");
+  core::DatasetGenConfig gen2 = gen;
+  gen2.sim.use_2lpt = true;
+  const core::GeneratedDataset lpt2 = core::generate_dataset(gen2, pool);
+  {
+    core::TrainerConfig config = base;
+    config.nranks = 2;
+    std::printf("%-24s final val loss %.5f\n", "Zel'dovich (default)",
+                train_once(za, config));
+    std::printf("%-24s final val loss %.5f\n", "2LPT",
+                train_once(lpt2, config));
+  }
+
+  std::printf("\n--- deposit scheme: NGP (paper) vs CIC ---\n");
+  core::DatasetGenConfig gen3 = gen;
+  gen3.sim.scheme = cosmo::DepositScheme::kCic;
+  const core::GeneratedDataset cic = core::generate_dataset(gen3, pool);
+  {
+    core::TrainerConfig config = base;
+    config.nranks = 2;
+    std::printf("%-24s final val loss %.5f\n", "NGP histogram (paper)",
+                train_once(za, config));
+    std::printf("%-24s final val loss %.5f\n", "CIC deposit",
+                train_once(cic, config));
+  }
+
+  std::printf("\nreading: LARC should match or beat its ablations at "
+              "large batch (its clip guards the early training phase); "
+              "data-generator variants should train comparably — the "
+              "network learns from clumpiness statistics that ZA/2LPT "
+              "and NGP/CIC all preserve.\n");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// §VI-B reproduction: gradient-aggregation communication analysis.
+//
+//  * MEASURED: MlComm allreduce of the paper's exact 28.15 MB gradient
+//    message across thread-rank counts, for the decentralized
+//    reduce-scatter algorithm and the centralized root baseline (the
+//    gRPC-style scheme the paper cites as non-scalable). Reported as
+//    effective algorithm bandwidth = 2 * message / time, the paper's
+//    own metric.
+//  * MODEL: the alpha-beta model at the paper's anchors — 33 ms /
+//    1.7 GB/s/node at 1024 nodes, 39 ms / 1.42 GB/s/node at 8192.
+//  * straggler-hiding: allreduce time with an injected slow rank.
+//
+//   ./bench_comm [--iters=5]
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "comm/mlcomm.hpp"
+#include "iosim/steptime_model.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+double time_allreduce(int nranks, std::size_t elems,
+                      cf::comm::AllreduceAlgorithm algorithm, int iters,
+                      double straggler_ms = 0.0) {
+  using namespace cf;
+  comm::MlCommConfig config;
+  config.algorithm = algorithm;
+  if (straggler_ms > 0.0) {
+    config.pre_reduce_hook = [straggler_ms](int rank) {
+      if (rank == 0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(straggler_ms * 1e-3));
+      }
+    };
+  }
+  comm::MlComm comm(nranks, config);
+
+  std::vector<std::vector<float>> data(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    runtime::Rng rng(31, static_cast<std::uint64_t>(r));
+    auto& v = data[static_cast<std::size_t>(r)];
+    v.resize(elems);
+    for (auto& x : v) x = rng.uniform();
+  }
+
+  runtime::TimeStats stats;
+  comm.run([&](comm::RankHandle& rank) {
+    auto& mine = data[static_cast<std::size_t>(rank.rank())];
+    rank.allreduce_average(mine);  // warm-up
+    for (int it = 0; it < iters; ++it) {
+      rank.barrier();
+      const runtime::Stopwatch watch;
+      rank.allreduce_average(mine);
+      if (rank.rank() == 0) stats.add(watch.elapsed_seconds());
+    }
+  });
+  return stats.mean();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cf;
+  int iters = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--iters=", 8) == 0) {
+      iters = std::atoi(argv[i] + 8);
+    }
+  }
+  // 28.15 MB of f32 gradients — the paper's exact model size.
+  const std::size_t elems = 7054259;
+  const double mbytes = elems * sizeof(float) / 1e6;
+
+  std::printf("=== bench_comm: gradient aggregation (§VI-B) ===\n\n");
+  std::printf("--- measured: %.2f MB allreduce-average on thread-ranks "
+              "---\n",
+              mbytes);
+  std::printf("%6s | %16s %14s | %16s %14s\n", "ranks", "red-scat ms",
+              "eff GB/s/rank", "central ms", "eff GB/s/rank");
+  for (const int ranks : {2, 4, 8}) {
+    const double rs = time_allreduce(
+        ranks, elems, comm::AllreduceAlgorithm::kReduceScatter, iters);
+    const double cr = time_allreduce(
+        ranks, elems, comm::AllreduceAlgorithm::kCentralRoot, iters);
+    // The paper's bandwidth convention: the reduction moves twice the
+    // message length.
+    std::printf("%6d | %16.2f %14.2f | %16.2f %14.2f\n", ranks, rs * 1e3,
+                2.0 * mbytes / 1e3 / rs, cr * 1e3,
+                2.0 * mbytes / 1e3 / cr);
+  }
+  std::printf("note: on one timesliced core both algorithms serialize to "
+              "the same aggregate reduction work, so their walltimes tie "
+              "here. The difference is the work *distribution*: "
+              "reduce-scatter spreads it evenly (each rank reduces 1/k of "
+              "the vector), the central root funnels every byte through "
+              "rank 0 — the §II-C gRPC pathology that dominates at real "
+              "node counts (see the model below, where bandwidth is a "
+              "per-node resource).\n\n");
+
+  std::printf("--- straggler hiding ---\n");
+  for (const double straggle : {0.0, 5.0, 20.0}) {
+    const double t = time_allreduce(
+        4, elems, comm::AllreduceAlgorithm::kReduceScatter, iters,
+        straggle);
+    std::printf("injected %4.0f ms delay on rank 0 -> allreduce %7.2f "
+                "ms\n",
+                straggle, t * 1e3);
+  }
+  std::printf("(the bulk-synchronous reduction absorbs the delay once; "
+              "it does not multiply across chunks)\n\n");
+
+  std::printf("--- model: alpha-beta estimates at the paper's anchors "
+              "---\n");
+  const iosim::StepModelParams params;
+  const iosim::StepTimeModel model(
+      params,
+      iosim::FilesystemModel(iosim::FilesystemSpec::cori_datawarp()));
+  for (const int nodes : {128, 1024, 8192}) {
+    const double t = model.allreduce_seconds(nodes);
+    std::printf("nodes %5d: allreduce %5.1f ms, effective %.2f "
+                "GB/s/node\n",
+                nodes, t * 1e3, 2.0 * params.gradient_mbytes / 1e3 / t);
+  }
+  std::printf("paper: 33 ms / 1.7 GB/s/node at 1024; 39 ms / 1.42 "
+              "GB/s/node at 8192 (Aries peak ~10 GB/s/node).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig 3 reproduction: time breakdown of the CosmoFlow application by
+// stage — 3D convolutions, non-convolutional compute (pooling, dense,
+// element-wise ops, reorders), optimizer, gradient-aggregation
+// communication, and unhidden I/O wait.
+//
+// The paper profiles one KNL node: conv kernels dominate, followed by
+// non-convolutional compute and framework overheads; the CPE ML Plugin
+// threads mostly spin at single-node scale. Here the same breakdown is
+// measured by instrumented training of the scaled network on simulated
+// data.
+//
+//   ./bench_fig3_breakdown [--dhw=32] [--ranks=2] [--epochs=2]
+#include <cstdio>
+#include <cstring>
+
+#include "core/dataset_gen.hpp"
+#include "core/topology.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cf;
+  std::int64_t dhw = 32;
+  int ranks = 2;
+  int epochs = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dhw=", 6) == 0) dhw = std::atoll(argv[i] + 6);
+    if (std::strncmp(argv[i], "--ranks=", 8) == 0) {
+      ranks = std::atoi(argv[i] + 8);
+    }
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::atoi(argv[i] + 9);
+    }
+  }
+
+  std::printf("=== bench_fig3_breakdown: single-node profile by stage "
+              "===\n\n");
+
+  runtime::ThreadPool pool;
+  core::DatasetGenConfig gen;
+  gen.simulations = 8;
+  gen.sim.grid = {2 * dhw, 4.0 * static_cast<double>(dhw)};
+  gen.sim.voxels = 2 * dhw;
+  gen.seed = 3;
+  core::GeneratedDataset dataset = core::generate_dataset(gen, pool);
+
+  data::InMemorySource train(std::move(dataset.train));
+  data::InMemorySource val(std::move(dataset.val));
+
+  core::TrainerConfig config;
+  config.nranks = ranks;
+  config.epochs = epochs;
+  config.pipeline.io_threads = 1;
+  core::Trainer trainer(core::cosmoflow_scaled(dhw), train, val, config);
+  std::printf("training %s, %d ranks x %d epochs on %zu samples...\n\n",
+              trainer.topology().name.c_str(), ranks, epochs, train.size());
+  const auto stats = trainer.run();
+
+  const core::CategoryBreakdown breakdown = trainer.breakdown();
+  double accounted = 0.0;
+  for (const auto& [category, seconds] : breakdown.seconds) {
+    accounted += seconds;
+  }
+  std::printf("%-22s %10s %8s\n", "stage (rank 0)", "seconds", "share");
+  const auto row = [&](const char* name, double seconds) {
+    std::printf("%-22s %10.3f %7.1f%%\n", name, seconds,
+                100.0 * seconds / breakdown.total);
+  };
+  row("3D convolutions", breakdown.seconds.at("conv"));
+  row("pooling", breakdown.seconds.at("pool"));
+  row("dense layers", breakdown.seconds.at("dense"));
+  row("element-wise (lrelu)", breakdown.seconds.at("activation"));
+  row("layout reorders", breakdown.seconds.at("reorder"));
+  row("optimizer (Adam+LARC)", breakdown.seconds.at("optimizer"));
+  row("comm (allreduce)", breakdown.seconds.at("comm"));
+  row("I/O wait (unhidden)", breakdown.seconds.at("io_wait"));
+  row("other (framework)", breakdown.total - accounted);
+  std::printf("%-22s %10.3f\n", "walltime", breakdown.total);
+
+  std::printf("\nlast epoch: train loss %.5f, val loss %.5f\n",
+              stats.back().train_loss, stats.back().val_loss);
+  std::printf("\npaper (Fig 3, 68-core KNL, single node): 3D convolutions "
+              "are the largest stage; element-wise ops + reorders form "
+              "the bulk of the non-conv compute; plugin threads spin "
+              "(no real communication at 1 node); I/O fully hidden.\n");
+  std::printf("shape targets: conv >= every other single category; "
+              "comm share grows with ranks; io_wait ~ 0 for in-memory "
+              "sources.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Fig 5 reproduction: training/validation loss vs epoch at two
+// concurrency levels.
+//
+// The paper compares a 2048-node and an 8192-node run and observes
+// that "the network clearly converges with fewer number of epochs in
+// the 2048-node run" — a global-batch-size effect (batch == rank
+// count, §V). We reproduce the effect at a 4:1 rank ratio on simulated
+// data: the small-batch run reaches a given loss in fewer epochs.
+//
+//   ./bench_fig5_convergence [--epochs=8] [--sims=24] [--ranks-small=2]
+//       [--ranks-large=8]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/dataset_gen.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cf;
+  int epochs = 10;
+  std::size_t sims = 48;
+  int ranks_small = 2;
+  int ranks_large = 8;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::atoi(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--sims=", 7) == 0) {
+      sims = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    }
+    if (std::strncmp(argv[i], "--ranks-small=", 14) == 0) {
+      ranks_small = std::atoi(argv[i] + 14);
+    }
+    if (std::strncmp(argv[i], "--ranks-large=", 14) == 0) {
+      ranks_large = std::atoi(argv[i] + 14);
+    }
+  }
+
+  std::printf("=== bench_fig5_convergence: loss vs epoch at two global "
+              "batch sizes ===\n");
+  std::printf("(%d vs %d thread-ranks stand in for the paper's 2048 vs "
+              "8192 nodes; 4:1 batch ratio preserved)\n\n",
+              ranks_small, ranks_large);
+
+  runtime::ThreadPool pool;
+  core::DatasetGenConfig gen;
+  gen.simulations = sims;
+  gen.sim.grid = {128, 256.0};  // mean count 8, the paper's density
+  gen.sim.voxels = 64;
+  gen.seed = 5;
+  core::GeneratedDataset dataset = core::generate_dataset(gen, pool);
+  std::printf("dataset: %zu train / %zu val sub-volumes (32^3 voxels)\n\n",
+              dataset.train.size(), dataset.val.size());
+
+  const auto run = [&](int ranks) {
+    data::InMemorySource train_src(
+        [&] {
+          std::vector<data::Sample> copy;
+          copy.reserve(dataset.train.size());
+          for (const auto& s : dataset.train) copy.push_back(s.clone());
+          return copy;
+        }());
+    data::InMemorySource val_src([&] {
+      std::vector<data::Sample> copy;
+      copy.reserve(dataset.val.size());
+      for (const auto& s : dataset.val) copy.push_back(s.clone());
+      return copy;
+    }());
+    core::TrainerConfig config;
+    config.nranks = ranks;
+    config.epochs = epochs;
+    config.base_lr = 2e-3;  // §III-B
+    core::Trainer trainer(core::cosmoflow_scaled(32), train_src, val_src,
+                          config);
+    return trainer.run();
+  };
+
+  const auto small = run(ranks_small);
+  const auto large = run(ranks_large);
+
+  std::printf("%6s | %12s %12s | %12s %12s\n", "epoch",
+              "train(small)", "val(small)", "train(large)", "val(large)");
+  for (int e = 0; e < epochs; ++e) {
+    std::printf("%6d | %12.5f %12.5f | %12.5f %12.5f\n", e,
+                small[static_cast<std::size_t>(e)].train_loss,
+                small[static_cast<std::size_t>(e)].val_loss,
+                large[static_cast<std::size_t>(e)].train_loss,
+                large[static_cast<std::size_t>(e)].val_loss);
+  }
+
+  // Convergence summary: first epoch reaching a fixed validation-loss
+  // target, and the mean over the final three epochs (single-epoch val
+  // losses are noisy on small suites).
+  const double target = 0.05;
+  const auto epochs_to_target = [&](const std::vector<core::EpochStats>& s) {
+    for (std::size_t e = 0; e < s.size(); ++e) {
+      if (s[e].val_loss <= target) return static_cast<int>(e);
+    }
+    return -1;
+  };
+  const auto tail_mean = [&](const std::vector<core::EpochStats>& s) {
+    double acc = 0.0;
+    const std::size_t k = std::min<std::size_t>(3, s.size());
+    for (std::size_t e = s.size() - k; e < s.size(); ++e) {
+      acc += s[e].val_loss;
+    }
+    return acc / static_cast<double>(k);
+  };
+  const auto print_epochs = [](int e) {
+    return e < 0 ? std::string("not reached") : std::to_string(e);
+  };
+  std::printf("\nfirst epoch with val loss <= %.2f: small batch %s, "
+              "large batch %s\n",
+              target, print_epochs(epochs_to_target(small)).c_str(),
+              print_epochs(epochs_to_target(large)).c_str());
+  std::printf("val loss, mean of final 3 epochs: small %.5f vs large "
+              "%.5f\n",
+              tail_mean(small), tail_mean(large));
+  std::printf("first-epoch training loss: small %.5f vs large %.5f "
+              "(the large global batch takes fewer optimizer steps per "
+              "epoch)\n",
+              small.front().train_loss, large.front().train_loss);
+  std::printf("\npaper (Fig 5): the 2048-node run converges in fewer "
+              "epochs than the 8192-node run.\n");
+  std::printf("shape target: the small-batch run reaches lower loss "
+              "earlier.\n");
+  return 0;
+}

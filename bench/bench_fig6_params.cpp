@@ -1,0 +1,142 @@
+// Fig 6 / §VII-A reproduction: cosmological-parameter estimation
+// accuracy.
+//
+// Trains the scaled CosmoFlow network on simulated universes at two
+// concurrency levels (standing in for the paper's 2048- and 8192-node
+// runs), evaluates the held-out test simulations, and prints the mean
+// relative error per parameter plus predicted/true pairs (the Fig 6
+// scatter, rendered as a table).
+//
+// Shape targets: the smaller-batch run estimates better; sigma8 (which
+// directly controls the clumpiness amplitude the network sees) is well
+// constrained; the estimates track the truths positively.
+//
+//   ./bench_fig6_params [--epochs=12] [--sims=32]
+#include <cstdio>
+#include <cstring>
+
+#include "core/baseline.hpp"
+#include "core/dataset_gen.hpp"
+#include "core/metrics.hpp"
+#include "core/trainer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cf;
+  int epochs = 10;
+  std::size_t sims = 48;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::atoi(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--sims=", 7) == 0) {
+      sims = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    }
+  }
+
+  std::printf("=== bench_fig6_params: parameter-estimation accuracy "
+              "===\n\n");
+
+  runtime::ThreadPool pool;
+  core::DatasetGenConfig gen;
+  gen.simulations = sims;
+  gen.sim.grid = {128, 256.0};  // mean count 8, the paper's density
+  gen.sim.voxels = 64;
+  gen.seed = 13;
+  gen.val_fraction = 0.15;
+  gen.test_fraction = 0.15;
+  core::GeneratedDataset dataset = core::generate_dataset(gen, pool);
+  std::printf("dataset: %zu train / %zu val / %zu test sub-volumes from "
+              "%zu simulations\n\n",
+              dataset.train.size(), dataset.val.size(),
+              dataset.test.size(), sims);
+
+  const auto clone_all = [](const std::vector<data::Sample>& samples) {
+    std::vector<data::Sample> copy;
+    copy.reserve(samples.size());
+    for (const auto& s : samples) copy.push_back(s.clone());
+    return copy;
+  };
+  data::InMemorySource test(clone_all(dataset.test));
+
+  struct RunResult {
+    std::vector<core::Prediction> predictions;
+    double final_val = 0.0;
+  };
+  const auto run = [&](int ranks) {
+    data::InMemorySource train_src(clone_all(dataset.train));
+    data::InMemorySource val_src(clone_all(dataset.val));
+    core::TrainerConfig config;
+    config.nranks = ranks;
+    config.epochs = epochs;
+    config.base_lr = 2e-3;  // §III-B
+    core::Trainer trainer(core::cosmoflow_scaled(32), train_src, val_src,
+                          config);
+    const auto stats = trainer.run();
+    RunResult result;
+    result.predictions = trainer.evaluate(test);
+    result.final_val = stats.back().val_loss;
+    return result;
+  };
+
+  const RunResult small = run(2);   // "2048-node" analogue
+  const RunResult large = run(8);   // "8192-node" analogue
+
+  const auto report = [](const char* label, const RunResult& r) {
+    const auto rel = core::mean_relative_error(r.predictions);
+    const auto corr = core::correlation(r.predictions);
+    std::printf("%s: final val loss %.5f\n", label, r.final_val);
+    std::printf("  mean relative error: OmegaM %.4f  sigma8 %.4f  "
+                "ns %.4f\n",
+                rel[0], rel[1], rel[2]);
+    std::printf("  correlation:         OmegaM %.4f  sigma8 %.4f  "
+                "ns %.4f\n",
+                corr[0], corr[1], corr[2]);
+  };
+  report("small-batch run (2 ranks, '2048-node')", small);
+  report("large-batch run (8 ranks, '8192-node')", large);
+
+  // The classical comparator (§II-A): ridge regression on traditional
+  // summary statistics — power-spectrum bins + PDF moments.
+  {
+    data::InMemorySource train_src(clone_all(dataset.train));
+    core::BaselineConfig baseline_config;
+    baseline_config.box_size = gen.sim.grid.box_size / 2.0;  // sub-volume
+    core::SummaryStatBaseline baseline(baseline_config);
+    baseline.fit(train_src, pool);
+    const auto preds = baseline.evaluate(test, pool);
+    const auto rel = core::mean_relative_error(preds);
+    const auto corr = core::correlation(preds);
+    std::printf("summary-statistics baseline (P(k) bins + moments, ridge "
+                "regression):\n");
+    std::printf("  mean relative error: OmegaM %.4f  sigma8 %.4f  "
+                "ns %.4f\n",
+                rel[0], rel[1], rel[2]);
+    std::printf("  correlation:         OmegaM %.4f  sigma8 %.4f  "
+                "ns %.4f\n",
+                corr[0], corr[1], corr[2]);
+  }
+
+  std::printf("\npredicted vs true (small-batch run, first 10 test "
+              "samples):\n");
+  std::printf("%9s %9s %8s | %9s %9s %8s\n", "OmegaM^", "sigma8^", "ns^",
+              "OmegaM", "sigma8", "ns");
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(10, small.predictions.size()); ++i) {
+    const core::Prediction& p = small.predictions[i];
+    std::printf("%9.4f %9.4f %8.4f | %9.4f %9.4f %8.4f\n", p.predicted[0],
+                p.predicted[1], p.predicted[2], p.truth[0], p.truth[1],
+                p.truth[2]);
+  }
+
+  std::printf("\npaper (full scale): 2048-node relative errors "
+              "(0.0022, 0.0094, 0.0096); 8192-node "
+              "(0.052, 0.014, 0.022) — the less-converged large-batch "
+              "run is worse on every parameter.\n");
+  const auto rel_small = core::mean_relative_error(small.predictions);
+  const auto rel_large = core::mean_relative_error(large.predictions);
+  int small_wins = 0;
+  for (int i = 0; i < 3; ++i) small_wins += rel_small[i] <= rel_large[i];
+  std::printf("here: small-batch run wins on %d of 3 parameters.\n",
+              small_wins);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// §V-A reproduction: the network's analytic compute/parameter budget.
+//
+// Paper numbers, canonical 128^3 topology with batch size 1:
+//   * "slightly more than seven million parameters"
+//   * 28.15 MB of parameters
+//   * 69.33 Gflop total computation per sample
+// This bench prints the per-layer budget of our reconstruction and the
+// totals next to the paper's.
+#include <cstdio>
+
+#include "core/topology.hpp"
+
+int main() {
+  using namespace cf;
+  std::printf("=== bench_flops_model: §V-A compute/parameter budget ===\n\n");
+
+  for (const core::TopologyConfig& config :
+       {core::cosmoflow_128(), core::cosmoflow_64_baseline()}) {
+    dnn::Network net = core::build_network(config, /*seed=*/0);
+    std::printf("--- %s (input %lld^3) ---\n", config.name.c_str(),
+                static_cast<long long>(config.input_dhw));
+    std::printf("%-10s %-10s %12s %12s %12s %12s\n", "layer", "kind",
+                "params", "fwd MF", "bww MF", "bwd MF");
+    for (std::size_t i = 0; i < net.layer_count(); ++i) {
+      dnn::Layer& layer = net.layer(i);
+      const dnn::FlopCounts flops = layer.flops();
+      if (layer.kind() == "activation" || layer.kind() == "reorder") {
+        continue;  // sub-0.1% contributors, folded into the totals
+      }
+      std::printf("%-10s %-10s %12lld %12.1f %12.1f %12.1f\n",
+                  layer.name().c_str(), layer.kind().c_str(),
+                  static_cast<long long>(layer.param_count()),
+                  flops.fwd / 1e6, flops.bwd_weights / 1e6,
+                  flops.bwd_data / 1e6);
+    }
+    const std::int64_t params = net.param_count();
+    const dnn::FlopCounts total = net.flops(/*skip_first_bwd_data=*/true);
+    std::printf("%-10s %-10s %12lld\n", "TOTAL", "",
+                static_cast<long long>(params));
+    std::printf("\n  parameters: %lld (%.2f MB)\n",
+                static_cast<long long>(params),
+                static_cast<double>(params) * 4.0 / 1e6);
+    std::printf("  flops/sample (fwd + bww + bwd, first-layer bwd "
+                "skipped): %.2f Gflop\n",
+                static_cast<double>(total.total()) / 1e9);
+    if (config.name == "cosmoflow-128") {
+      std::printf("  paper:      7.0M params, 28.15 MB, 69.33 Gflop "
+                  "(deltas: %+.1f%% params, %+.1f%% flops)\n",
+                  (static_cast<double>(params) / 7.04e6 - 1.0) * 100.0,
+                  (static_cast<double>(total.total()) / 69.33e9 - 1.0) *
+                      100.0);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// §VI-A reproduction: the I/O bandwidth analysis.
+//
+//  * Eq. 1: BWmin = b * S / t — the minimum per-node read bandwidth
+//    that hides I/O behind compute (paper: 62 MB/s/node), and how many
+//    nodes one 2.8 GB/s Lustre OST can feed (paper: 46).
+//  * Step-time comparison at 128 nodes: Lustre 179 ms vs DataWarp
+//    150 ms (the "16% better" observation).
+//  * A measured demonstration of the prefetch pipeline hiding (or
+//    failing to hide) injected read latencies — the QueueRunner
+//    behaviour the paper relies on, with the lognormal straggler model.
+//
+//   ./bench_io_model
+#include <cstdio>
+
+#include "core/dataset_gen.hpp"
+#include "data/pipeline.hpp"
+#include "iosim/steptime_model.hpp"
+#include "runtime/timer.hpp"
+
+namespace {
+
+void equation_one() {
+  using namespace cf::iosim;
+  std::printf("--- Eq. 1: minimum read bandwidth to hide I/O ---\n");
+  const double bw_min = bw_min_mb_per_s(1.0, 8.0, 0.129);
+  std::printf("BWmin(b=1, S=8 MB, t=129 ms) = %.1f MB/s/node   "
+              "(paper: 62)\n",
+              bw_min);
+  std::printf("nodes fed by one 2.8 GB/s OST = %.0f            "
+              "(paper: 46)\n",
+              nodes_fed_per_ost(2.8, bw_min));
+  // The paper's reverse application: 179 ms Lustre step at 128 nodes
+  // implies ~90 MB/s delivered per OST over 64 OSTs.
+  const double implied_node_bw = bw_min_mb_per_s(1.0, 8.0, 0.179 - 0.027);
+  std::printf("implied per-OST delivery at 128 nodes / 64 OSTs = "
+              "%.0f MB/s (paper estimates ~90)\n\n",
+              implied_node_bw * 128.0 / 64.0);
+}
+
+void step_comparison() {
+  using namespace cf::iosim;
+  std::printf("--- modeled step times: DataWarp vs Lustre ---\n");
+  const StepModelParams params;
+  const StepTimeModel bb(params,
+                         FilesystemModel(FilesystemSpec::cori_datawarp()));
+  const StepTimeModel lustre(
+      params, FilesystemModel(FilesystemSpec::cori_lustre()));
+  std::printf("%6s %14s %14s %9s\n", "nodes", "DataWarp ms", "Lustre ms",
+              "gap");
+  for (const int nodes : {1, 64, 128, 512, 1024, 8192}) {
+    const double b = bb.step_seconds(nodes) * 1e3;
+    const double l = lustre.step_seconds(nodes) * 1e3;
+    std::printf("%6d %14.1f %14.1f %8.1f%%\n", nodes, b, l,
+                (l / b - 1.0) * 100.0);
+  }
+  std::printf("paper at 128 nodes: 150 ms vs 179 ms (DataWarp 16%% "
+              "faster) — I/O already a bottleneck on Lustre there.\n\n");
+}
+
+void pipeline_demo() {
+  using namespace cf;
+  std::printf("--- measured: prefetch pipeline vs injected read latency "
+              "---\n");
+  runtime::ThreadPool pool;
+  core::DatasetGenConfig gen;
+  gen.simulations = 4;
+  gen.sim.grid = {16, 128.0};
+  gen.sim.voxels = 32;
+  gen.seed = 17;
+  core::GeneratedDataset dataset = core::generate_dataset(gen, pool);
+  data::InMemorySource source(std::move(dataset.train));
+
+  const double compute_per_sample = 0.004;  // emulated gradient step
+  std::printf("%14s %10s %12s %14s\n", "read delay ms", "io thr",
+              "epoch ms", "io wait ms");
+  for (const double delay : {0.0, 0.002, 0.008}) {
+    for (const std::size_t io_threads : {1u, 4u}) {
+      data::PipelineConfig config;
+      config.injected_read_delay = delay;
+      config.io_threads = io_threads;
+      config.queue_capacity = 8;
+      data::Pipeline pipeline(source, config);
+      std::vector<std::size_t> indices(source.size());
+      for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+      const runtime::Stopwatch watch;
+      pipeline.start_epoch(indices);
+      data::Sample sample;
+      while (pipeline.next(sample)) {
+        // "compute": burn the step time.
+        const runtime::Stopwatch burn;
+        while (burn.elapsed_seconds() < compute_per_sample) {
+        }
+      }
+      std::printf("%14.1f %10zu %12.1f %14.1f\n", delay * 1e3, io_threads,
+                  watch.elapsed_seconds() * 1e3,
+                  pipeline.wait_time().total() * 1e3);
+    }
+  }
+  std::printf("shape targets: delay <= compute stays hidden (wait ~ "
+              "queue pops only); delay > compute surfaces as wait with "
+              "1 I/O thread and is re-hidden by 4 threads — the paper's "
+              "dedicated-I/O-thread design.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== bench_io_model: §VI-A I/O analysis ===\n\n");
+  equation_one();
+  step_comparison();
+  pipeline_demo();
+  return 0;
+}

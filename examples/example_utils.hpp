@@ -1,0 +1,88 @@
+// Shared helpers for the example executables: a tiny --flag=value
+// parser and an ASCII volume renderer (the Fig 1 stand-in).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cf::examples {
+
+/// Parses --key=value arguments; anything else aborts with usage help.
+class Flags {
+ public:
+  Flags(int argc, char** argv, const std::string& usage) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument '%s'\n%s\n", argv[i],
+                     usage.c_str());
+        std::exit(2);
+      }
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg.substr(2)] = "1";
+      } else {
+        values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Renders a depth-projected {1, D, H, W} volume as ASCII art — the
+/// terminal's version of the paper's Fig 1 sub-volume rendering.
+inline void render_volume_ascii(const tensor::Tensor& volume) {
+  const std::int64_t d = volume.shape()[1];
+  const std::int64_t h = volume.shape()[2];
+  const std::int64_t w = volume.shape()[3];
+  const char* shades = " .:-=+*#%@";
+  float max_column = 1e-6f;
+  std::vector<float> projected(static_cast<std::size_t>(h * w), 0.0f);
+  for (std::int64_t z = 0; z < d; ++z) {
+    for (std::int64_t y = 0; y < h; ++y) {
+      for (std::int64_t x = 0; x < w; ++x) {
+        projected[static_cast<std::size_t>(y * w + x)] +=
+            volume.at({0, z, y, x});
+      }
+    }
+  }
+  for (const float v : projected) max_column = std::max(max_column, v);
+  for (std::int64_t y = 0; y < h; ++y) {
+    for (std::int64_t x = 0; x < w; ++x) {
+      const float v = projected[static_cast<std::size_t>(y * w + x)];
+      const int shade = std::min(
+          9, static_cast<int>(v / max_column * 9.999f));
+      std::putchar(shades[shade]);
+      std::putchar(shades[shade]);  // square-ish aspect ratio
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace cf::examples

@@ -1,0 +1,180 @@
+#include "comm/mlcomm.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace cf::comm {
+
+int RankHandle::size() const noexcept { return comm_->size(); }
+
+void RankHandle::barrier() { comm_->barrier_.arrive_and_wait(); }
+
+void RankHandle::broadcast(std::span<float> data, int root) {
+  const runtime::ScopedTimer timer(comm_->comm_time_[rank_]);
+  comm_->do_broadcast(rank_, data, root);
+}
+
+void RankHandle::allreduce_average(std::span<float> data) {
+  const runtime::ScopedTimer timer(comm_->comm_time_[rank_]);
+  comm_->do_allreduce(rank_, data);
+}
+
+double RankHandle::allreduce_average_scalar(double value) {
+  const runtime::ScopedTimer timer(comm_->comm_time_[rank_]);
+  comm_->scalar_slots_[rank_] = value;
+  comm_->barrier_.arrive_and_wait();
+  double acc = 0.0;
+  for (int r = 0; r < comm_->nranks_; ++r) acc += comm_->scalar_slots_[r];
+  comm_->barrier_.arrive_and_wait();
+  return acc / comm_->nranks_;
+}
+
+const runtime::TimeStats& RankHandle::comm_time() const {
+  return comm_->comm_time_[rank_];
+}
+
+void RankHandle::reset_comm_time() {
+  comm_->comm_time_[rank_] = runtime::TimeStats{};
+}
+
+MlComm::MlComm(int nranks, MlCommConfig config)
+    : nranks_(nranks),
+      config_(std::move(config)),
+      barrier_(static_cast<std::size_t>(nranks)),
+      slots_(static_cast<std::size_t>(nranks), nullptr),
+      slot_sizes_(static_cast<std::size_t>(nranks), 0),
+      scalar_slots_(static_cast<std::size_t>(nranks), 0.0),
+      comm_time_(static_cast<std::size_t>(nranks)) {
+  if (nranks <= 0) throw std::invalid_argument("MlComm: nranks must be > 0");
+  if (config_.chunk_elems == 0) {
+    throw std::invalid_argument("MlComm: chunk_elems must be > 0");
+  }
+  handles_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) handles_.push_back(RankHandle(this, r));
+}
+
+RankHandle& MlComm::handle(int rank) {
+  if (rank < 0 || rank >= nranks_) {
+    throw std::out_of_range("MlComm::handle: bad rank");
+  }
+  return handles_[static_cast<std::size_t>(rank)];
+}
+
+void MlComm::run(const std::function<void(RankHandle&)>& body) {
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks_));
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        body(handles_[static_cast<std::size_t>(r)]);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+void MlComm::publish(int rank, float* data, std::size_t size) {
+  slots_[static_cast<std::size_t>(rank)] = data;
+  slot_sizes_[static_cast<std::size_t>(rank)] = size;
+}
+
+void MlComm::check_uniform_size_locked(std::size_t size) {
+  for (int r = 0; r < nranks_; ++r) {
+    if (slot_sizes_[static_cast<std::size_t>(r)] != size) {
+      throw std::invalid_argument(
+          "MlComm: ranks passed buffers of different sizes");
+    }
+  }
+}
+
+void MlComm::do_broadcast(int rank, std::span<float> data, int root) {
+  if (root < 0 || root >= nranks_) {
+    throw std::invalid_argument("MlComm::broadcast: bad root");
+  }
+  publish(rank, data.data(), data.size());
+  barrier_.arrive_and_wait();
+  check_uniform_size_locked(data.size());
+  if (rank != root) {
+    std::memcpy(data.data(), slots_[static_cast<std::size_t>(root)],
+                data.size() * sizeof(float));
+  }
+  barrier_.arrive_and_wait();
+}
+
+void MlComm::do_allreduce(int rank, std::span<float> data) {
+  if (config_.pre_reduce_hook) config_.pre_reduce_hook(rank);
+  publish(rank, data.data(), data.size());
+  if (barrier_.arrive_and_wait()) {
+    // Leader grows the shared reduction buffer before anyone writes.
+    if (reduce_buffer_.size() < data.size()) {
+      reduce_buffer_.resize(data.size());
+    }
+  }
+  barrier_.arrive_and_wait();
+  check_uniform_size_locked(data.size());
+
+  switch (config_.algorithm) {
+    case AllreduceAlgorithm::kReduceScatter:
+      reduce_scatter_allgather(rank, data);
+      break;
+    case AllreduceAlgorithm::kCentralRoot:
+      central_root(rank, data);
+      break;
+  }
+}
+
+void MlComm::reduce_scatter_allgather(int rank, std::span<float> data) {
+  const std::size_t n = data.size();
+  const std::size_t k = static_cast<std::size_t>(nranks_);
+  const std::size_t base = n / k;
+  const std::size_t remainder = n % k;
+  const std::size_t r = static_cast<std::size_t>(rank);
+  const std::size_t begin = r * base + std::min(r, remainder);
+  const std::size_t end = begin + base + (r < remainder ? 1 : 0);
+  const float inv = 1.0f / static_cast<float>(nranks_);
+
+  // Reduce-scatter: this rank reduces its owned range across all
+  // ranks, in fixed rank order (determinism), chunk by chunk.
+  for (std::size_t chunk = begin; chunk < end;
+       chunk += config_.chunk_elems) {
+    const std::size_t stop = std::min(end, chunk + config_.chunk_elems);
+    float* out = reduce_buffer_.data() + chunk;
+    std::memcpy(out, slots_[0] + chunk, (stop - chunk) * sizeof(float));
+    for (int src = 1; src < nranks_; ++src) {
+      const float* in = slots_[static_cast<std::size_t>(src)] + chunk;
+      for (std::size_t i = 0; i < stop - chunk; ++i) out[i] += in[i];
+    }
+    for (std::size_t i = 0; i < stop - chunk; ++i) out[i] *= inv;
+  }
+  barrier_.arrive_and_wait();
+
+  // Allgather: copy the full averaged vector back.
+  std::memcpy(data.data(), reduce_buffer_.data(), n * sizeof(float));
+  barrier_.arrive_and_wait();
+}
+
+void MlComm::central_root(int rank, std::span<float> data) {
+  const std::size_t n = data.size();
+  const float inv = 1.0f / static_cast<float>(nranks_);
+  if (rank == 0) {
+    float* out = reduce_buffer_.data();
+    std::memcpy(out, slots_[0], n * sizeof(float));
+    for (int src = 1; src < nranks_; ++src) {
+      const float* in = slots_[static_cast<std::size_t>(src)];
+      for (std::size_t i = 0; i < n; ++i) out[i] += in[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) out[i] *= inv;
+  }
+  barrier_.arrive_and_wait();
+  std::memcpy(data.data(), reduce_buffer_.data(), n * sizeof(float));
+  barrier_.arrive_and_wait();
+}
+
+}  // namespace cf::comm

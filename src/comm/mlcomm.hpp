@@ -1,0 +1,113 @@
+// MlComm: the Cray CPE ML Plugin substitute (DESIGN.md §1).
+//
+// The paper parallelizes training with an MPI-based plugin exposing
+// three operations: initial model broadcast, synchronous gradient
+// aggregation (a fully-synchronous allreduce-average) and scalar loss
+// averaging. Here MPI ranks are modelled as threads of one process
+// sharing an MlComm object; every collective is phrased exactly as its
+// message-passing counterpart:
+//
+//  * kReduceScatter — each rank owns 1/k of the vector, reduces it
+//    across all ranks in fixed rank order, then all-gathers the owned
+//    pieces. This is the decentralized, every-rank-is-a-worker design
+//    of the CPE ML Plugin (no parameter servers, §III-D), and is
+//    bitwise deterministic.
+//  * kCentralRoot — rank 0 reduces everything and redistributes: the
+//    centralized gRPC-style scheme the paper cites as non-scalable
+//    (Mathuriya et al. 2017), kept as the algorithmic baseline.
+//
+// Chunked processing emulates the plugin's helper-thread pipelining
+// granularity, and an injectable per-rank delay hook reproduces the
+// "straggler" effect studied in §II-C/§VI-B.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/timer.hpp"
+
+namespace cf::comm {
+
+enum class AllreduceAlgorithm { kReduceScatter, kCentralRoot };
+
+struct MlCommConfig {
+  AllreduceAlgorithm algorithm = AllreduceAlgorithm::kReduceScatter;
+  /// Reduction work is processed in chunks of this many floats,
+  /// mirroring the helper-thread pipelining granularity of the plugin.
+  std::size_t chunk_elems = 1 << 16;
+  /// Test hook: invoked by each rank before it contributes to a
+  /// collective (straggler injection).
+  std::function<void(int rank)> pre_reduce_hook;
+};
+
+class MlComm;
+
+/// Per-rank interface; each rank thread holds one.
+class RankHandle {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  void barrier();
+
+  /// Copies root's buffer into every other rank's buffer. All ranks
+  /// pass spans of identical size.
+  void broadcast(std::span<float> data, int root = 0);
+
+  /// In-place sum-then-divide-by-k over all ranks (the
+  /// mc.gradients() call of Algorithm 2). Deterministic.
+  void allreduce_average(std::span<float> data);
+
+  /// Averaged scalar (validation-loss averaging).
+  double allreduce_average_scalar(double value);
+
+  /// Wall-clock spent inside collectives on this rank.
+  const runtime::TimeStats& comm_time() const;
+  void reset_comm_time();
+
+ private:
+  friend class MlComm;
+  RankHandle(MlComm* comm, int rank) : comm_(comm), rank_(rank) {}
+
+  MlComm* comm_;
+  int rank_;
+};
+
+class MlComm {
+ public:
+  explicit MlComm(int nranks, MlCommConfig config = {});
+
+  int size() const noexcept { return nranks_; }
+  RankHandle& handle(int rank);
+
+  /// Convenience harness: spawns `nranks` threads, gives each its
+  /// handle, joins. The first exception thrown by any rank is
+  /// rethrown.
+  void run(const std::function<void(RankHandle&)>& body);
+
+ private:
+  friend class RankHandle;
+
+  void publish(int rank, float* data, std::size_t size);
+  void do_broadcast(int rank, std::span<float> data, int root);
+  void do_allreduce(int rank, std::span<float> data);
+  void reduce_scatter_allgather(int rank, std::span<float> data);
+  void central_root(int rank, std::span<float> data);
+  void check_uniform_size_locked(std::size_t size);
+
+  int nranks_;
+  MlCommConfig config_;
+  runtime::Barrier barrier_;
+  std::vector<RankHandle> handles_;
+  std::vector<float*> slots_;
+  std::vector<std::size_t> slot_sizes_;
+  std::vector<float> reduce_buffer_;
+  std::vector<double> scalar_slots_;
+  std::vector<runtime::TimeStats> comm_time_;
+};
+
+}  // namespace cf::comm

@@ -1,0 +1,182 @@
+#include "core/baseline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cosmo/simulation.hpp"
+#include "cosmo/statistics.hpp"
+
+namespace cf::core {
+
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) {
+    throw std::invalid_argument("solve_spd: dimension mismatch");
+  }
+  // In-place Cholesky: a = L L^T (lower triangle).
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) {
+      throw std::invalid_argument("solve_spd: matrix not positive definite");
+    }
+    const double ljj = std::sqrt(diag);
+    a[j * n + j] = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double value = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) {
+        value -= a[i * n + k] * a[j * n + k];
+      }
+      a[i * n + j] = value / ljj;
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double value = b[i];
+    for (std::size_t k = 0; k < i; ++k) value -= a[i * n + k] * b[k];
+    b[i] = value / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double value = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) value -= a[k * n + ii] * b[k];
+    b[ii] = value / a[ii * n + ii];
+  }
+  return b;
+}
+
+SummaryStatBaseline::SummaryStatBaseline(BaselineConfig config)
+    : config_(config) {
+  if (config_.spectrum_bins <= 0 || config_.box_size <= 0.0 ||
+      config_.ridge_lambda < 0.0) {
+    throw std::invalid_argument("SummaryStatBaseline: bad config");
+  }
+}
+
+std::vector<double> SummaryStatBaseline::featurize(
+    const data::Sample& sample, runtime::ThreadPool& pool) const {
+  return cosmo::summary_features(sample.volume, config_.box_size,
+                                 config_.spectrum_bins, pool);
+}
+
+void SummaryStatBaseline::fit(const data::SampleSource& train,
+                              runtime::ThreadPool& pool) {
+  const std::size_t count = train.size();
+  if (count < 4) {
+    throw std::invalid_argument("SummaryStatBaseline::fit: too few samples");
+  }
+  const auto reader = train.make_reader();
+
+  std::vector<std::vector<double>> features;
+  std::vector<std::array<float, 3>> targets;
+  features.reserve(count);
+  targets.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const data::Sample sample = reader->get(i);
+    features.push_back(featurize(sample, pool));
+    targets.push_back(sample.target);
+  }
+  const std::size_t dim = features.front().size();
+
+  // Standardize features.
+  feature_mean_.assign(dim, 0.0);
+  feature_std_.assign(dim, 0.0);
+  for (const auto& f : features) {
+    for (std::size_t j = 0; j < dim; ++j) feature_mean_[j] += f[j];
+  }
+  for (double& m : feature_mean_) m /= static_cast<double>(count);
+  for (const auto& f : features) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      const double d = f[j] - feature_mean_[j];
+      feature_std_[j] += d * d;
+    }
+  }
+  for (double& s : feature_std_) {
+    s = std::sqrt(s / static_cast<double>(count));
+    if (s < 1e-12) s = 1.0;  // constant feature: neutralized
+  }
+  for (auto& f : features) {
+    for (std::size_t j = 0; j < dim; ++j) {
+      f[j] = (f[j] - feature_mean_[j]) / feature_std_[j];
+    }
+  }
+
+  // Ridge normal equations with an (unregularized) intercept: the
+  // augmented feature vector is [x, 1].
+  const std::size_t aug = dim + 1;
+  std::vector<double> gram(aug * aug, 0.0);
+  for (const auto& f : features) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        gram[i * aug + j] += f[i] * f[j];
+      }
+      gram[dim * aug + i] += f[i];
+    }
+  }
+  gram[dim * aug + dim] = static_cast<double>(count);
+  // Symmetrize and regularize.
+  for (std::size_t i = 0; i < aug; ++i) {
+    for (std::size_t j = i + 1; j < aug; ++j) {
+      gram[i * aug + j] = gram[j * aug + i];
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    gram[i * aug + i] += config_.ridge_lambda * static_cast<double>(count);
+  }
+
+  for (int t = 0; t < 3; ++t) {
+    std::vector<double> rhs(aug, 0.0);
+    for (std::size_t s = 0; s < count; ++s) {
+      const double y = targets[s][static_cast<std::size_t>(t)];
+      for (std::size_t j = 0; j < dim; ++j) rhs[j] += features[s][j] * y;
+      rhs[dim] += y;
+    }
+    weights_[static_cast<std::size_t>(t)] = solve_spd(gram, rhs);
+  }
+  fitted_ = true;
+}
+
+std::array<float, 3> SummaryStatBaseline::predict(
+    const data::Sample& sample, runtime::ThreadPool& pool) const {
+  if (!fitted_) {
+    throw std::logic_error("SummaryStatBaseline::predict: fit() first");
+  }
+  auto features = featurize(sample, pool);
+  const std::size_t dim = feature_mean_.size();
+  if (features.size() != dim) {
+    throw std::invalid_argument(
+        "SummaryStatBaseline::predict: feature dimension changed");
+  }
+  for (std::size_t j = 0; j < dim; ++j) {
+    features[j] = (features[j] - feature_mean_[j]) / feature_std_[j];
+  }
+  std::array<float, 3> out{};
+  for (int t = 0; t < 3; ++t) {
+    const auto& w = weights_[static_cast<std::size_t>(t)];
+    double acc = w[dim];  // intercept
+    for (std::size_t j = 0; j < dim; ++j) acc += w[j] * features[j];
+    out[static_cast<std::size_t>(t)] = static_cast<float>(acc);
+  }
+  return out;
+}
+
+std::vector<Prediction> SummaryStatBaseline::evaluate(
+    const data::SampleSource& source, runtime::ThreadPool& pool) const {
+  const auto reader = source.make_reader();
+  std::vector<Prediction> predictions;
+  predictions.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const data::Sample sample = reader->get(i);
+    const auto normalized = predict(sample, pool);
+    const cosmo::CosmoParams pred = cosmo::denormalize_params(normalized);
+    const cosmo::CosmoParams truth = cosmo::denormalize_params(
+        {sample.target[0], sample.target[1], sample.target[2]});
+    Prediction p;
+    p.predicted = {pred.omega_m, pred.sigma8, pred.ns};
+    p.truth = {truth.omega_m, truth.sigma8, truth.ns};
+    predictions.push_back(p);
+  }
+  return predictions;
+}
+
+}  // namespace cf::core

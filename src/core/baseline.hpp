@@ -1,0 +1,63 @@
+// Classical parameter estimator: ridge regression over traditional
+// summary statistics.
+//
+// This is the comparator behind the paper's headline scientific claim
+// (§II-A, via Ravanbakhsh et al. 2017): parameter estimates built on
+// reduced statistics of the matter distribution — power-spectrum bins
+// and PDF moments — are beaten by a CNN that sees the raw field.
+// bench_fig6_params trains both and reports the gap.
+#pragma once
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "data/dataset.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cf::core {
+
+struct BaselineConfig {
+  /// Sub-volume physical size handed to the spectrum estimator.
+  double box_size = 128.0;
+  int spectrum_bins = 8;
+  /// Ridge regularization (features are standardized internally).
+  double ridge_lambda = 1e-3;
+};
+
+/// Ridge regression from summary features to the three normalized
+/// parameters. Fitting standardizes features to zero mean / unit
+/// variance and solves the normal equations by Cholesky decomposition.
+class SummaryStatBaseline {
+ public:
+  explicit SummaryStatBaseline(BaselineConfig config);
+
+  void fit(const data::SampleSource& train, runtime::ThreadPool& pool);
+
+  /// Normalized-parameter prediction for one sample.
+  std::array<float, 3> predict(const data::Sample& sample,
+                               runtime::ThreadPool& pool) const;
+
+  /// Physical-unit predictions for a whole source (Fig 6 format).
+  std::vector<Prediction> evaluate(const data::SampleSource& source,
+                                   runtime::ThreadPool& pool) const;
+
+  bool fitted() const noexcept { return fitted_; }
+  std::size_t feature_count() const noexcept { return feature_mean_.size(); }
+
+ private:
+  std::vector<double> featurize(const data::Sample& sample,
+                                runtime::ThreadPool& pool) const;
+
+  BaselineConfig config_;
+  bool fitted_ = false;
+  std::vector<double> feature_mean_;
+  std::vector<double> feature_std_;
+  // weights_[t] has one coefficient per feature plus an intercept.
+  std::array<std::vector<double>, 3> weights_;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky decomposition; throws on non-SPD input. Exposed for tests.
+std::vector<double> solve_spd(std::vector<double> a, std::vector<double> b);
+
+}  // namespace cf::core

@@ -1,0 +1,22 @@
+// Binary model checkpoints: topology name + flat parameter vector,
+// CRC-protected. Enables the train -> predict example split and
+// restart-safety tests.
+#pragma once
+
+#include <string>
+
+#include "dnn/network.hpp"
+
+namespace cf::core {
+
+/// Writes the network's parameters to `path`. Throws on I/O errors.
+void save_checkpoint(const std::string& path, const std::string& topology,
+                     dnn::Network& network);
+
+/// Loads parameters saved with save_checkpoint into `network`. Throws
+/// if the topology name or parameter count does not match.
+void load_checkpoint(const std::string& path,
+                     const std::string& expected_topology,
+                     dnn::Network& network);
+
+}  // namespace cf::core

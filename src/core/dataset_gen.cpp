@@ -1,0 +1,67 @@
+#include "core/dataset_gen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::core {
+
+GeneratedDataset generate_dataset(const DatasetGenConfig& config,
+                                  runtime::ThreadPool& pool) {
+  if (config.simulations == 0) {
+    throw std::invalid_argument("generate_dataset: need >= 1 simulation");
+  }
+  const cosmo::Simulation sim(config.sim);
+  const auto params =
+      cosmo::sample_parameters(config.simulations, config.seed,
+                               config.ranges);
+
+  // Zero-center the log1p counts around the mean-density level.
+  const double mean_count =
+      std::pow(static_cast<double>(config.sim.grid.n) /
+                   static_cast<double>(config.sim.voxels),
+               3.0);
+  const float offset = std::log1p(static_cast<float>(mean_count));
+
+  std::vector<data::Sample> all;
+  std::vector<std::size_t> groups;
+  all.reserve(config.simulations * 8);
+  groups.reserve(config.simulations * 8);
+
+  for (std::size_t s = 0; s < config.simulations; ++s) {
+    cosmo::Universe universe =
+        sim.run(params[s], config.seed * 1000003ULL + s, pool);
+    const auto target = cosmo::normalize_params(params[s], config.ranges);
+    for (tensor::Tensor& octant : cosmo::split_octants(universe.voxels)) {
+      cosmo::log1p_in_place(octant);
+      cosmo::center_in_place(octant, offset);
+      data::Sample sample;
+      sample.volume = std::move(octant);
+      sample.target = target;
+      all.push_back(std::move(sample));
+      groups.push_back(s);
+    }
+  }
+
+  const data::SplitIndices split = data::split_by_group(
+      groups, config.val_fraction, config.test_fraction, config.seed);
+
+  GeneratedDataset dataset;
+  dataset.simulation_params = params;
+  dataset.train.reserve(split.train.size() *
+                        (config.duplicate_training ? 2 : 1));
+  for (const std::size_t i : split.train) {
+    dataset.train.push_back(all[i].clone());
+  }
+  if (config.duplicate_training) {
+    for (const std::size_t i : split.train) {
+      dataset.train.push_back(all[i].clone());
+    }
+  }
+  for (const std::size_t i : split.val) dataset.val.push_back(all[i].clone());
+  for (const std::size_t i : split.test) {
+    dataset.test.push_back(all[i].clone());
+  }
+  return dataset;
+}
+
+}  // namespace cf::core

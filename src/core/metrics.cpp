@@ -1,0 +1,75 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::core {
+
+namespace {
+
+void require_nonempty(const std::vector<Prediction>& predictions) {
+  if (predictions.empty()) {
+    throw std::invalid_argument("metrics: no predictions");
+  }
+}
+
+}  // namespace
+
+std::array<double, 3> mean_relative_error(
+    const std::vector<Prediction>& predictions) {
+  require_nonempty(predictions);
+  std::array<double, 3> acc{};
+  for (const Prediction& p : predictions) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      if (p.predicted[i] == 0.0) {
+        throw std::invalid_argument(
+            "mean_relative_error: zero model estimate");
+      }
+      acc[i] += std::fabs(p.predicted[i] - p.truth[i]) /
+                std::fabs(p.predicted[i]);
+    }
+  }
+  for (double& v : acc) v /= static_cast<double>(predictions.size());
+  return acc;
+}
+
+std::array<double, 3> rmse(const std::vector<Prediction>& predictions) {
+  require_nonempty(predictions);
+  std::array<double, 3> acc{};
+  for (const Prediction& p : predictions) {
+    for (std::size_t i = 0; i < 3; ++i) {
+      const double d = p.predicted[i] - p.truth[i];
+      acc[i] += d * d;
+    }
+  }
+  for (double& v : acc) {
+    v = std::sqrt(v / static_cast<double>(predictions.size()));
+  }
+  return acc;
+}
+
+std::array<double, 3> correlation(
+    const std::vector<Prediction>& predictions) {
+  require_nonempty(predictions);
+  std::array<double, 3> result{};
+  const double n = static_cast<double>(predictions.size());
+  for (std::size_t i = 0; i < 3; ++i) {
+    double sx = 0.0, sy = 0.0, sxx = 0.0, syy = 0.0, sxy = 0.0;
+    for (const Prediction& p : predictions) {
+      const double x = p.predicted[i];
+      const double y = p.truth[i];
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      syy += y * y;
+      sxy += x * y;
+    }
+    const double cov = sxy / n - sx / n * sy / n;
+    const double vx = sxx / n - sx / n * sx / n;
+    const double vy = syy / n - sy / n * sy / n;
+    result[i] = (vx > 0.0 && vy > 0.0) ? cov / std::sqrt(vx * vy) : 0.0;
+  }
+  return result;
+}
+
+}  // namespace cf::core

@@ -1,0 +1,29 @@
+// Evaluation metrics for the cosmological parameter regression
+// (Fig 6 / §VII-A).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace cf::core {
+
+/// One prediction/truth pair in *physical* parameter units.
+struct Prediction {
+  std::array<double, 3> predicted{};
+  std::array<double, 3> truth{};
+};
+
+/// The paper's relative error: |theta_model - theta_true| /
+/// theta_model, averaged over samples, per parameter (§VII-A).
+std::array<double, 3> mean_relative_error(
+    const std::vector<Prediction>& predictions);
+
+/// Root-mean-square error per parameter (physical units).
+std::array<double, 3> rmse(const std::vector<Prediction>& predictions);
+
+/// Pearson correlation between prediction and truth per parameter —
+/// the "tightness" of the Fig 6 scatter.
+std::array<double, 3> correlation(const std::vector<Prediction>& predictions);
+
+}  // namespace cf::core

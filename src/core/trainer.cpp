@@ -1,0 +1,253 @@
+#include "core/trainer.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "cosmo/simulation.hpp"
+#include "data/augment.hpp"
+#include "dnn/loss.hpp"
+
+namespace cf::core {
+
+using tensor::Tensor;
+
+Trainer::Trainer(TopologyConfig topology, const data::SampleSource& train,
+                 const data::SampleSource& val, TrainerConfig config)
+    : topology_(std::move(topology)),
+      config_(config),
+      train_(train),
+      val_(val) {
+  if (config_.nranks <= 0 || config_.epochs <= 0) {
+    throw std::invalid_argument("Trainer: nranks and epochs must be > 0");
+  }
+  if (topology_.outputs > 3) {
+    throw std::invalid_argument(
+        "Trainer: samples carry 3 targets; topology.outputs must be <= 3");
+  }
+  steps_per_epoch_ = static_cast<std::int64_t>(train.size()) /
+                     config_.nranks;
+  if (steps_per_epoch_ == 0) {
+    throw std::invalid_argument(
+        "Trainer: fewer training samples than ranks (data-parallel "
+        "training needs substantially more samples than ranks, §VII-B)");
+  }
+  networks_.resize(static_cast<std::size_t>(config_.nranks));
+}
+
+std::vector<EpochStats> Trainer::run() {
+  if (ran_) throw std::logic_error("Trainer::run: called twice");
+  ran_ = true;
+  stats_.assign(static_cast<std::size_t>(config_.epochs), EpochStats{});
+
+  comm::MlComm comm(config_.nranks, config_.comm);
+  const runtime::Stopwatch total_watch;
+  comm.run([&](comm::RankHandle& rank) { rank_body(rank, train_, val_); });
+  train_walltime_ = total_watch.elapsed_seconds();
+  return stats_;
+}
+
+void Trainer::rank_body(comm::RankHandle& rank,
+                        const data::SampleSource& train,
+                        const data::SampleSource& val) {
+  const int r = rank.rank();
+  runtime::ThreadPool pool(config_.threads_per_rank);
+
+  // Build this rank's replica; every rank uses the same init seed and
+  // rank 0 broadcasts anyway (the Algorithm 2 preamble).
+  auto net = std::make_unique<dnn::Network>(
+      build_network(topology_, config_.seed));
+  dnn::Network& network = *net;
+  networks_[static_cast<std::size_t>(r)] = std::move(net);
+
+  const std::size_t param_count =
+      static_cast<std::size_t>(network.param_count());
+  std::vector<float> flat(param_count);
+  network.copy_params_to(flat);
+  rank.broadcast(flat, /*root=*/0);
+  network.set_params_from(flat);
+
+  const std::int64_t decay_epochs =
+      config_.decay_epochs > 0 ? config_.decay_epochs : config_.epochs;
+  const auto schedule = std::make_shared<optim::PolynomialDecay>(
+      config_.base_lr, config_.min_lr, decay_epochs * steps_per_epoch_);
+
+  std::unique_ptr<optim::LarcAdam> larc_opt;
+  std::unique_ptr<optim::SgdMomentum> sgd_opt;
+  switch (config_.optimizer) {
+    case OptimizerKind::kAdamLarc:
+      larc_opt = std::make_unique<optim::LarcAdam>(
+          network.params(), config_.adam, config_.larc, schedule);
+      break;
+    case OptimizerKind::kAdam: {
+      optim::LarcConfig pass_through;
+      // trust >= any norm ratio with clip keeps eta† = 1: plain Adam.
+      pass_through.trust_coefficient = 1e12;
+      pass_through.clip = true;
+      larc_opt = std::make_unique<optim::LarcAdam>(
+          network.params(), config_.adam, pass_through, schedule);
+      break;
+    }
+    case OptimizerKind::kSgdMomentum:
+      sgd_opt = std::make_unique<optim::SgdMomentum>(
+          network.params(), config_.sgd_momentum, schedule);
+      break;
+  }
+  const auto optimizer_step = [&] {
+    if (larc_opt) {
+      larc_opt->step();
+    } else {
+      sgd_opt->step();
+    }
+  };
+
+  data::Pipeline train_pipeline(train, config_.pipeline);
+  data::Pipeline val_pipeline(val, config_.pipeline);
+
+  const std::int64_t n_outputs = network.output_shape()[0];
+  std::vector<float> target(static_cast<std::size_t>(n_outputs));
+  Tensor dloss(network.output_shape());
+
+  runtime::TimeStats local_opt_time;
+  runtime::TimeStats local_step_time;
+  runtime::Rng augment_rng(config_.seed ^ 0xA46D454E54ULL,
+                           static_cast<std::uint64_t>(r));
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const runtime::Stopwatch epoch_watch;
+    train_pipeline.start_epoch(data::epoch_indices_for_rank(
+        train.size(), config_.nranks, r,
+        config_.seed + static_cast<std::uint64_t>(epoch) + 1,
+        config_.shuffle));
+
+    double loss_sum = 0.0;
+    std::int64_t steps = 0;
+    data::Sample sample;
+    while (steps < steps_per_epoch_ && train_pipeline.next(sample)) {
+      const runtime::Stopwatch step_watch;
+      if (config_.augment) {
+        data::orient_volume(
+            sample.volume,
+            static_cast<std::uint32_t>(
+                augment_rng.uniform_index(data::kOrientationCount)));
+      }
+      // Local gradients (Algorithm 2, line 3).
+      const Tensor& output = network.forward(sample.volume, pool);
+      for (std::int64_t i = 0; i < n_outputs; ++i) {
+        target[static_cast<std::size_t>(i)] =
+            sample.target[static_cast<std::size_t>(i)];
+      }
+      loss_sum += dnn::mse_loss(output.values(), target);
+      dnn::mse_loss_grad(output.values(), target, dloss.values());
+      network.zero_grads();
+      network.backward(dloss, pool);
+
+      // Global gradient averaging (line 4).
+      network.copy_grads_to(flat);
+      rank.allreduce_average(flat);
+      network.set_grads_from(flat);
+
+      // Identical model update on every replica (line 5).
+      {
+        const runtime::ScopedTimer opt_timer(local_opt_time);
+        optimizer_step();
+      }
+      ++steps;
+      local_step_time.add(step_watch.elapsed_seconds());
+    }
+    const double train_loss =
+        rank.allreduce_average_scalar(loss_sum /
+                                      static_cast<double>(steps));
+
+    // Validation loop: forward + loss only, averaged across ranks.
+    val_pipeline.start_epoch(data::epoch_indices_for_rank(
+        val.size(), config_.nranks, r, /*epoch_seed=*/0,
+        /*shuffle=*/false));
+    double val_sum = 0.0;
+    std::int64_t val_steps = 0;
+    while (val_pipeline.next(sample)) {
+      const Tensor& output = network.forward(sample.volume, pool);
+      for (std::int64_t i = 0; i < n_outputs; ++i) {
+        target[static_cast<std::size_t>(i)] =
+            sample.target[static_cast<std::size_t>(i)];
+      }
+      val_sum += dnn::mse_loss(output.values(), target);
+      ++val_steps;
+    }
+    const double val_loss = rank.allreduce_average_scalar(
+        val_steps > 0 ? val_sum / static_cast<double>(val_steps) : 0.0);
+
+    rank.barrier();  // epoch walltime measured across all ranks
+    if (r == 0) {
+      EpochStats& es = stats_[static_cast<std::size_t>(epoch)];
+      es.epoch = epoch;
+      es.train_loss = train_loss;
+      es.val_loss = val_loss;
+      es.epoch_seconds = epoch_watch.elapsed_seconds();
+      es.step_time = local_step_time;
+      local_step_time = runtime::TimeStats{};
+    }
+  }
+
+  if (r == 0) {
+    optimizer_time_ = local_opt_time;
+    io_wait_time_ = train_pipeline.wait_time();
+    comm_time_ = rank.comm_time();
+  }
+}
+
+dnn::Network& Trainer::network(int rank) {
+  if (!ran_) throw std::logic_error("Trainer::network: run() first");
+  auto& net = networks_.at(static_cast<std::size_t>(rank));
+  if (!net) throw std::logic_error("Trainer::network: rank not trained");
+  return *net;
+}
+
+std::vector<float> Trainer::predict(const Tensor& volume) {
+  dnn::Network& net = network(0);
+  runtime::ThreadPool pool(config_.threads_per_rank);
+  const Tensor& out = net.forward(volume, pool);
+  return out.to_vector();
+}
+
+std::vector<Prediction> Trainer::evaluate(const data::SampleSource& source) {
+  dnn::Network& net = network(0);
+  if (net.output_shape()[0] != 3) {
+    throw std::logic_error(
+        "Trainer::evaluate: physical-unit evaluation needs 3 outputs");
+  }
+  runtime::ThreadPool pool(config_.threads_per_rank);
+  const auto reader = source.make_reader();
+  std::vector<Prediction> predictions;
+  predictions.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const data::Sample sample = reader->get(i);
+    const Tensor& out = net.forward(sample.volume, pool);
+    const cosmo::CosmoParams pred = cosmo::denormalize_params(
+        {out[0], out[1], out[2]});
+    const cosmo::CosmoParams truth = cosmo::denormalize_params(
+        {sample.target[0], sample.target[1], sample.target[2]});
+    Prediction p;
+    p.predicted = {pred.omega_m, pred.sigma8, pred.ns};
+    p.truth = {truth.omega_m, truth.sigma8, truth.ns};
+    predictions.push_back(p);
+  }
+  return predictions;
+}
+
+CategoryBreakdown Trainer::breakdown() const {
+  if (!ran_) throw std::logic_error("Trainer::breakdown: run() first");
+  CategoryBreakdown breakdown;
+  const dnn::Network& net = *networks_.front();
+  for (const dnn::LayerProfile& profile : net.profiles()) {
+    breakdown.seconds[profile.kind] += profile.fwd.total() +
+                                       profile.bwd_data.total() +
+                                       profile.bwd_weights.total();
+  }
+  breakdown.seconds["optimizer"] = optimizer_time_.total();
+  breakdown.seconds["comm"] = comm_time_.total();
+  breakdown.seconds["io_wait"] = io_wait_time_.total();
+  breakdown.total = train_walltime_;
+  return breakdown;
+}
+
+}  // namespace cf::core

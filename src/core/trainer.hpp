@@ -1,0 +1,120 @@
+// Synchronous data-parallel trainer — Algorithm 2 of the paper.
+//
+// Every MPI rank (a thread here, see comm/mlcomm.hpp) owns a full model
+// replica and processes a mini-batch of one sample per step; the
+// global batch size therefore equals the rank count (§III-B). A step
+// is: local gradient computation, gradient averaging through the
+// communicator, identical Adam+LARC update on every replica. The
+// replicas stay bit-identical because the allreduce is deterministic —
+// a property the tests assert.
+//
+// The trainer also instruments every stage (conv / pool / dense /
+// element-wise / reorder / optimizer / communication / unhidden I/O)
+// to regenerate the paper's single-node profile (Fig 3) and per-layer
+// table (Table I).
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "comm/mlcomm.hpp"
+#include "core/metrics.hpp"
+#include "core/topology.hpp"
+#include "data/pipeline.hpp"
+#include "optim/larc_adam.hpp"
+#include "optim/sgd.hpp"
+
+namespace cf::core {
+
+enum class OptimizerKind { kAdamLarc, kAdam, kSgdMomentum };
+
+struct TrainerConfig {
+  int nranks = 1;
+  int epochs = 4;
+  std::uint64_t seed = 0;
+
+  // §III-B hyper-parameters.
+  double base_lr = 2e-3;
+  double min_lr = 1e-4;
+  /// Learning-rate decay horizon in epochs; 0 means "the full run".
+  int decay_epochs = 0;
+  optim::AdamConfig adam{};
+  optim::LarcConfig larc{};
+  OptimizerKind optimizer = OptimizerKind::kAdamLarc;
+  double sgd_momentum = 0.9;  // used by kSgdMomentum only
+
+  std::size_t threads_per_rank = 1;
+  data::PipelineConfig pipeline{};
+  bool shuffle = true;
+  /// Random cube-orientation augmentation per training draw (48
+  /// symmetries; see data/augment.hpp). Validation is never augmented.
+  bool augment = true;
+  comm::MlCommConfig comm{};
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  double val_loss = 0.0;
+  double epoch_seconds = 0.0;
+  runtime::TimeStats step_time;  // rank-0 per-step walltime
+};
+
+/// Fig 3 category breakdown (seconds accumulated on rank 0).
+struct CategoryBreakdown {
+  std::map<std::string, double> seconds;  // conv, pool, dense, ...
+  double total = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(TopologyConfig topology, const data::SampleSource& train,
+          const data::SampleSource& val, TrainerConfig config);
+
+  /// Runs the full training; returns per-epoch statistics.
+  std::vector<EpochStats> run();
+
+  const TopologyConfig& topology() const noexcept { return topology_; }
+  const TrainerConfig& config() const noexcept { return config_; }
+
+  /// Rank r's replica (valid after run()); replicas are identical.
+  dnn::Network& network(int rank = 0);
+
+  /// Forward pass through the rank-0 replica; returns the raw
+  /// (normalized) outputs.
+  std::vector<float> predict(const tensor::Tensor& volume);
+
+  /// Evaluates every sample of `source`, mapping normalized outputs
+  /// and targets back to physical parameters (3-output networks only).
+  std::vector<Prediction> evaluate(const data::SampleSource& source);
+
+  /// Accumulated stage breakdown on rank 0 (Fig 3).
+  CategoryBreakdown breakdown() const;
+
+  std::int64_t steps_per_epoch_per_rank() const noexcept {
+    return steps_per_epoch_;
+  }
+
+ private:
+  void rank_body(comm::RankHandle& rank, const data::SampleSource& train,
+                 const data::SampleSource& val);
+
+  TopologyConfig topology_;
+  TrainerConfig config_;
+  const data::SampleSource& train_;
+  const data::SampleSource& val_;
+  std::int64_t steps_per_epoch_ = 0;
+
+  std::vector<std::unique_ptr<dnn::Network>> networks_;
+  std::vector<EpochStats> stats_;
+  runtime::TimeStats optimizer_time_;  // rank 0
+  runtime::TimeStats io_wait_time_;    // rank 0
+  runtime::TimeStats comm_time_;       // rank 0
+  double train_walltime_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace cf::core

@@ -1,0 +1,85 @@
+#include "cosmo/deposit.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::cosmo {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+inline std::int64_t wrap_index(std::int64_t i, std::int64_t n) {
+  return (i % n + n) % n;
+}
+
+void deposit_ngp(const ParticleSet& particles, std::int64_t n, Tensor& grid) {
+  const double inv_cell =
+      static_cast<double>(n) / particles.box_size;
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    const std::int64_t ix =
+        wrap_index(static_cast<std::int64_t>(particles.x[p] * inv_cell), n);
+    const std::int64_t iy =
+        wrap_index(static_cast<std::int64_t>(particles.y[p] * inv_cell), n);
+    const std::int64_t iz =
+        wrap_index(static_cast<std::int64_t>(particles.z[p] * inv_cell), n);
+    grid[static_cast<std::size_t>((iz * n + iy) * n + ix)] += 1.0f;
+  }
+}
+
+void deposit_cic(const ParticleSet& particles, std::int64_t n, Tensor& grid) {
+  const double inv_cell = static_cast<double>(n) / particles.box_size;
+  for (std::size_t p = 0; p < particles.size(); ++p) {
+    // Cell-centered CIC: the particle's fractional grid coordinate,
+    // offset by half a cell so weights interpolate between centers.
+    const double gx = particles.x[p] * inv_cell - 0.5;
+    const double gy = particles.y[p] * inv_cell - 0.5;
+    const double gz = particles.z[p] * inv_cell - 0.5;
+    const std::int64_t ix = static_cast<std::int64_t>(std::floor(gx));
+    const std::int64_t iy = static_cast<std::int64_t>(std::floor(gy));
+    const std::int64_t iz = static_cast<std::int64_t>(std::floor(gz));
+    const double fx = gx - static_cast<double>(ix);
+    const double fy = gy - static_cast<double>(iy);
+    const double fz = gz - static_cast<double>(iz);
+    const double wx[2] = {1.0 - fx, fx};
+    const double wy[2] = {1.0 - fy, fy};
+    const double wz[2] = {1.0 - fz, fz};
+    for (int dz = 0; dz < 2; ++dz) {
+      const std::int64_t z = wrap_index(iz + dz, n);
+      for (int dy = 0; dy < 2; ++dy) {
+        const std::int64_t y = wrap_index(iy + dy, n);
+        const double wzy = wz[dz] * wy[dy];
+        for (int dx = 0; dx < 2; ++dx) {
+          const std::int64_t x = wrap_index(ix + dx, n);
+          grid[static_cast<std::size_t>((z * n + y) * n + x)] +=
+              static_cast<float>(wzy * wx[dx]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Tensor deposit_particles(const ParticleSet& particles, std::int64_t n_vox,
+                         DepositScheme scheme) {
+  if (n_vox <= 0) {
+    throw std::invalid_argument("deposit_particles: n_vox must be > 0");
+  }
+  if (particles.box_size <= 0.0) {
+    throw std::invalid_argument("deposit_particles: box_size must be > 0");
+  }
+  Tensor grid(Shape{n_vox, n_vox, n_vox});
+  switch (scheme) {
+    case DepositScheme::kNgp:
+      deposit_ngp(particles, n_vox, grid);
+      break;
+    case DepositScheme::kCic:
+      deposit_cic(particles, n_vox, grid);
+      break;
+  }
+  return grid;
+}
+
+}  // namespace cf::cosmo

@@ -1,0 +1,23 @@
+// Mass deposit: particles -> voxel counts.
+//
+// The paper histograms 512^3 particles into a 256^3 grid with
+// numpy.histogramdd — nearest-grid-point (NGP) counting — before
+// splitting into 128^3 sub-volumes (§IV-C). NGP is the default here;
+// cloud-in-cell (CIC) is provided as the standard smoother alternative
+// used by N-body analysis pipelines.
+#pragma once
+
+#include "cosmo/zeldovich.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cf::cosmo {
+
+enum class DepositScheme { kNgp, kCic };
+
+/// Deposits periodic particles into an n_vox^3 grid. The returned
+/// tensor is {n_vox, n_vox, n_vox} and its sum equals the particle
+/// count (mass conservation) for both schemes.
+tensor::Tensor deposit_particles(const ParticleSet& particles,
+                                 std::int64_t n_vox, DepositScheme scheme);
+
+}  // namespace cf::cosmo

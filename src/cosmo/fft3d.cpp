@@ -1,0 +1,129 @@
+#include "cosmo/fft3d.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::cosmo {
+
+namespace {
+
+bool is_power_of_two(std::int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+constexpr double kPi = 3.14159265358979323846;
+
+}  // namespace
+
+void fft_1d(std::complex<float>* data, std::int64_t n, bool inverse) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_1d: length must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::int64_t i = 1, j = 0; i < n; ++i) {
+    std::int64_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterflies.
+  for (std::int64_t len = 2; len <= n; len <<= 1) {
+    const double angle = 2.0 * kPi / static_cast<double>(len) *
+                         (inverse ? 1.0 : -1.0);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::int64_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::int64_t j = 0; j < len / 2; ++j) {
+        const std::complex<double> u(data[i + j]);
+        const std::complex<double> v =
+            std::complex<double>(data[i + j + len / 2]) * w;
+        data[i + j] = std::complex<float>(u + v);
+        data[i + j + len / 2] = std::complex<float>(u - v);
+        w *= wlen;
+      }
+    }
+  }
+}
+
+Fft3d::Fft3d(std::int64_t n) : n_(n) {
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("Fft3d: grid size must be a power of two");
+  }
+}
+
+void Fft3d::transform(std::complex<float>* grid, bool inverse,
+                      runtime::ThreadPool& pool) const {
+  const std::int64_t n = n_;
+  const std::int64_t n2 = n * n;
+
+  // Axis x (contiguous lines): one line per (z, y).
+  pool.parallel_for(static_cast<std::size_t>(n2),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t line = begin; line < end; ++line) {
+                        fft_1d(grid + static_cast<std::int64_t>(line) * n, n,
+                               inverse);
+                      }
+                    });
+
+  // Axis y (stride n): gather lines into scratch.
+  pool.parallel_for(
+      static_cast<std::size_t>(n2),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<std::complex<float>> scratch(
+            static_cast<std::size_t>(n));
+        for (std::size_t line = begin; line < end; ++line) {
+          const std::int64_t z = static_cast<std::int64_t>(line) / n;
+          const std::int64_t x = static_cast<std::int64_t>(line) % n;
+          std::complex<float>* base = grid + z * n2 + x;
+          for (std::int64_t y = 0; y < n; ++y) {
+            scratch[static_cast<std::size_t>(y)] = base[y * n];
+          }
+          fft_1d(scratch.data(), n, inverse);
+          for (std::int64_t y = 0; y < n; ++y) {
+            base[y * n] = scratch[static_cast<std::size_t>(y)];
+          }
+        }
+      });
+
+  // Axis z (stride n^2).
+  pool.parallel_for(
+      static_cast<std::size_t>(n2),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<std::complex<float>> scratch(
+            static_cast<std::size_t>(n));
+        for (std::size_t line = begin; line < end; ++line) {
+          const std::int64_t y = static_cast<std::int64_t>(line) / n;
+          const std::int64_t x = static_cast<std::int64_t>(line) % n;
+          std::complex<float>* base = grid + y * n + x;
+          for (std::int64_t z = 0; z < n; ++z) {
+            scratch[static_cast<std::size_t>(z)] = base[z * n2];
+          }
+          fft_1d(scratch.data(), n, inverse);
+          for (std::int64_t z = 0; z < n; ++z) {
+            base[z * n2] = scratch[static_cast<std::size_t>(z)];
+          }
+        }
+      });
+}
+
+void Fft3d::forward(std::complex<float>* grid,
+                    runtime::ThreadPool& pool) const {
+  transform(grid, /*inverse=*/false, pool);
+}
+
+void Fft3d::inverse(std::complex<float>* grid,
+                    runtime::ThreadPool& pool) const {
+  transform(grid, /*inverse=*/true, pool);
+  const std::int64_t total = n_ * n_ * n_;
+  const float scale = 1.0f / static_cast<float>(total);
+  pool.parallel_for(static_cast<std::size_t>(total),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        grid[i] *= scale;
+                      }
+                    });
+}
+
+std::int64_t fft_freq_index(std::int64_t i, std::int64_t n) {
+  return i <= n / 2 ? i : i - n;
+}
+
+}  // namespace cf::cosmo

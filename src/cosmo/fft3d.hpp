@@ -1,0 +1,46 @@
+// Radix-2 complex FFT, 1D and cubic 3D.
+//
+// The simulation substrate (DESIGN.md §1) generates Gaussian random
+// fields and Zel'dovich displacement fields in Fourier space; this FFT
+// replaces the FFTW/numpy machinery under MUSIC/pycola. Grid sizes are
+// powers of two (the paper's grids are 512/256/128).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+
+namespace cf::cosmo {
+
+/// In-place iterative Cooley-Tukey FFT of length n = 2^m.
+/// `inverse` applies the conjugate transform *without* 1/n scaling.
+void fft_1d(std::complex<float>* data, std::int64_t n, bool inverse);
+
+/// Cubic 3D FFT over an n^3 complex grid (row-major [z][y][x]).
+class Fft3d {
+ public:
+  explicit Fft3d(std::int64_t n);
+
+  std::int64_t n() const noexcept { return n_; }
+
+  /// Forward transform, unnormalized (sum convention).
+  void forward(std::complex<float>* grid, runtime::ThreadPool& pool) const;
+
+  /// Inverse transform including the 1/n^3 normalization, so
+  /// inverse(forward(x)) == x.
+  void inverse(std::complex<float>* grid, runtime::ThreadPool& pool) const;
+
+ private:
+  void transform(std::complex<float>* grid, bool inverse,
+                 runtime::ThreadPool& pool) const;
+
+  std::int64_t n_;
+};
+
+/// Frequency index -> signed wavenumber index: {0, 1, .., n/2, -(n/2-1),
+/// .., -1} (the usual FFT ordering).
+std::int64_t fft_freq_index(std::int64_t i, std::int64_t n);
+
+}  // namespace cf::cosmo

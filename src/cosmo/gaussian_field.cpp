@@ -1,0 +1,128 @@
+#include "cosmo/gaussian_field.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cosmo/fft3d.hpp"
+
+namespace cf::cosmo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double GridSpec::k_fundamental() const { return 2.0 * kPi / box_size; }
+
+std::vector<std::complex<float>> generate_delta_k(
+    const PowerSpectrum& ps, const GridSpec& grid, runtime::Rng& rng,
+    runtime::ThreadPool& pool) {
+  const std::int64_t n = grid.n;
+  const std::int64_t total = grid.cells();
+  std::vector<std::complex<float>> modes(static_cast<std::size_t>(total));
+
+  // White noise in real space (Hermitian symmetry for free). The draw
+  // is sequential to stay independent of the thread count.
+  for (std::int64_t i = 0; i < total; ++i) {
+    modes[static_cast<std::size_t>(i)] = {rng.normal(), 0.0f};
+  }
+
+  Fft3d fft(n);
+  fft.forward(modes.data(), pool);
+
+  const double kf = grid.k_fundamental();
+  const double volume = grid.box_size * grid.box_size * grid.box_size;
+  const double mode_norm = static_cast<double>(total) / volume;
+
+  pool.parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t zi = begin; zi < end; ++zi) {
+          const std::int64_t z = static_cast<std::int64_t>(zi);
+          const double kz =
+              kf * static_cast<double>(fft_freq_index(z, n));
+          for (std::int64_t y = 0; y < n; ++y) {
+            const double ky =
+                kf * static_cast<double>(fft_freq_index(y, n));
+            for (std::int64_t x = 0; x < n; ++x) {
+              const double kx =
+                  kf * static_cast<double>(fft_freq_index(x, n));
+              const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+              const std::size_t idx =
+                  static_cast<std::size_t>((z * n + y) * n + x);
+              if (k == 0.0) {
+                modes[idx] = {0.0f, 0.0f};  // zero mean density
+                continue;
+              }
+              const float scale =
+                  static_cast<float>(std::sqrt(ps(k) * mode_norm));
+              modes[idx] *= scale;
+            }
+          }
+        }
+      });
+  return modes;
+}
+
+tensor::Tensor delta_x_from_modes(std::vector<std::complex<float>> delta_k,
+                                  const GridSpec& grid,
+                                  runtime::ThreadPool& pool) {
+  const std::int64_t n = grid.n;
+  Fft3d fft(n);
+  fft.inverse(delta_k.data(), pool);
+  tensor::Tensor delta(tensor::Shape{n, n, n});
+  const std::int64_t total = grid.cells();
+  for (std::int64_t i = 0; i < total; ++i) {
+    delta[static_cast<std::size_t>(i)] =
+        delta_k[static_cast<std::size_t>(i)].real();
+  }
+  return delta;
+}
+
+std::vector<SpectrumBin> measure_power_spectrum(
+    const std::vector<std::complex<float>>& delta_k, const GridSpec& grid,
+    int bins) {
+  const std::int64_t n = grid.n;
+  if (delta_k.size() != static_cast<std::size_t>(grid.cells())) {
+    throw std::invalid_argument("measure_power_spectrum: size mismatch");
+  }
+  if (bins <= 0) {
+    throw std::invalid_argument("measure_power_spectrum: bins <= 0");
+  }
+  const double kf = grid.k_fundamental();
+  const double k_nyquist = kf * static_cast<double>(n) / 2.0;
+  const double volume = grid.box_size * grid.box_size * grid.box_size;
+  const double n6 = static_cast<double>(grid.cells()) *
+                    static_cast<double>(grid.cells());
+
+  std::vector<SpectrumBin> result(static_cast<std::size_t>(bins));
+  std::vector<double> power_acc(static_cast<std::size_t>(bins), 0.0);
+  std::vector<double> k_acc(static_cast<std::size_t>(bins), 0.0);
+
+  for (std::int64_t z = 0; z < n; ++z) {
+    const double kz = kf * static_cast<double>(fft_freq_index(z, n));
+    for (std::int64_t y = 0; y < n; ++y) {
+      const double ky = kf * static_cast<double>(fft_freq_index(y, n));
+      for (std::int64_t x = 0; x < n; ++x) {
+        const double kx = kf * static_cast<double>(fft_freq_index(x, n));
+        const double k = std::sqrt(kx * kx + ky * ky + kz * kz);
+        if (k == 0.0 || k >= k_nyquist) continue;
+        const int bin = static_cast<int>(k / k_nyquist * bins);
+        const std::size_t idx = static_cast<std::size_t>((z * n + y) * n + x);
+        const double amp2 = std::norm(std::complex<double>(delta_k[idx]));
+        power_acc[static_cast<std::size_t>(bin)] += amp2 * volume / n6;
+        k_acc[static_cast<std::size_t>(bin)] += k;
+        ++result[static_cast<std::size_t>(bin)].modes;
+      }
+    }
+  }
+  for (int b = 0; b < bins; ++b) {
+    const std::size_t i = static_cast<std::size_t>(b);
+    if (result[i].modes > 0) {
+      result[i].k = k_acc[i] / static_cast<double>(result[i].modes);
+      result[i].power = power_acc[i] / static_cast<double>(result[i].modes);
+    }
+  }
+  return result;
+}
+
+}  // namespace cf::cosmo

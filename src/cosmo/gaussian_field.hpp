@@ -1,0 +1,60 @@
+// Gaussian random field generation on a periodic cubic grid.
+//
+// Replaces MUSIC in the paper's data path: the initial density
+// fluctuations are a Gaussian random field whose two-point statistics
+// follow the linear power spectrum P(k; OmegaM, sigma8, ns). We draw
+// unit white noise in real space and color it in Fourier space, which
+// guarantees the Hermitian symmetry of delta_k and makes every
+// simulation reproducible from a (seed, stream) pair.
+//
+// Normalization: delta_k = w_k * sqrt(N^3 P(k) / V) for a grid with N^3
+// cells and box volume V, so the measured spectrum
+// P_hat(k) = V |delta_k|^2 / N^6 reproduces P(k) in expectation.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "cosmo/power_spectrum.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cf::cosmo {
+
+struct GridSpec {
+  std::int64_t n = 64;        // cells per dimension (power of two)
+  double box_size = 512.0;    // Mpc/h
+
+  double cell_size() const { return box_size / static_cast<double>(n); }
+  std::int64_t cells() const { return n * n * n; }
+  /// Fundamental frequency 2 pi / L in h/Mpc.
+  double k_fundamental() const;
+};
+
+/// Colored density modes delta_k (row-major [z][y][x], FFT frequency
+/// ordering). Deterministic in (rng state).
+std::vector<std::complex<float>> generate_delta_k(
+    const PowerSpectrum& ps, const GridSpec& grid, runtime::Rng& rng,
+    runtime::ThreadPool& pool);
+
+/// Real-space density contrast delta(x) from the modes (inverse FFT;
+/// imaginary residue discarded — it is zero up to rounding).
+tensor::Tensor delta_x_from_modes(std::vector<std::complex<float>> delta_k,
+                                  const GridSpec& grid,
+                                  runtime::ThreadPool& pool);
+
+/// Shell-averaged measured power spectrum of a set of modes: returns
+/// (k_center, P_hat) pairs for `bins` linear k-shells up to the Nyquist
+/// frequency. Used by tests to verify generation and by the dataset
+/// example to sanity-check simulations.
+struct SpectrumBin {
+  double k = 0.0;
+  double power = 0.0;
+  std::int64_t modes = 0;
+};
+std::vector<SpectrumBin> measure_power_spectrum(
+    const std::vector<std::complex<float>>& delta_k, const GridSpec& grid,
+    int bins);
+
+}  // namespace cf::cosmo

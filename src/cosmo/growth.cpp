@@ -1,0 +1,60 @@
+#include "cosmo/growth.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::cosmo {
+
+namespace {
+
+double hubble_sq(double a, double omega_m, double omega_l) {
+  return omega_m / (a * a * a) + omega_l;
+}
+
+}  // namespace
+
+GrowthFactor::GrowthFactor(double omega_m)
+    : omega_m_(omega_m), omega_l_(1.0 - omega_m), norm_(1.0) {
+  if (omega_m <= 0.0 || omega_m > 1.0) {
+    throw std::invalid_argument("GrowthFactor: OmegaM must be in (0, 1]");
+  }
+  norm_ = unnormalized(1.0);
+}
+
+double GrowthFactor::unnormalized(double a) const {
+  // Int_0^a da' / (a' H(a'))^3 by Simpson's rule in log a'. The
+  // integrand vanishes like a'^(3/2) toward 0, so a finite lower cut
+  // converges quickly.
+  const double lo = std::log(1e-6);
+  const double hi = std::log(a);
+  const int steps = 512;  // even
+  const double dln = (hi - lo) / steps;
+  const auto integrand = [&](double lna) {
+    const double ap = std::exp(lna);
+    const double h = std::sqrt(hubble_sq(ap, omega_m_, omega_l_));
+    // da = a dlna, integrand da/(a H)^3 -> dlna * a / (a H)^3.
+    return ap / std::pow(ap * h, 3.0);
+  };
+  double acc = integrand(lo) + integrand(hi);
+  for (int i = 1; i < steps; ++i) {
+    acc += integrand(lo + i * dln) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  const double integral = acc * dln / 3.0;
+  return std::sqrt(hubble_sq(a, omega_m_, omega_l_)) * integral;
+}
+
+double GrowthFactor::at_scale_factor(double a) const {
+  if (a <= 0.0 || a > 1.0) {
+    throw std::invalid_argument("GrowthFactor: a must be in (0, 1]");
+  }
+  return unnormalized(a) / norm_;
+}
+
+double GrowthFactor::at_redshift(double z) const {
+  if (z < 0.0) {
+    throw std::invalid_argument("GrowthFactor: z must be >= 0");
+  }
+  return at_scale_factor(1.0 / (1.0 + z));
+}
+
+}  // namespace cf::cosmo

@@ -1,0 +1,39 @@
+// Linear growth factor D(a) for flat LCDM.
+//
+// The paper trains exclusively on z = 0 snapshots but lists "extending
+// the network to multiple redshift snapshots" as the natural next step
+// (§VII-B). The growth factor is the missing ingredient: the linear
+// density field at scale factor a is D(a)/D(1) times the z = 0 field,
+// so the simulation driver can emit any-redshift snapshots from the
+// same initial conditions.
+//
+//   D(a)  proportional to  H(a) * Int_0^a da' / (a' H(a'))^3,
+//   H^2(a) = OmegaM a^-3 + OmegaL    (flat: OmegaL = 1 - OmegaM)
+//
+// normalized to D(1) = 1.
+#pragma once
+
+namespace cf::cosmo {
+
+class GrowthFactor {
+ public:
+  /// Flat LCDM with the given matter fraction.
+  explicit GrowthFactor(double omega_m);
+
+  /// Normalized growth D(a)/D(1); a in (0, 1].
+  double at_scale_factor(double a) const;
+
+  /// Convenience: D(z)/D(0) with a = 1 / (1 + z).
+  double at_redshift(double z) const;
+
+  double omega_m() const noexcept { return omega_m_; }
+
+ private:
+  double unnormalized(double a) const;
+
+  double omega_m_;
+  double omega_l_;
+  double norm_;
+};
+
+}  // namespace cf::cosmo

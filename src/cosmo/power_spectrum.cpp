@@ -1,0 +1,117 @@
+#include "cosmo/power_spectrum.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::cosmo {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+double tophat_window(double x) {
+  if (std::fabs(x) < 1e-4) {
+    // Series expansion: W(x) = 1 - x^2/10 + O(x^4).
+    return 1.0 - x * x / 10.0;
+  }
+  return 3.0 * (std::sin(x) - x * std::cos(x)) / (x * x * x);
+}
+
+PowerSpectrum::PowerSpectrum(CosmoParams params, TransferModel model)
+    : params_(params), model_(model) {
+  if (params.omega_m <= 0.0 || params.omega_m > 1.0 || params.sigma8 <= 0.0 ||
+      params.h <= 0.0 || params.omega_b < 0.0 ||
+      params.omega_b >= params.omega_m) {
+    throw std::invalid_argument("PowerSpectrum: unphysical parameters");
+  }
+  gamma_ = params.omega_m * params.h;
+
+  // Eisenstein & Hu (1998) no-wiggle constants (eqs. 26, 31).
+  const double omh2 = params.omega_m * params.h * params.h;
+  const double obh2 = params.omega_b * params.h * params.h;
+  const double fb = params.omega_b / params.omega_m;
+  eh_sound_ = 44.5 * std::log(9.83 / omh2) /
+              std::sqrt(1.0 + 10.0 * std::pow(obh2, 0.75));
+  eh_alpha_ = 1.0 - 0.328 * std::log(431.0 * omh2) * fb +
+              0.38 * std::log(22.3 * omh2) * fb * fb;
+
+  amplitude_ = 1.0;
+  const double unnorm = sigma_r_unnormalized_sq(8.0);
+  amplitude_ = params.sigma8 * params.sigma8 / unnorm;
+}
+
+double PowerSpectrum::transfer_bbks(double k) const {
+  // BBKS 1986 fit; q in units where k is h/Mpc.
+  const double q = k / gamma_;
+  const double poly = 1.0 + 3.89 * q + std::pow(16.1 * q, 2) +
+                      std::pow(5.46 * q, 3) + std::pow(6.71 * q, 4);
+  const double x = 2.34 * q;
+  const double log_term = x < 1e-6 ? 1.0 - x / 2.0 : std::log(1.0 + x) / x;
+  return log_term * std::pow(poly, -0.25);
+}
+
+double PowerSpectrum::transfer_eisenstein_hu(double k) const {
+  // Eisenstein & Hu (1998) "no-wiggle" fit (eqs. 28-31), k in h/Mpc.
+  const double theta = 2.725 / 2.7;  // T_CMB / 2.7 K
+  const double k_mpc = k * params_.h;
+  const double gamma_eff =
+      params_.omega_m * params_.h *
+      (eh_alpha_ +
+       (1.0 - eh_alpha_) / (1.0 + std::pow(0.43 * k_mpc * eh_sound_, 4)));
+  const double q = k * theta * theta / gamma_eff;
+  const double l0 = std::log(2.0 * 2.718281828459045 + 1.8 * q);
+  const double c0 = 14.2 + 731.0 / (1.0 + 62.5 * q);
+  return l0 / (l0 + c0 * q * q);
+}
+
+double PowerSpectrum::transfer(double k) const {
+  if (k <= 0.0) return 1.0;
+  switch (model_) {
+    case TransferModel::kBbks:
+      return transfer_bbks(k);
+    case TransferModel::kEisensteinHu:
+      return transfer_eisenstein_hu(k);
+  }
+  return 1.0;
+}
+
+double PowerSpectrum::unnormalized(double k) const {
+  const double t = transfer(k);
+  return std::pow(k, params_.ns) * t * t;
+}
+
+double PowerSpectrum::operator()(double k) const {
+  if (k <= 0.0) return 0.0;
+  return amplitude_ * unnormalized(k);
+}
+
+double PowerSpectrum::sigma_r_unnormalized_sq(double radius) const {
+  // sigma^2(R) = 1/(2 pi^2) Int dk k^2 P(k) W(kR)^2; integrate in
+  // log k with Simpson's rule over a generous dynamic range.
+  const double lnk_lo = std::log(1e-5);
+  const double lnk_hi = std::log(1e3);
+  const int steps = 2048;  // even
+  const double dlnk = (lnk_hi - lnk_lo) / steps;
+
+  const auto integrand = [&](double lnk) {
+    const double k = std::exp(lnk);
+    const double w = tophat_window(k * radius);
+    // dk = k dlnk, so the log-space integrand carries k^3.
+    return k * k * k * unnormalized(k) * w * w;
+  };
+
+  double acc = integrand(lnk_lo) + integrand(lnk_hi);
+  for (int i = 1; i < steps; ++i) {
+    acc += integrand(lnk_lo + i * dlnk) * (i % 2 == 0 ? 2.0 : 4.0);
+  }
+  return acc * dlnk / 3.0 / (2.0 * kPi * kPi);
+}
+
+double PowerSpectrum::sigma_r(double radius) const {
+  if (radius <= 0.0) {
+    throw std::invalid_argument("PowerSpectrum::sigma_r: radius <= 0");
+  }
+  return std::sqrt(amplitude_ * sigma_r_unnormalized_sq(radius));
+}
+
+}  // namespace cf::cosmo

@@ -1,0 +1,77 @@
+// Linear matter power spectrum P(k; OmegaM, sigma8, ns).
+//
+// The paper varies exactly three cosmological parameters when building
+// its training suite (§IV-C): OmegaM (matter fraction; flat universe,
+// OmegaL = 1 - OmegaM), sigma8 (fluctuation amplitude in 8 Mpc/h
+// spheres) and ns (scalar spectral index). We model the transfer
+// function with the BBKS fit (Bardeen et al. 1986) with shape parameter
+// Gamma = OmegaM * h — the same parameter dependence MUSIC feeds the
+// initial conditions from — and normalize the amplitude numerically so
+// the top-hat variance at R = 8 Mpc/h equals sigma8^2.
+//
+// Units: k in h/Mpc, P in (Mpc/h)^3.
+#pragma once
+
+#include <cstdint>
+
+namespace cf::cosmo {
+
+struct CosmoParams {
+  double omega_m = 0.3089;  // Planck 2015 central values (§IV-C)
+  double sigma8 = 0.8159;
+  double ns = 0.9667;
+  double h = 0.6774;        // fixed in the paper's suite
+  double omega_b = 0.0486;  // baryon fraction (Eisenstein-Hu model only)
+};
+
+/// Transfer-function fit. BBKS (Bardeen et al. 1986) is the default —
+/// a pure shape-parameter fit, adequate for the paper's parameter
+/// dependence; Eisenstein & Hu (1998, no-wiggle) adds the baryon
+/// suppression MUSIC-grade initial conditions use.
+enum class TransferModel { kBbks, kEisensteinHu };
+
+/// Paper sampling ranges (§IV-C).
+struct ParamRanges {
+  double omega_m_lo = 0.25, omega_m_hi = 0.35;
+  double sigma8_lo = 0.78, sigma8_hi = 0.95;
+  double ns_lo = 0.9, ns_hi = 1.0;
+};
+
+class PowerSpectrum {
+ public:
+  explicit PowerSpectrum(CosmoParams params,
+                         TransferModel model = TransferModel::kBbks);
+
+  const CosmoParams& params() const noexcept { return params_; }
+  TransferModel model() const noexcept { return model_; }
+
+  /// Transfer function of the selected model, T(k -> 0) = 1.
+  double transfer(double k) const;
+
+  /// Normalized linear power spectrum at z = 0.
+  double operator()(double k) const;
+
+  /// Top-hat-filtered rms fluctuation at radius R (Mpc/h); sigma(8)
+  /// equals params.sigma8 by construction.
+  double sigma_r(double radius) const;
+
+  double amplitude() const noexcept { return amplitude_; }
+
+ private:
+  double unnormalized(double k) const;
+  double sigma_r_unnormalized_sq(double radius) const;
+  double transfer_bbks(double k) const;
+  double transfer_eisenstein_hu(double k) const;
+
+  CosmoParams params_;
+  TransferModel model_;
+  double gamma_;       // BBKS shape parameter OmegaM * h
+  double eh_sound_;    // EH98 no-wiggle sound horizon s (Mpc)
+  double eh_alpha_;    // EH98 alpha_Gamma
+  double amplitude_;   // normalization constant A
+};
+
+/// Spherical top-hat window in Fourier space.
+double tophat_window(double x);
+
+}  // namespace cf::cosmo

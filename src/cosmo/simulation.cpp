@@ -1,0 +1,125 @@
+#include "cosmo/simulation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cosmo/growth.hpp"
+
+namespace cf::cosmo {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Simulation::Simulation(SimulationConfig config) : config_(config) {
+  if (config_.voxels <= 0 || config_.voxels % 2 != 0) {
+    throw std::invalid_argument(
+        "Simulation: voxel grid must be positive and even (octant split)");
+  }
+  if (config_.growth <= 0.0) {
+    throw std::invalid_argument("Simulation: growth must be positive");
+  }
+}
+
+Universe Simulation::run(const CosmoParams& params, std::uint64_t seed,
+                         runtime::ThreadPool& pool) const {
+  const PowerSpectrum ps(params, config_.transfer);
+  runtime::Rng rng(seed, /*stream=*/0x636f736d6fULL);  // "cosmo"
+  const auto delta_k = generate_delta_k(ps, config_.grid, rng, pool);
+  // delta_k is the z = 0 linear field; earlier snapshots displace by
+  // the growth-suppressed amplitude D(z)/D(0).
+  double growth = config_.growth;
+  if (config_.redshift > 0.0) {
+    growth *= GrowthFactor(params.omega_m).at_redshift(config_.redshift);
+  }
+  const ParticleSet particles =
+      config_.use_2lpt
+          ? lpt2_displace(delta_k, config_.grid, growth, pool)
+          : zeldovich_displace(delta_k, config_.grid, growth, pool);
+  Universe universe{params,
+                    deposit_particles(particles, config_.voxels,
+                                      config_.scheme)};
+  return universe;
+}
+
+std::vector<CosmoParams> sample_parameters(std::size_t count,
+                                           std::uint64_t seed,
+                                           const ParamRanges& ranges) {
+  std::vector<CosmoParams> params;
+  params.reserve(count);
+  runtime::Rng rng(seed, /*stream=*/0x706172616dULL);  // "param"
+  for (std::size_t i = 0; i < count; ++i) {
+    CosmoParams p;
+    p.omega_m = rng.uniform(static_cast<float>(ranges.omega_m_lo),
+                            static_cast<float>(ranges.omega_m_hi));
+    p.sigma8 = rng.uniform(static_cast<float>(ranges.sigma8_lo),
+                           static_cast<float>(ranges.sigma8_hi));
+    p.ns = rng.uniform(static_cast<float>(ranges.ns_lo),
+                       static_cast<float>(ranges.ns_hi));
+    params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Tensor> split_octants(const Tensor& voxels) {
+  if (voxels.shape().rank() != 3 || voxels.shape()[0] != voxels.shape()[1] ||
+      voxels.shape()[0] != voxels.shape()[2]) {
+    throw std::invalid_argument("split_octants: expected cubic {V, V, V}");
+  }
+  const std::int64_t v = voxels.shape()[0];
+  if (v % 2 != 0) {
+    throw std::invalid_argument("split_octants: V must be even");
+  }
+  const std::int64_t half = v / 2;
+  std::vector<Tensor> octants;
+  octants.reserve(8);
+  for (std::int64_t oz = 0; oz < 2; ++oz) {
+    for (std::int64_t oy = 0; oy < 2; ++oy) {
+      for (std::int64_t ox = 0; ox < 2; ++ox) {
+        Tensor sub(Shape{1, half, half, half});
+        for (std::int64_t z = 0; z < half; ++z) {
+          for (std::int64_t y = 0; y < half; ++y) {
+            const float* src =
+                voxels.data() +
+                ((oz * half + z) * v + oy * half + y) * v + ox * half;
+            float* dst = sub.data() + (z * half + y) * half;
+            for (std::int64_t x = 0; x < half; ++x) dst[x] = src[x];
+          }
+        }
+        octants.push_back(std::move(sub));
+      }
+    }
+  }
+  return octants;
+}
+
+void log1p_in_place(Tensor& voxels) {
+  for (float& v : voxels.values()) v = std::log1p(v);
+}
+
+void center_in_place(Tensor& voxels, float offset) {
+  for (float& v : voxels.values()) v -= offset;
+}
+
+std::array<float, 3> normalize_params(const CosmoParams& params,
+                                      const ParamRanges& ranges) {
+  const auto norm = [](double value, double lo, double hi) {
+    return static_cast<float>((value - lo) / (hi - lo));
+  };
+  return {norm(params.omega_m, ranges.omega_m_lo, ranges.omega_m_hi),
+          norm(params.sigma8, ranges.sigma8_lo, ranges.sigma8_hi),
+          norm(params.ns, ranges.ns_lo, ranges.ns_hi)};
+}
+
+CosmoParams denormalize_params(const std::array<float, 3>& normalized,
+                               const ParamRanges& ranges) {
+  const auto denorm = [](float value, double lo, double hi) {
+    return lo + static_cast<double>(value) * (hi - lo);
+  };
+  CosmoParams p;
+  p.omega_m = denorm(normalized[0], ranges.omega_m_lo, ranges.omega_m_hi);
+  p.sigma8 = denorm(normalized[1], ranges.sigma8_lo, ranges.sigma8_hi);
+  p.ns = denorm(normalized[2], ranges.ns_lo, ranges.ns_hi);
+  return p;
+}
+
+}  // namespace cf::cosmo

@@ -1,0 +1,84 @@
+// End-to-end simulation driver: the §IV-C data path.
+//
+//   sample (OmegaM, sigma8, ns)  ->  Gaussian initial conditions
+//   ->  LPT displacement (COLA substitute)  ->  deposit to voxels
+//   ->  split into 8 sub-volumes  ->  (volume, parameters) samples.
+//
+// The paper runs 512 Mpc/h boxes with 512^3 particles histogrammed to
+// 256^3 voxels and split to 8 x 128^3 sub-volumes; every size here is a
+// parameter so the same path scales down to laptop grids.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cosmo/deposit.hpp"
+#include "cosmo/gaussian_field.hpp"
+#include "cosmo/power_spectrum.hpp"
+#include "cosmo/zeldovich.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cf::cosmo {
+
+struct SimulationConfig {
+  GridSpec grid{64, 512.0};        // particle lattice / FFT grid
+  std::int64_t voxels = 64;        // deposit grid per dimension (even)
+  DepositScheme scheme = DepositScheme::kNgp;
+  bool use_2lpt = false;           // ZA by default; 2LPT for ablations
+  double growth = 1.0;             // extra displacement scale (ablation)
+  /// Snapshot redshift. The paper trains on z = 0 only and names
+  /// multi-redshift snapshots as future work (§VII-B); the linear
+  /// growth factor D(z) scales the displacement field accordingly.
+  double redshift = 0.0;
+  TransferModel transfer = TransferModel::kBbks;
+};
+
+/// One simulated box: its parameters and the deposited voxel counts.
+struct Universe {
+  CosmoParams params;
+  tensor::Tensor voxels;  // {V, V, V} particle counts
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+
+  const SimulationConfig& config() const noexcept { return config_; }
+
+  /// Runs one box; fully deterministic in `seed`.
+  Universe run(const CosmoParams& params, std::uint64_t seed,
+               runtime::ThreadPool& pool) const;
+
+ private:
+  SimulationConfig config_;
+};
+
+/// Evenly sample the paper's parameter ranges; deterministic in seed.
+std::vector<CosmoParams> sample_parameters(std::size_t count,
+                                           std::uint64_t seed,
+                                           const ParamRanges& ranges = {});
+
+/// Splits a {V, V, V} voxel grid into its 8 octants, each returned as a
+/// network-ready {1, V/2, V/2, V/2} tensor.
+std::vector<tensor::Tensor> split_octants(const tensor::Tensor& voxels);
+
+/// Input preprocessing: x -> log1p(x), applied in place. Counts are
+/// heavy-tailed (cluster cores reach thousands of particles); the log
+/// compresses the dynamic range the way the reference implementation
+/// preprocesses its TFRecords.
+void log1p_in_place(tensor::Tensor& voxels);
+
+/// x -> x - offset: zero-centers the log1p counts around the global
+/// mean-density level, log1p(mean count). Per-*sample* standardization
+/// would destroy the amplitude information sigma8 lives in; a global
+/// offset keeps it while conditioning the first conv layer.
+void center_in_place(tensor::Tensor& voxels, float offset);
+
+/// Target normalization to [0, 1] over the sampled ranges.
+std::array<float, 3> normalize_params(const CosmoParams& params,
+                                      const ParamRanges& ranges = {});
+CosmoParams denormalize_params(const std::array<float, 3>& normalized,
+                               const ParamRanges& ranges = {});
+
+}  // namespace cf::cosmo

@@ -1,0 +1,100 @@
+#include "cosmo/statistics.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "cosmo/fft3d.hpp"
+#include "cosmo/gaussian_field.hpp"
+
+namespace cf::cosmo {
+
+FieldMoments field_moments(const tensor::Tensor& volume) {
+  const std::size_t n = volume.size();
+  if (n == 0) throw std::invalid_argument("field_moments: empty volume");
+  double mean = 0.0;
+  for (const float v : volume.values()) mean += v;
+  mean /= static_cast<double>(n);
+
+  double m2 = 0.0, m3 = 0.0, m4 = 0.0;
+  for (const float v : volume.values()) {
+    const double d = v - mean;
+    const double d2 = d * d;
+    m2 += d2;
+    m3 += d2 * d;
+    m4 += d2 * d2;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  m4 /= static_cast<double>(n);
+
+  FieldMoments moments;
+  moments.mean = mean;
+  moments.variance = m2;
+  if (m2 > 0.0) {
+    moments.skewness = m3 / std::pow(m2, 1.5);
+    moments.kurtosis = m4 / (m2 * m2) - 3.0;
+  }
+  return moments;
+}
+
+namespace {
+
+std::int64_t cubic_side(const tensor::Tensor& volume) {
+  const auto& shape = volume.shape();
+  if (shape.rank() == 3 && shape[0] == shape[1] && shape[0] == shape[2]) {
+    return shape[0];
+  }
+  if (shape.rank() == 4 && shape[0] == 1 && shape[1] == shape[2] &&
+      shape[1] == shape[3]) {
+    return shape[1];
+  }
+  throw std::invalid_argument(
+      "real_field_power_spectrum: expected cubic {N,N,N} or {1,N,N,N}");
+}
+
+}  // namespace
+
+std::vector<double> real_field_power_spectrum(const tensor::Tensor& volume,
+                                              double box_size, int bins,
+                                              runtime::ThreadPool& pool) {
+  const std::int64_t n = cubic_side(volume);
+  if (bins <= 0 || box_size <= 0.0) {
+    throw std::invalid_argument("real_field_power_spectrum: bad arguments");
+  }
+  std::vector<std::complex<float>> modes(
+      static_cast<std::size_t>(n * n * n));
+  for (std::size_t i = 0; i < modes.size(); ++i) {
+    modes[i] = {volume[i], 0.0f};
+  }
+  Fft3d fft(n);
+  fft.forward(modes.data(), pool);
+
+  const GridSpec grid{n, box_size};
+  const auto spectrum_bins = measure_power_spectrum(modes, grid, bins);
+  std::vector<double> power(static_cast<std::size_t>(bins), 0.0);
+  for (int b = 0; b < bins; ++b) {
+    power[static_cast<std::size_t>(b)] =
+        spectrum_bins[static_cast<std::size_t>(b)].power;
+  }
+  return power;
+}
+
+std::vector<double> summary_features(const tensor::Tensor& volume,
+                                     double box_size, int spectrum_bins,
+                                     runtime::ThreadPool& pool) {
+  const FieldMoments moments = field_moments(volume);
+  std::vector<double> features;
+  features.reserve(3 + static_cast<std::size_t>(spectrum_bins));
+  features.push_back(moments.variance);
+  features.push_back(moments.skewness);
+  features.push_back(moments.kurtosis);
+  const auto power =
+      real_field_power_spectrum(volume, box_size, spectrum_bins, pool);
+  for (const double p : power) {
+    features.push_back(std::log(p + 1e-12));
+  }
+  return features;
+}
+
+}  // namespace cf::cosmo

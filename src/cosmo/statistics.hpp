@@ -1,0 +1,44 @@
+// Traditional summary statistics of a density volume.
+//
+// Cosmologists classically compress the matter distribution into
+// reduced statistics — the power spectrum and low-order moments of the
+// density PDF (§I-B). The paper's scientific claim (via Ravanbakhsh et
+// al. 2017) is that a CNN consuming the raw field beats parameter
+// estimates built on such statistics; core/baseline.hpp implements
+// that classical estimator so the claim can be tested here.
+#pragma once
+
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cf::cosmo {
+
+/// Low-order moments of the voxel-value PDF.
+struct FieldMoments {
+  double mean = 0.0;
+  double variance = 0.0;
+  double skewness = 0.0;  // standardized third moment
+  double kurtosis = 0.0;  // standardized fourth moment (excess)
+};
+
+/// Moments of any {*, N, N, N} or flat tensor's values.
+FieldMoments field_moments(const tensor::Tensor& volume);
+
+/// Isotropic power spectrum of a real cubic field {1, N, N, N} or
+/// {N, N, N} with physical box size `box_size` (Mpc/h): shell-averaged
+/// |delta_k|^2 V / N^6 in `bins` linear shells up to Nyquist. N must be
+/// a power of two.
+std::vector<double> real_field_power_spectrum(const tensor::Tensor& volume,
+                                              double box_size, int bins,
+                                              runtime::ThreadPool& pool);
+
+/// The feature vector used by the classical baseline estimator:
+/// {variance, skewness, kurtosis, log power in each of `spectrum_bins`
+/// shells}.
+std::vector<double> summary_features(const tensor::Tensor& volume,
+                                     double box_size, int spectrum_bins,
+                                     runtime::ThreadPool& pool);
+
+}  // namespace cf::cosmo

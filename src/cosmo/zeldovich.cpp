@@ -1,0 +1,221 @@
+#include "cosmo/zeldovich.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "cosmo/fft3d.hpp"
+
+namespace cf::cosmo {
+
+namespace {
+
+/// Signed wavenumber for axis index i, with the Nyquist plane flagged:
+/// derivatives (multiplication by i*k) must zero the Nyquist mode to
+/// keep the inverse transform real.
+struct Wavenumber {
+  double k = 0.0;
+  bool nyquist = false;
+};
+
+Wavenumber wavenumber(std::int64_t i, std::int64_t n, double kf) {
+  Wavenumber w;
+  w.nyquist = (i == n / 2);
+  w.k = kf * static_cast<double>(fft_freq_index(i, n));
+  return w;
+}
+
+/// Inverse-FFTs the gradient component  i * (k_axis / k^2) * modes
+/// into a real field. axis: 0 = x, 1 = y, 2 = z.
+std::vector<float> gradient_inverse_laplacian(
+    const std::vector<std::complex<float>>& modes, const GridSpec& grid,
+    int axis, runtime::ThreadPool& pool) {
+  const std::int64_t n = grid.n;
+  const double kf = grid.k_fundamental();
+  std::vector<std::complex<float>> work(modes.size());
+
+  pool.parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t zi = begin; zi < end; ++zi) {
+          const std::int64_t z = static_cast<std::int64_t>(zi);
+          const Wavenumber wz = wavenumber(z, n, kf);
+          for (std::int64_t y = 0; y < n; ++y) {
+            const Wavenumber wy = wavenumber(y, n, kf);
+            for (std::int64_t x = 0; x < n; ++x) {
+              const Wavenumber wx = wavenumber(x, n, kf);
+              const std::size_t idx =
+                  static_cast<std::size_t>((z * n + y) * n + x);
+              const double k2 = wx.k * wx.k + wy.k * wy.k + wz.k * wz.k;
+              const Wavenumber& wa = axis == 0 ? wx : (axis == 1 ? wy : wz);
+              if (k2 == 0.0 || wa.nyquist) {
+                work[idx] = {0.0f, 0.0f};
+                continue;
+              }
+              // i * k_a / k^2 * delta
+              const std::complex<double> d(modes[idx]);
+              const std::complex<double> value =
+                  std::complex<double>(0.0, wa.k / k2) * d;
+              work[idx] = std::complex<float>(value);
+            }
+          }
+        }
+      });
+
+  Fft3d fft(n);
+  fft.inverse(work.data(), pool);
+  std::vector<float> field(modes.size());
+  for (std::size_t i = 0; i < work.size(); ++i) field[i] = work[i].real();
+  return field;
+}
+
+/// Inverse-FFTs  (k_a * k_b / k^2) * modes  — the second-derivative
+/// fields phi_{,ab} of the first-order potential (note phi1_k =
+/// -delta_k / k^2, so -k_a k_b phi1_k = +k_a k_b delta_k / k^2).
+std::vector<float> second_derivative(
+    const std::vector<std::complex<float>>& modes, const GridSpec& grid,
+    int axis_a, int axis_b, runtime::ThreadPool& pool) {
+  const std::int64_t n = grid.n;
+  const double kf = grid.k_fundamental();
+  std::vector<std::complex<float>> work(modes.size());
+
+  pool.parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t zi = begin; zi < end; ++zi) {
+          const std::int64_t z = static_cast<std::int64_t>(zi);
+          const Wavenumber wz = wavenumber(z, n, kf);
+          for (std::int64_t y = 0; y < n; ++y) {
+            const Wavenumber wy = wavenumber(y, n, kf);
+            for (std::int64_t x = 0; x < n; ++x) {
+              const Wavenumber wx = wavenumber(x, n, kf);
+              const std::size_t idx =
+                  static_cast<std::size_t>((z * n + y) * n + x);
+              const double k2 = wx.k * wx.k + wy.k * wy.k + wz.k * wz.k;
+              const Wavenumber& wa =
+                  axis_a == 0 ? wx : (axis_a == 1 ? wy : wz);
+              const Wavenumber& wb =
+                  axis_b == 0 ? wx : (axis_b == 1 ? wy : wz);
+              if (k2 == 0.0) {
+                work[idx] = {0.0f, 0.0f};
+                continue;
+              }
+              const double factor = wa.k * wb.k / k2;
+              work[idx] = std::complex<float>(
+                  std::complex<double>(modes[idx]) * factor);
+            }
+          }
+        }
+      });
+
+  Fft3d fft(n);
+  fft.inverse(work.data(), pool);
+  std::vector<float> field(modes.size());
+  for (std::size_t i = 0; i < work.size(); ++i) field[i] = work[i].real();
+  return field;
+}
+
+float wrap(double value, double box) {
+  double w = std::fmod(value, box);
+  if (w < 0.0) w += box;
+  // Guard against fmod returning exactly box after rounding.
+  if (w >= box) w = 0.0;
+  return static_cast<float>(w);
+}
+
+ParticleSet displace_lattice(const std::vector<float>& psi_x,
+                             const std::vector<float>& psi_y,
+                             const std::vector<float>& psi_z, double growth,
+                             const GridSpec& grid,
+                             runtime::ThreadPool& pool) {
+  const std::int64_t n = grid.n;
+  const double cell = grid.cell_size();
+  ParticleSet particles;
+  particles.box_size = grid.box_size;
+  particles.x.resize(static_cast<std::size_t>(grid.cells()));
+  particles.y.resize(static_cast<std::size_t>(grid.cells()));
+  particles.z.resize(static_cast<std::size_t>(grid.cells()));
+
+  pool.parallel_for(
+      static_cast<std::size_t>(n),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t zi = begin; zi < end; ++zi) {
+          const std::int64_t z = static_cast<std::int64_t>(zi);
+          for (std::int64_t y = 0; y < n; ++y) {
+            for (std::int64_t x = 0; x < n; ++x) {
+              const std::size_t idx =
+                  static_cast<std::size_t>((z * n + y) * n + x);
+              particles.x[idx] = wrap(
+                  x * cell + growth * psi_x[idx], grid.box_size);
+              particles.y[idx] = wrap(
+                  y * cell + growth * psi_y[idx], grid.box_size);
+              particles.z[idx] = wrap(
+                  z * cell + growth * psi_z[idx], grid.box_size);
+            }
+          }
+        }
+      });
+  return particles;
+}
+
+}  // namespace
+
+ParticleSet zeldovich_displace(const std::vector<std::complex<float>>& delta_k,
+                               const GridSpec& grid, double growth,
+                               runtime::ThreadPool& pool) {
+  if (delta_k.size() != static_cast<std::size_t>(grid.cells())) {
+    throw std::invalid_argument("zeldovich_displace: mode count mismatch");
+  }
+  const auto psi_x = gradient_inverse_laplacian(delta_k, grid, 0, pool);
+  const auto psi_y = gradient_inverse_laplacian(delta_k, grid, 1, pool);
+  const auto psi_z = gradient_inverse_laplacian(delta_k, grid, 2, pool);
+  return displace_lattice(psi_x, psi_y, psi_z, growth, grid, pool);
+}
+
+ParticleSet lpt2_displace(const std::vector<std::complex<float>>& delta_k,
+                          const GridSpec& grid, double growth,
+                          runtime::ThreadPool& pool) {
+  if (delta_k.size() != static_cast<std::size_t>(grid.cells())) {
+    throw std::invalid_argument("lpt2_displace: mode count mismatch");
+  }
+  // First-order displacement.
+  const auto psi1_x = gradient_inverse_laplacian(delta_k, grid, 0, pool);
+  const auto psi1_y = gradient_inverse_laplacian(delta_k, grid, 1, pool);
+  const auto psi1_z = gradient_inverse_laplacian(delta_k, grid, 2, pool);
+
+  // Second-order source delta2 = sum_{a<b} (phi_aa phi_bb - phi_ab^2).
+  const auto pxx = second_derivative(delta_k, grid, 0, 0, pool);
+  const auto pyy = second_derivative(delta_k, grid, 1, 1, pool);
+  const auto pzz = second_derivative(delta_k, grid, 2, 2, pool);
+  const auto pxy = second_derivative(delta_k, grid, 0, 1, pool);
+  const auto pxz = second_derivative(delta_k, grid, 0, 2, pool);
+  const auto pyz = second_derivative(delta_k, grid, 1, 2, pool);
+
+  std::vector<std::complex<float>> delta2(delta_k.size());
+  for (std::size_t i = 0; i < delta2.size(); ++i) {
+    const float value = pxx[i] * pyy[i] + pxx[i] * pzz[i] +
+                        pyy[i] * pzz[i] - pxy[i] * pxy[i] -
+                        pxz[i] * pxz[i] - pyz[i] * pyz[i];
+    delta2[i] = {value, 0.0f};
+  }
+  Fft3d fft(grid.n);
+  fft.forward(delta2.data(), pool);
+
+  const auto psi2_x = gradient_inverse_laplacian(delta2, grid, 0, pool);
+  const auto psi2_y = gradient_inverse_laplacian(delta2, grid, 1, pool);
+  const auto psi2_z = gradient_inverse_laplacian(delta2, grid, 2, pool);
+
+  // x = q + D psi1 - (3/7) D^2 psi2 (Einstein-de-Sitter prefactor; the
+  // OmegaM dependence of the 2LPT growth ratio is percent-level).
+  const double d2 = -3.0 / 7.0 * growth * growth;
+  std::vector<float> px(psi1_x.size());
+  std::vector<float> py(psi1_y.size());
+  std::vector<float> pz(psi1_z.size());
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    px[i] = static_cast<float>(growth * psi1_x[i] + d2 * psi2_x[i]);
+    py[i] = static_cast<float>(growth * psi1_y[i] + d2 * psi2_y[i]);
+    pz[i] = static_cast<float>(growth * psi1_z[i] + d2 * psi2_z[i]);
+  }
+  return displace_lattice(px, py, pz, 1.0, grid, pool);
+}
+
+}  // namespace cf::cosmo

@@ -1,0 +1,48 @@
+// Zel'dovich (first-order Lagrangian perturbation theory) particle
+// displacement — the COLA/pycola substitute (DESIGN.md §1).
+//
+// COLA evolves particles as "LPT trajectory + small N-body residual";
+// its large-scale accuracy comes from the LPT backbone implemented
+// here: particles start on a uniform lattice q and move to
+//
+//   x = q + D * psi(q),   psi_k = i k / k^2 * delta_k
+//
+// with growth factor D (= 1 when delta_k is the z = 0 linear field).
+// This preserves exactly the property the network learns from — how
+// the clumpiness of the deposited density field responds to
+// (OmegaM, sigma8, ns).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "cosmo/gaussian_field.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cf::cosmo {
+
+/// Structure-of-arrays particle positions, periodic in [0, box).
+struct ParticleSet {
+  std::vector<float> x, y, z;
+  double box_size = 0.0;
+
+  std::size_t size() const noexcept { return x.size(); }
+};
+
+/// Displaces an n^3 lattice of particles (one per grid cell) by the
+/// Zel'dovich field derived from `delta_k`. `growth` scales the
+/// displacement (D = 1 reproduces the z = 0 linear field amplitude;
+/// larger values push further into shell crossing — an intentionally
+/// exposed knob for ablations).
+ParticleSet zeldovich_displace(const std::vector<std::complex<float>>& delta_k,
+                               const GridSpec& grid, double growth,
+                               runtime::ThreadPool& pool);
+
+/// Second-order LPT correction (2LPT): adds the second-order
+/// displacement psi2 with the standard -3/7 prefactor, bringing the
+/// trajectory to the order COLA uses as its exact integrator backbone.
+ParticleSet lpt2_displace(const std::vector<std::complex<float>>& delta_k,
+                          const GridSpec& grid, double growth,
+                          runtime::ThreadPool& pool);
+
+}  // namespace cf::cosmo

@@ -1,0 +1,59 @@
+#include "data/augment.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace cf::data {
+
+namespace {
+
+constexpr std::array<std::array<int, 3>, 6> kPermutations{{
+    {0, 1, 2},
+    {0, 2, 1},
+    {1, 0, 2},
+    {1, 2, 0},
+    {2, 0, 1},
+    {2, 1, 0},
+}};
+
+}  // namespace
+
+void orient_volume(tensor::Tensor& volume, std::uint32_t code) {
+  if (code >= kOrientationCount) {
+    throw std::invalid_argument("orient_volume: code out of range");
+  }
+  if (volume.shape().rank() != 4 || volume.shape()[0] != 1 ||
+      volume.shape()[1] != volume.shape()[2] ||
+      volume.shape()[1] != volume.shape()[3]) {
+    throw std::invalid_argument("orient_volume: expected cubic {1,N,N,N}");
+  }
+  if (code == 0) return;
+
+  const std::int64_t n = volume.shape()[1];
+  const std::uint32_t mirror = code % 8;
+  const auto& perm = kPermutations[code / 8];
+
+  tensor::Tensor source = volume.clone();
+  const float* src = source.data();
+  float* dst = volume.data();
+  for (std::int64_t z = 0; z < n; ++z) {
+    for (std::int64_t y = 0; y < n; ++y) {
+      for (std::int64_t x = 0; x < n; ++x) {
+        std::int64_t coords[3] = {z, y, x};
+        // Mirror selected axes, then permute.
+        std::int64_t mirrored[3];
+        for (int axis = 0; axis < 3; ++axis) {
+          mirrored[axis] = (mirror >> axis) & 1u
+                               ? n - 1 - coords[axis]
+                               : coords[axis];
+        }
+        const std::int64_t sz = mirrored[perm[0]];
+        const std::int64_t sy = mirrored[perm[1]];
+        const std::int64_t sx = mirrored[perm[2]];
+        dst[(z * n + y) * n + x] = src[(sz * n + sy) * n + sx];
+      }
+    }
+  }
+}
+
+}  // namespace cf::data

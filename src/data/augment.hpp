@@ -1,0 +1,26 @@
+// Orientation augmentation for cubic sub-volumes.
+//
+// The matter distribution is statistically isotropic, so any of the 48
+// orientation-preserving-or-not symmetries of the cube (6 axis
+// permutations x 8 mirror combinations) maps a valid universe to a
+// valid universe with the same cosmological parameters. Applying a
+// random element per draw multiplies the effective training set 48x at
+// zero storage cost — the antidote to sub-volume memorization on small
+// suites (the paper's analogue is its dataset duplication plus its
+// sheer 100k-sample scale).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace cf::data {
+
+inline constexpr std::uint32_t kOrientationCount = 48;
+
+/// Re-orients a cubic {1, N, N, N} volume in place according to
+/// `code` in [0, 48): code % 8 selects the mirror mask (bit per axis),
+/// code / 8 the axis permutation. Code 0 is the identity.
+void orient_volume(tensor::Tensor& volume, std::uint32_t code);
+
+}  // namespace cf::data

@@ -1,0 +1,144 @@
+#include "data/cfrecord.hpp"
+
+#include <cstring>
+
+#include "data/crc32.hpp"
+
+namespace cf::data {
+
+namespace {
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+template <typename T>
+T load_le(const std::uint8_t* bytes) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+RecordWriter::RecordWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) {
+    throw std::runtime_error("RecordWriter: cannot open " + path);
+  }
+}
+
+RecordWriter::~RecordWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; explicit close() reports errors.
+  }
+}
+
+void RecordWriter::write(std::span<const std::uint8_t> payload) {
+  if (closed_) throw std::logic_error("RecordWriter: writer closed");
+  std::vector<std::uint8_t> header;
+  header.reserve(12);
+  append_le<std::uint64_t>(header, payload.size());
+  const std::uint32_t length_crc =
+      mask_crc(crc32c({header.data(), 8}));
+  append_le<std::uint32_t>(header, length_crc);
+
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(reinterpret_cast<const char*>(payload.data()),
+             static_cast<std::streamsize>(payload.size()));
+  std::vector<std::uint8_t> footer;
+  append_le<std::uint32_t>(footer, mask_crc(crc32c(payload)));
+  out_.write(reinterpret_cast<const char*>(footer.data()),
+             static_cast<std::streamsize>(footer.size()));
+  if (!out_) {
+    throw std::runtime_error("RecordWriter: write failed for " + path_);
+  }
+  ++count_;
+}
+
+void RecordWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("RecordWriter: flush failed for " + path_);
+  }
+  out_.close();
+}
+
+RecordReader::RecordReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) {
+    throw std::runtime_error("RecordReader: cannot open " + path);
+  }
+}
+
+bool RecordReader::read_one(std::vector<std::uint8_t>& payload) {
+  std::uint8_t header[12];
+  in_.read(reinterpret_cast<char*>(header), 12);
+  if (in_.gcount() == 0 && in_.eof()) return false;  // clean EOF
+  if (in_.gcount() != 12) {
+    throw CorruptRecordError(path_ + ": truncated record header");
+  }
+  const std::uint64_t length = load_le<std::uint64_t>(header);
+  const std::uint32_t length_crc = load_le<std::uint32_t>(header + 8);
+  if (mask_crc(crc32c({header, 8})) != length_crc) {
+    throw CorruptRecordError(path_ + ": length checksum mismatch");
+  }
+  payload.resize(length);
+  if (length > 0) {
+    in_.read(reinterpret_cast<char*>(payload.data()),
+             static_cast<std::streamsize>(length));
+    if (static_cast<std::uint64_t>(in_.gcount()) != length) {
+      throw CorruptRecordError(path_ + ": truncated record payload");
+    }
+  }
+  std::uint8_t footer[4];
+  in_.read(reinterpret_cast<char*>(footer), 4);
+  if (in_.gcount() != 4) {
+    throw CorruptRecordError(path_ + ": truncated record footer");
+  }
+  if (mask_crc(crc32c(payload)) != load_le<std::uint32_t>(footer)) {
+    throw CorruptRecordError(path_ + ": payload checksum mismatch");
+  }
+  return true;
+}
+
+bool RecordReader::read(std::vector<std::uint8_t>& payload) {
+  return read_one(payload);
+}
+
+std::vector<std::uint64_t> RecordReader::build_index() {
+  in_.clear();
+  in_.seekg(0);
+  std::vector<std::uint64_t> offsets;
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    const std::uint64_t offset = static_cast<std::uint64_t>(in_.tellg());
+    if (!read_one(payload)) break;
+    offsets.push_back(offset);
+  }
+  in_.clear();
+  in_.seekg(0);
+  return offsets;
+}
+
+void RecordReader::read_at(std::uint64_t offset,
+                           std::vector<std::uint8_t>& payload) {
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset));
+  if (!in_ || !read_one(payload)) {
+    throw CorruptRecordError(path_ + ": no record at offset " +
+                             std::to_string(offset));
+  }
+}
+
+}  // namespace cf::data

@@ -1,0 +1,49 @@
+#include "data/crc32.hpp"
+
+#include <array>
+
+namespace cf::data {
+
+namespace {
+
+std::array<std::uint32_t, 256> build_table() {
+  // Reflected CRC32-C polynomial.
+  constexpr std::uint32_t kPoly = 0x82F63B78u;
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256>& table() {
+  static const auto t = build_table();
+  return t;
+}
+
+constexpr std::uint32_t kMaskDelta = 0xA282EAD8u;
+
+}  // namespace
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
+  std::uint32_t crc = ~0u;
+  for (const std::uint8_t b : bytes) {
+    crc = (crc >> 8) ^ table()[(crc ^ b) & 0xFFu];
+  }
+  return ~crc;
+}
+
+std::uint32_t mask_crc(std::uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kMaskDelta;
+}
+
+std::uint32_t unmask_crc(std::uint32_t masked) {
+  const std::uint32_t rot = masked - kMaskDelta;
+  return (rot << 15) | (rot >> 17);
+}
+
+}  // namespace cf::data

@@ -1,0 +1,21 @@
+// CRC32-C (Castagnoli) and the TFRecord masking scheme.
+//
+// The cfrecord container (data/cfrecord.hpp) reuses TFRecord's exact
+// integrity framing: every length word and payload carries a masked
+// CRC32-C so truncation and corruption are detected at read time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace cf::data {
+
+/// CRC32-C over `bytes` (polynomial 0x1EDC6F41, reflected).
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes);
+
+/// TFRecord CRC masking: rotate right by 15 and add a constant, so
+/// CRCs stored alongside CRC-covered data do not confuse the checker.
+std::uint32_t mask_crc(std::uint32_t crc);
+std::uint32_t unmask_crc(std::uint32_t masked);
+
+}  // namespace cf::data

@@ -1,0 +1,87 @@
+// Prefetching input pipeline — the QueueRunner/coordinator substitute.
+//
+// The paper hides I/O behind gradient computation with dedicated I/O
+// threads that buffer randomly-selected samples into memory (§V-A,
+// §VI-A). Pipeline does the same: producer threads read samples from a
+// SampleSource through private readers into a bounded reorder buffer;
+// the training loop pops. Delivery is *order-preserving* — samples
+// arrive exactly in epoch-index order regardless of how many I/O
+// threads race on the reads — so the training trajectory is bitwise
+// independent of the prefetch parallelism (a determinism invariant the
+// tests pin). The time a consumer spends blocked in next() is the
+// *unhidden* I/O cost — exactly the quantity Eq. 1 bounds — and is
+// tracked for the Fig 3 breakdown.
+#pragma once
+
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "runtime/timer.hpp"
+
+namespace cf::data {
+
+struct PipelineConfig {
+  std::size_t queue_capacity = 8;
+  std::size_t io_threads = 1;
+  /// Injected per-read delay in seconds (filesystem model hook for the
+  /// I/O experiments); 0 disables.
+  double injected_read_delay = 0.0;
+};
+
+class Pipeline {
+ public:
+  Pipeline(const SampleSource& source, PipelineConfig config);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Starts a pass over the given sample indices (the caller shards
+  /// and shuffles). Any previous epoch must be fully drained.
+  void start_epoch(std::vector<std::size_t> indices);
+
+  /// Pops the next sample; returns false when the epoch is exhausted.
+  bool next(Sample& out);
+
+  /// Time spent blocked inside next() (unhidden I/O).
+  const runtime::TimeStats& wait_time() const noexcept { return wait_; }
+  void reset_wait_time() { wait_ = runtime::TimeStats{}; }
+
+ private:
+  void producer_loop(std::size_t thread_index);
+
+  const SampleSource& source_;
+  PipelineConfig config_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable epoch_started_;
+  /// Reorder buffer keyed by epoch position; next() pops positions in
+  /// strict sequence.
+  std::map<std::size_t, Sample> ready_;
+  std::vector<std::size_t> indices_;
+  std::size_t cursor_ = 0;
+  std::size_t consumed_ = 0;
+  std::size_t epoch_ = 0;
+  bool stopping_ = false;
+
+  runtime::TimeStats wait_;
+  std::vector<std::thread> producers_;
+};
+
+/// The indices rank `rank` of `nranks` processes in one epoch: a
+/// deterministic shuffle of [0, total) sliced round-robin. Every rank
+/// sees floor(total / nranks) samples (the remainder is dropped, as a
+/// fixed step count per rank is required by synchronous training).
+std::vector<std::size_t> epoch_indices_for_rank(std::size_t total,
+                                                int nranks, int rank,
+                                                std::uint64_t epoch_seed,
+                                                bool shuffle);
+
+}  // namespace cf::data

@@ -1,0 +1,91 @@
+#include "data/sample.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cf::data {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x43464C57u;  // "CFLW"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void append_le(std::vector<std::uint8_t>& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+template <typename T>
+T load_le(const std::uint8_t* bytes) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value |= static_cast<T>(bytes[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_sample(const Sample& sample) {
+  if (sample.volume.shape().rank() != 4 || sample.volume.shape()[0] != 1) {
+    throw std::invalid_argument(
+        "serialize_sample: volume must be {1, D, H, W}");
+  }
+  std::vector<std::uint8_t> out;
+  const std::size_t voxel_bytes = sample.volume.size() * sizeof(float);
+  out.reserve(4 + 4 + 3 * 8 + 3 * 4 + voxel_bytes);
+  append_le<std::uint32_t>(out, kMagic);
+  append_le<std::uint32_t>(out, kVersion);
+  for (std::size_t axis = 1; axis < 4; ++axis) {
+    append_le<std::uint64_t>(
+        out, static_cast<std::uint64_t>(sample.volume.shape()[axis]));
+  }
+  for (const float t : sample.target) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &t, 4);
+    append_le<std::uint32_t>(out, bits);
+  }
+  const std::size_t payload_start = out.size();
+  out.resize(payload_start + voxel_bytes);
+  std::memcpy(out.data() + payload_start, sample.volume.data(),
+              voxel_bytes);
+  return out;
+}
+
+Sample deserialize_sample(std::span<const std::uint8_t> payload) {
+  constexpr std::size_t kHeader = 4 + 4 + 3 * 8 + 3 * 4;
+  if (payload.size() < kHeader) {
+    throw std::invalid_argument("deserialize_sample: payload too short");
+  }
+  const std::uint8_t* p = payload.data();
+  if (load_le<std::uint32_t>(p) != kMagic) {
+    throw std::invalid_argument("deserialize_sample: bad magic");
+  }
+  if (load_le<std::uint32_t>(p + 4) != kVersion) {
+    throw std::invalid_argument("deserialize_sample: unsupported version");
+  }
+  std::int64_t dims[3];
+  for (int i = 0; i < 3; ++i) {
+    dims[i] = static_cast<std::int64_t>(load_le<std::uint64_t>(p + 8 + 8 * i));
+    if (dims[i] <= 0 || dims[i] > (1 << 20)) {
+      throw std::invalid_argument("deserialize_sample: bad dimension");
+    }
+  }
+  Sample sample;
+  for (int i = 0; i < 3; ++i) {
+    const std::uint32_t bits = load_le<std::uint32_t>(p + 32 + 4 * i);
+    std::memcpy(&sample.target[static_cast<std::size_t>(i)], &bits, 4);
+  }
+  const std::size_t voxels =
+      static_cast<std::size_t>(dims[0] * dims[1] * dims[2]);
+  if (payload.size() != kHeader + voxels * sizeof(float)) {
+    throw std::invalid_argument("deserialize_sample: size mismatch");
+  }
+  sample.volume = tensor::Tensor(tensor::Shape{1, dims[0], dims[1], dims[2]});
+  std::memcpy(sample.volume.data(), p + kHeader, voxels * sizeof(float));
+  return sample;
+}
+
+}  // namespace cf::data

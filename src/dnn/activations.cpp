@@ -1,0 +1,67 @@
+#include "dnn/activations.hpp"
+
+#include <stdexcept>
+
+namespace cf::dnn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+LeakyRelu::LeakyRelu(std::string name, float negative_slope)
+    : Layer(std::move(name)), slope_(negative_slope) {
+  if (negative_slope < 0.0f || negative_slope >= 1.0f) {
+    throw std::invalid_argument("LeakyRelu: slope must be in [0, 1)");
+  }
+}
+
+Shape LeakyRelu::plan(const Shape& input) {
+  set_shapes(input, input);
+  return input;
+}
+
+FlopCounts LeakyRelu::flops() const {
+  FlopCounts counts;
+  counts.fwd = input_shape().numel();
+  counts.bwd_data = input_shape().numel();
+  return counts;
+}
+
+void LeakyRelu::forward(const Tensor& src, Tensor& dst,
+                        runtime::ThreadPool& pool) {
+  const runtime::ScopedTimer timer(timers_.fwd);
+  if (src.shape() != input_shape() || dst.shape() != output_shape()) {
+    throw std::invalid_argument("LeakyRelu::forward: shape mismatch");
+  }
+  const float slope = slope_;
+  const float* s = src.data();
+  float* d = dst.data();
+  pool.parallel_for(src.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        const float v = s[i];
+                        d[i] = v > 0.0f ? v : slope * v;
+                      }
+                    });
+}
+
+void LeakyRelu::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+                         bool need_dsrc, runtime::ThreadPool& pool) {
+  if (!need_dsrc) return;
+  const runtime::ScopedTimer timer(timers_.bwd_data);
+  if (src.shape() != input_shape() || ddst.shape() != output_shape() ||
+      dsrc.shape() != input_shape()) {
+    throw std::invalid_argument("LeakyRelu::backward: shape mismatch");
+  }
+  const float slope = slope_;
+  const float* s = src.data();
+  const float* dd = ddst.data();
+  float* ds = dsrc.data();
+  pool.parallel_for(src.size(),
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        ds[i] = s[i] > 0.0f ? dd[i] : slope * dd[i];
+                      }
+                    });
+}
+
+}  // namespace cf::dnn

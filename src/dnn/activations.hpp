@@ -1,0 +1,37 @@
+// Element-wise activations. CosmoFlow uses leaky ReLU on every conv
+// and FC layer (§III-A). These ops are layout-agnostic (applying an
+// element-wise map to a blocked tensor touches the same values) and
+// are threaded with simple loop-level parallelism, exactly the OpenMP
+// treatment the paper applies to TensorFlow's element-wise ops.
+#pragma once
+
+#include "dnn/layer.hpp"
+
+namespace cf::dnn {
+
+class LeakyRelu final : public Layer {
+ public:
+  /// The SC18 paper does not publish its slope; Ravanbakhsh et al. and
+  /// the MLPerf-HPC descendant use small slopes — 0.01 is the default
+  /// here and configurable per topology.
+  explicit LeakyRelu(std::string name, float negative_slope = 0.01f);
+
+  std::string kind() const override { return "activation"; }
+
+  tensor::Shape plan(const tensor::Shape& input) override;
+
+  void forward(const tensor::Tensor& src, tensor::Tensor& dst,
+               runtime::ThreadPool& pool) override;
+  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+                tensor::Tensor& dsrc, bool need_dsrc,
+                runtime::ThreadPool& pool) override;
+
+  FlopCounts flops() const override;
+
+  float negative_slope() const noexcept { return slope_; }
+
+ private:
+  float slope_;
+};
+
+}  // namespace cf::dnn

@@ -1,0 +1,966 @@
+// Blocked 3D convolution engine (Algorithm 1 of the paper).
+//
+// Layout conventions (see tensor/layout.hpp):
+//   src      {ICb, D, H, W, 16}   (or plain {IC, D, H, W} when IC < 16)
+//   dst      {OCb, OD, OH, OW, 16}
+//   weights  {OCb, ICb, K, K, K, 16ic, 16oc}
+//            ({OCb, K, K, K, IC, 16oc} for the plain-source case)
+//
+// The source is copied once per step into a zero-padded scratch volume
+// so every inner loop is branch-free; the innermost (ow, ic, oc) loops
+// operate on 16-float channel blocks that the compiler lowers to
+// AVX-512 FMAs. Threading decomposes the output voxel space in the
+// forward/backward-data passes and (ocb, icb, kd) channel-block tiles
+// in the backward-weights pass, as described in §III-C.
+#include "dnn/conv3d.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::dnn {
+
+using tensor::kChannelBlock;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+constexpr std::int64_t kB = kChannelBlock;  // 16
+
+/// dst[ow][oc] += sum_ic w[ic][oc] * src[ow*stride][ic] for a row of
+/// `count` output positions; `w` is one 16x16 tile.
+///
+/// Algorithm 1 keeps many independent accumulator registers in flight
+/// so the FMA chains are throughput- rather than latency-bound (the
+/// paper blocks 28 output positions; 8 x 16-lane accumulators fill the
+/// AVX-512 register file here, with the weight row shared by all of
+/// them). The local accumulator arrays stay in registers once the
+/// inner loops are unrolled.
+constexpr std::int64_t kOwBlock = 8;
+
+#if defined(__AVX512F__)
+
+inline void micro_fwd_row(float* __restrict acc,
+                          const float* __restrict src_row,
+                          const float* __restrict w, std::int64_t count,
+                          std::int64_t stride) {
+  std::int64_t ow = 0;
+  // 8 independent 16-lane accumulators keep the FMA pipes saturated;
+  // one weight row is shared by all 8 output positions.
+  for (; ow + kOwBlock <= count; ow += kOwBlock) {
+    float* d = acc + ow * kB;
+    const float* s = src_row + ow * stride * kB;
+    __m512 a0 = _mm512_loadu_ps(d + 0 * kB);
+    __m512 a1 = _mm512_loadu_ps(d + 1 * kB);
+    __m512 a2 = _mm512_loadu_ps(d + 2 * kB);
+    __m512 a3 = _mm512_loadu_ps(d + 3 * kB);
+    __m512 a4 = _mm512_loadu_ps(d + 4 * kB);
+    __m512 a5 = _mm512_loadu_ps(d + 5 * kB);
+    __m512 a6 = _mm512_loadu_ps(d + 6 * kB);
+    __m512 a7 = _mm512_loadu_ps(d + 7 * kB);
+    const std::int64_t sstep = stride * kB;
+    for (int ic = 0; ic < kB; ++ic) {
+      const __m512 wv = _mm512_loadu_ps(w + ic * kB);
+      a0 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[0 * sstep + ic]), a0);
+      a1 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[1 * sstep + ic]), a1);
+      a2 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[2 * sstep + ic]), a2);
+      a3 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[3 * sstep + ic]), a3);
+      a4 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[4 * sstep + ic]), a4);
+      a5 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[5 * sstep + ic]), a5);
+      a6 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[6 * sstep + ic]), a6);
+      a7 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[7 * sstep + ic]), a7);
+    }
+    _mm512_storeu_ps(d + 0 * kB, a0);
+    _mm512_storeu_ps(d + 1 * kB, a1);
+    _mm512_storeu_ps(d + 2 * kB, a2);
+    _mm512_storeu_ps(d + 3 * kB, a3);
+    _mm512_storeu_ps(d + 4 * kB, a4);
+    _mm512_storeu_ps(d + 5 * kB, a5);
+    _mm512_storeu_ps(d + 6 * kB, a6);
+    _mm512_storeu_ps(d + 7 * kB, a7);
+  }
+  for (; ow < count; ++ow) {
+    const float* s = src_row + ow * stride * kB;
+    float* d = acc + ow * kB;
+    __m512 a = _mm512_loadu_ps(d);
+    for (int ic = 0; ic < kB; ++ic) {
+      a = _mm512_fmadd_ps(_mm512_loadu_ps(w + ic * kB),
+                          _mm512_set1_ps(s[ic]), a);
+    }
+    _mm512_storeu_ps(d, a);
+  }
+}
+
+/// acc[ic][oc] += src[ow*stride][ic] * ddst[ow][oc] outer products over
+/// a row (backward-weights micro-kernel). The 16x16 accumulator tile
+/// lives in 16 zmm registers across the whole row.
+inline void micro_bww_row(float* __restrict acc,
+                          const float* __restrict src_row,
+                          const float* __restrict ddst_row,
+                          std::int64_t count, std::int64_t stride) {
+  __m512 a[kB];
+  for (int ic = 0; ic < kB; ++ic) a[ic] = _mm512_loadu_ps(acc + ic * kB);
+  for (std::int64_t ow = 0; ow < count; ++ow) {
+    const float* s = src_row + ow * stride * kB;
+    const __m512 dv = _mm512_loadu_ps(ddst_row + ow * kB);
+    for (int ic = 0; ic < kB; ++ic) {
+      a[ic] = _mm512_fmadd_ps(dv, _mm512_set1_ps(s[ic]), a[ic]);
+    }
+  }
+  for (int ic = 0; ic < kB; ++ic) _mm512_storeu_ps(acc + ic * kB, a[ic]);
+}
+
+#else  // portable fallback
+
+inline void micro_fwd_row(float* __restrict acc,
+                          const float* __restrict src_row,
+                          const float* __restrict w, std::int64_t count,
+                          std::int64_t stride) {
+  std::int64_t ow = 0;
+  for (; ow + kOwBlock <= count; ow += kOwBlock) {
+    float a[kOwBlock][kB];
+    for (int j = 0; j < kOwBlock; ++j) {
+      for (int oc = 0; oc < kB; ++oc) a[j][oc] = acc[(ow + j) * kB + oc];
+    }
+    const float* s = src_row + ow * stride * kB;
+    for (int ic = 0; ic < kB; ++ic) {
+      const float* wrow = w + ic * kB;
+      for (int j = 0; j < kOwBlock; ++j) {
+        const float sv = s[j * stride * kB + ic];
+        for (int oc = 0; oc < kB; ++oc) a[j][oc] += wrow[oc] * sv;
+      }
+    }
+    for (int j = 0; j < kOwBlock; ++j) {
+      for (int oc = 0; oc < kB; ++oc) acc[(ow + j) * kB + oc] = a[j][oc];
+    }
+  }
+  for (; ow < count; ++ow) {
+    const float* s = src_row + ow * stride * kB;
+    float a[kB];
+    for (int oc = 0; oc < kB; ++oc) a[oc] = acc[ow * kB + oc];
+    for (int ic = 0; ic < kB; ++ic) {
+      const float sv = s[ic];
+      const float* wrow = w + ic * kB;
+      for (int oc = 0; oc < kB; ++oc) a[oc] += wrow[oc] * sv;
+    }
+    for (int oc = 0; oc < kB; ++oc) acc[ow * kB + oc] = a[oc];
+  }
+}
+
+inline void micro_bww_row(float* __restrict acc,
+                          const float* __restrict src_row,
+                          const float* __restrict ddst_row,
+                          std::int64_t count, std::int64_t stride) {
+  float local[kB * kB];
+  for (int i = 0; i < kB * kB; ++i) local[i] = acc[i];
+  for (std::int64_t ow = 0; ow < count; ++ow) {
+    const float* s = src_row + ow * stride * kB;
+    const float* d = ddst_row + ow * kB;
+    for (int ic = 0; ic < kB; ++ic) {
+      const float sv = s[ic];
+      float* arow = local + ic * kB;
+      for (int oc = 0; oc < kB; ++oc) arow[oc] += d[oc] * sv;
+    }
+  }
+  for (int i = 0; i < kB * kB; ++i) acc[i] = local[i];
+}
+
+#endif  // __AVX512F__
+
+/// t[ow*stride][ic] += sum_oc w[ic][oc] * ddst[ow][oc]
+/// (backward-data micro-kernel).
+inline void micro_bwd_row(float* __restrict target_row,
+                          const float* __restrict ddst_row,
+                          const float* __restrict w, std::int64_t count,
+                          std::int64_t stride) {
+  for (std::int64_t ow = 0; ow < count; ++ow) {
+    float* t = target_row + ow * stride * kB;
+    const float* d = ddst_row + ow * kB;
+    for (int ic = 0; ic < kB; ++ic) {
+      const float* wrow = w + ic * kB;
+      float acc = 0.0f;
+      for (int oc = 0; oc < kB; ++oc) acc += wrow[oc] * d[oc];
+      t[ic] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Conv3d::Conv3d(std::string name, Conv3dConfig config)
+    : Layer(std::move(name)), config_(config) {
+  if (config_.in_channels <= 0 || config_.out_channels <= 0) {
+    throw std::invalid_argument("Conv3d: channel counts must be positive");
+  }
+  if (config_.out_channels % kB != 0) {
+    throw std::invalid_argument(
+        "Conv3d: out_channels must be a multiple of 16 (blocked engine); "
+        "the CosmoFlow topology keeps all channel counts multiples of 16");
+  }
+  if (config_.in_channels >= kB && config_.in_channels % kB != 0) {
+    throw std::invalid_argument(
+        "Conv3d: in_channels must be < 16 or a multiple of 16");
+  }
+  if (config_.kernel <= 0 || config_.stride <= 0) {
+    throw std::invalid_argument("Conv3d: bad kernel/stride");
+  }
+  plain_input_ = config_.in_channels < kB;
+}
+
+Shape Conv3d::plan(const Shape& input) {
+  const std::int64_t k = config_.kernel;
+  if (plain_input_) {
+    if (input.rank() != 4 || input[0] != config_.in_channels) {
+      throw std::invalid_argument("Conv3d::plan: expected plain {IC,D,H,W}, "
+                                  "got " + input.to_string());
+    }
+    in_d_ = input[1];
+    in_h_ = input[2];
+    in_w_ = input[3];
+  } else {
+    if (input.rank() != 5 || input[4] != kB ||
+        input[0] != config_.in_channels / kB) {
+      throw std::invalid_argument(
+          "Conv3d::plan: expected blocked {ICb,D,H,W,16}, got " +
+          input.to_string());
+    }
+    in_d_ = input[1];
+    in_h_ = input[2];
+    in_w_ = input[3];
+  }
+
+  pad_d_ = resolve_pad(config_.padding, in_d_, k, config_.stride);
+  pad_h_ = resolve_pad(config_.padding, in_h_, k, config_.stride);
+  pad_w_ = resolve_pad(config_.padding, in_w_, k, config_.stride);
+  out_d_ = tensor::conv_out_dim(in_d_, k, config_.stride, pad_d_.total());
+  out_h_ = tensor::conv_out_dim(in_h_, k, config_.stride, pad_h_.total());
+  out_w_ = tensor::conv_out_dim(in_w_, k, config_.stride, pad_w_.total());
+
+  const std::int64_t ocb = config_.out_channels / kB;
+  if (plain_input_) {
+    weights_ = Tensor(Shape{ocb, k, k, k, config_.in_channels, kB});
+  } else {
+    weights_ =
+        Tensor(Shape{ocb, config_.in_channels / kB, k, k, k, kB, kB});
+  }
+  weight_grad_ = Tensor(weights_.shape());
+  bias_ = Tensor(Shape{config_.out_channels});
+  bias_grad_ = Tensor(Shape{config_.out_channels});
+
+  const std::int64_t dp = in_d_ + pad_d_.total();
+  const std::int64_t hp = in_h_ + pad_h_.total();
+  const std::int64_t wp = in_w_ + pad_w_.total();
+  if (plain_input_) {
+    padded_src_ = Tensor(Shape{config_.in_channels, dp, hp, wp});
+  } else {
+    padded_src_ = Tensor(Shape{config_.in_channels / kB, dp, hp, wp, kB});
+    padded_dsrc_ = Tensor(padded_src_.shape());
+  }
+
+  const Shape out{ocb, out_d_, out_h_, out_w_, kB};
+  set_shapes(input, out);
+  return out;
+}
+
+std::vector<ParamView> Conv3d::params() {
+  return {{name() + ".weights", &weights_, &weight_grad_},
+          {name() + ".bias", &bias_, &bias_grad_}};
+}
+
+FlopCounts Conv3d::flops() const {
+  const std::int64_t k3 =
+      config_.kernel * config_.kernel * config_.kernel;
+  const std::int64_t per_pass = 2 * out_d_ * out_h_ * out_w_ *
+                                config_.out_channels * config_.in_channels *
+                                k3;
+  FlopCounts counts;
+  counts.fwd = per_pass;
+  counts.bwd_data = per_pass;
+  counts.bwd_weights = per_pass;
+  return counts;
+}
+
+void Conv3d::init_he(runtime::Rng& rng) {
+  const std::int64_t fan_in =
+      config_.in_channels * config_.kernel * config_.kernel * config_.kernel;
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  Tensor plain(Shape{config_.out_channels, config_.in_channels,
+                     config_.kernel, config_.kernel, config_.kernel});
+  tensor::fill_normal(plain, rng, 0.0f, stddev);
+  Tensor bias(Shape{config_.out_channels});
+  set_plain_weights(plain, bias);
+}
+
+void Conv3d::set_plain_weights(const Tensor& weights, const Tensor& bias) {
+  const Shape expected{config_.out_channels, config_.in_channels,
+                       config_.kernel, config_.kernel, config_.kernel};
+  if (weights.shape() != expected) {
+    throw std::invalid_argument("Conv3d::set_plain_weights: bad shape " +
+                                weights.shape().to_string());
+  }
+  if (bias.shape() != Shape{config_.out_channels}) {
+    throw std::invalid_argument("Conv3d::set_plain_weights: bad bias shape");
+  }
+  weights_ = plain_input_ ? tensor::to_blocked_weights_small_ic(weights)
+                          : tensor::to_blocked_weights(weights);
+  std::memcpy(bias_.data(), bias.data(),
+              static_cast<std::size_t>(bias.size()) * sizeof(float));
+}
+
+Tensor Conv3d::plain_weights() const {
+  return plain_input_
+             ? tensor::from_blocked_weights_small_ic(
+                   weights_, config_.out_channels, config_.in_channels)
+             : tensor::from_blocked_weights(weights_, config_.out_channels,
+                                            config_.in_channels);
+}
+
+Tensor Conv3d::plain_weight_grads() const {
+  return plain_input_
+             ? tensor::from_blocked_weights_small_ic(
+                   weight_grad_, config_.out_channels, config_.in_channels)
+             : tensor::from_blocked_weights(
+                   weight_grad_, config_.out_channels, config_.in_channels);
+}
+
+void Conv3d::forward(const Tensor& src, Tensor& dst,
+                     runtime::ThreadPool& pool) {
+  const runtime::ScopedTimer timer(timers_.fwd);
+  if (src.shape() != input_shape() || dst.shape() != output_shape()) {
+    throw std::invalid_argument("Conv3d::forward: shape mismatch");
+  }
+  if (plain_input_) {
+    forward_plain_src(src, dst, pool);
+  } else {
+    forward_blocked(src, dst, pool);
+  }
+}
+
+void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+                      bool need_dsrc, runtime::ThreadPool& pool) {
+  if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
+    throw std::invalid_argument("Conv3d::backward: shape mismatch");
+  }
+  {
+    const runtime::ScopedTimer timer(timers_.bwd_weights);
+    // The padded source copy is still valid from forward().
+    if (plain_input_) {
+      backward_weights_plain_src(src, ddst, pool);
+    } else {
+      backward_weights_blocked(src, ddst, pool);
+    }
+  }
+  if (!need_dsrc) return;
+  const runtime::ScopedTimer timer(timers_.bwd_data);
+  if (dsrc.shape() != input_shape()) {
+    throw std::invalid_argument("Conv3d::backward: dsrc shape mismatch");
+  }
+  if (plain_input_) {
+    backward_data_plain_src(ddst, dsrc, pool);
+  } else {
+    backward_data_blocked(ddst, dsrc, pool);
+  }
+}
+
+namespace {
+
+/// Copies a blocked activation into its zero-padded scratch volume.
+/// The border was zeroed at construction and interior rows are fully
+/// overwritten each call, so no re-zeroing is needed.
+void copy_padded_blocked(const Tensor& src, Tensor& padded,
+                         const PadSpec& pd, const PadSpec& ph,
+                         const PadSpec& pw, runtime::ThreadPool& pool) {
+  const std::int64_t cb = src.shape()[0];
+  const std::int64_t d = src.shape()[1];
+  const std::int64_t h = src.shape()[2];
+  const std::int64_t w = src.shape()[3];
+  const std::int64_t hp = padded.shape()[2];
+  const std::int64_t wp = padded.shape()[3];
+
+  pool.parallel_for(
+      static_cast<std::size_t>(cb * d),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t c = static_cast<std::int64_t>(job) / d;
+          const std::int64_t dd = static_cast<std::int64_t>(job) % d;
+          for (std::int64_t hh = 0; hh < h; ++hh) {
+            const float* s =
+                src.data() + (((c * d + dd) * h + hh) * w) * kB;
+            float* t = padded.data() +
+                       (((c * (d + pd.total()) + dd + pd.lo) * hp + hh +
+                         ph.lo) *
+                            wp +
+                        pw.lo) *
+                           kB;
+            std::memcpy(t, s, static_cast<std::size_t>(w) * kB *
+                                  sizeof(float));
+          }
+        }
+      });
+}
+
+/// Plain-layout variant for the first layer.
+void copy_padded_plain(const Tensor& src, Tensor& padded, const PadSpec& pd,
+                       const PadSpec& ph, const PadSpec& pw,
+                       runtime::ThreadPool& pool) {
+  const std::int64_t c = src.shape()[0];
+  const std::int64_t d = src.shape()[1];
+  const std::int64_t h = src.shape()[2];
+  const std::int64_t w = src.shape()[3];
+  const std::int64_t hp = padded.shape()[2];
+  const std::int64_t wp = padded.shape()[3];
+
+  pool.parallel_for(
+      static_cast<std::size_t>(c * d),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t cc = static_cast<std::int64_t>(job) / d;
+          const std::int64_t dd = static_cast<std::int64_t>(job) % d;
+          for (std::int64_t hh = 0; hh < h; ++hh) {
+            const float* s = src.data() + ((cc * d + dd) * h + hh) * w;
+            float* t = padded.data() +
+                       ((cc * (d + pd.total()) + dd + pd.lo) * hp + hh +
+                        ph.lo) *
+                           wp +
+                       pw.lo;
+            std::memcpy(t, s,
+                        static_cast<std::size_t>(w) * sizeof(float));
+          }
+        }
+      });
+}
+
+}  // namespace
+
+void Conv3d::forward_blocked(const Tensor& src, Tensor& dst,
+                             runtime::ThreadPool& pool) {
+  copy_padded_blocked(src, padded_src_, pad_d_, pad_h_, pad_w_, pool);
+
+  const std::int64_t icb_count = config_.in_channels / kB;
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t k = config_.kernel;
+  const std::int64_t stride = config_.stride;
+  const std::int64_t dp = padded_src_.shape()[1];
+  const std::int64_t hp = padded_src_.shape()[2];
+  const std::int64_t wp = padded_src_.shape()[3];
+
+  // Thread decomposition over the output voxel space: one task per
+  // (ocb, od) slab.
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count * out_d_),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> acc(static_cast<std::size_t>(out_w_) * kB);
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t ocb = static_cast<std::int64_t>(job) / out_d_;
+          const std::int64_t od = static_cast<std::int64_t>(job) % out_d_;
+          for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+            // Bias-initialize the accumulator row.
+            const float* b = bias_.data() + ocb * kB;
+            for (std::int64_t ow = 0; ow < out_w_; ++ow) {
+              std::memcpy(acc.data() + ow * kB, b, kB * sizeof(float));
+            }
+            for (std::int64_t icb = 0; icb < icb_count; ++icb) {
+              for (std::int64_t kd = 0; kd < k; ++kd) {
+                const std::int64_t id = od * stride + kd;
+                for (std::int64_t kh = 0; kh < k; ++kh) {
+                  const std::int64_t ih = oh * stride + kh;
+                  const float* srow =
+                      padded_src_.data() +
+                      (((icb * dp + id) * hp + ih) * wp) * kB;
+                  const float* wtile =
+                      weights_.data() +
+                      ((((ocb * icb_count + icb) * k + kd) * k + kh) * k) *
+                          kB * kB;
+                  for (std::int64_t kw = 0; kw < k; ++kw) {
+                    micro_fwd_row(acc.data(), srow + kw * kB,
+                                  wtile + kw * kB * kB, out_w_, stride);
+                  }
+                }
+              }
+            }
+            float* drow = dst.data() +
+                          (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) *
+                              kB;
+            std::memcpy(drow, acc.data(),
+                        static_cast<std::size_t>(out_w_) * kB *
+                            sizeof(float));
+          }
+        }
+      });
+}
+
+#if defined(__AVX512F__)
+
+/// First-layer (IC == 1) forward fast path: 8 x 16-lane accumulator
+/// registers per output-row block, held across the whole kernel
+/// window. `splane` is the padded single-channel source plane at
+/// (id, ih), `wtap` the {K, 16oc} weight rows for this (kd, kh).
+inline void micro_fwd_row_ic1(float* __restrict dst_row,
+                              const float* __restrict bias16,
+                              const float* const* splanes,
+                              const float* const* wtaps, std::int64_t taps,
+                              std::int64_t kernel_w, std::int64_t count,
+                              std::int64_t stride) {
+  std::int64_t ow = 0;
+  for (; ow + kOwBlock <= count; ow += kOwBlock) {
+    const __m512 b = _mm512_loadu_ps(bias16);
+    __m512 a0 = b, a1 = b, a2 = b, a3 = b, a4 = b, a5 = b, a6 = b, a7 = b;
+    for (std::int64_t tap = 0; tap < taps; ++tap) {
+      const float* s = splanes[tap] + ow * stride;
+      const float* w = wtaps[tap];
+      for (std::int64_t kw = 0; kw < kernel_w; ++kw) {
+        const __m512 wv = _mm512_loadu_ps(w + kw * kB);
+        a0 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[0 * stride + kw]), a0);
+        a1 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[1 * stride + kw]), a1);
+        a2 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[2 * stride + kw]), a2);
+        a3 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[3 * stride + kw]), a3);
+        a4 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[4 * stride + kw]), a4);
+        a5 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[5 * stride + kw]), a5);
+        a6 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[6 * stride + kw]), a6);
+        a7 = _mm512_fmadd_ps(wv, _mm512_set1_ps(s[7 * stride + kw]), a7);
+      }
+    }
+    float* d = dst_row + ow * kB;
+    _mm512_storeu_ps(d + 0 * kB, a0);
+    _mm512_storeu_ps(d + 1 * kB, a1);
+    _mm512_storeu_ps(d + 2 * kB, a2);
+    _mm512_storeu_ps(d + 3 * kB, a3);
+    _mm512_storeu_ps(d + 4 * kB, a4);
+    _mm512_storeu_ps(d + 5 * kB, a5);
+    _mm512_storeu_ps(d + 6 * kB, a6);
+    _mm512_storeu_ps(d + 7 * kB, a7);
+  }
+  for (; ow < count; ++ow) {
+    __m512 a = _mm512_loadu_ps(bias16);
+    for (std::int64_t tap = 0; tap < taps; ++tap) {
+      const float* s = splanes[tap] + ow * stride;
+      const float* w = wtaps[tap];
+      for (std::int64_t kw = 0; kw < kernel_w; ++kw) {
+        a = _mm512_fmadd_ps(_mm512_loadu_ps(w + kw * kB),
+                            _mm512_set1_ps(s[kw]), a);
+      }
+    }
+    _mm512_storeu_ps(dst_row + ow * kB, a);
+  }
+}
+
+#endif  // __AVX512F__
+
+void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
+                               runtime::ThreadPool& pool) {
+  copy_padded_plain(src, padded_src_, pad_d_, pad_h_, pad_w_, pool);
+
+  const std::int64_t ic_count = config_.in_channels;
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t k = config_.kernel;
+  const std::int64_t stride = config_.stride;
+  const std::int64_t dp = padded_src_.shape()[1];
+  const std::int64_t hp = padded_src_.shape()[2];
+  const std::int64_t wp = padded_src_.shape()[3];
+
+#if defined(__AVX512F__)
+  if (ic_count == 1) {
+    // Dedicated first-layer kernel: register accumulators across the
+    // whole window, writing output rows directly.
+    pool.parallel_for(
+        static_cast<std::size_t>(ocb_count * out_d_),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          std::vector<const float*> splanes(static_cast<std::size_t>(k * k));
+          std::vector<const float*> wtaps(static_cast<std::size_t>(k * k));
+          for (std::size_t job = begin; job < end; ++job) {
+            const std::int64_t ocb =
+                static_cast<std::int64_t>(job) / out_d_;
+            const std::int64_t od = static_cast<std::int64_t>(job) % out_d_;
+            for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+              std::int64_t tap = 0;
+              for (std::int64_t kd = 0; kd < k; ++kd) {
+                const std::int64_t id = od * stride + kd;
+                for (std::int64_t kh = 0; kh < k; ++kh, ++tap) {
+                  const std::int64_t ih = oh * stride + kh;
+                  splanes[static_cast<std::size_t>(tap)] =
+                      padded_src_.data() + (id * hp + ih) * wp;
+                  wtaps[static_cast<std::size_t>(tap)] =
+                      weights_.data() +
+                      (((ocb * k + kd) * k + kh) * k) * kB;
+                }
+              }
+              float* drow =
+                  dst.data() +
+                  (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
+              micro_fwd_row_ic1(drow, bias_.data() + ocb * kB,
+                                splanes.data(), wtaps.data(), k * k, k,
+                                out_w_, stride);
+            }
+          }
+        });
+    return;
+  }
+#endif  // __AVX512F__
+
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count * out_d_),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> acc(static_cast<std::size_t>(out_w_) * kB);
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t ocb = static_cast<std::int64_t>(job) / out_d_;
+          const std::int64_t od = static_cast<std::int64_t>(job) % out_d_;
+          for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+            const float* b = bias_.data() + ocb * kB;
+            for (std::int64_t ow = 0; ow < out_w_; ++ow) {
+              std::memcpy(acc.data() + ow * kB, b, kB * sizeof(float));
+            }
+            for (std::int64_t kd = 0; kd < k; ++kd) {
+              const std::int64_t id = od * stride + kd;
+              for (std::int64_t kh = 0; kh < k; ++kh) {
+                const std::int64_t ih = oh * stride + kh;
+                for (std::int64_t kw = 0; kw < k; ++kw) {
+                  const float* wtile =
+                      weights_.data() +
+                      ((((ocb * k + kd) * k + kh) * k + kw) * ic_count) *
+                          kB;
+                  for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+                    const float* splane =
+                        padded_src_.data() +
+                        ((ic * dp + id) * hp + ih) * wp + kw;
+                    const float* wrow = wtile + ic * kB;
+                    for (std::int64_t ow = 0; ow < out_w_; ++ow) {
+                      const float sv = splane[ow * stride];
+                      float* d = acc.data() + ow * kB;
+                      for (int oc = 0; oc < kB; ++oc) {
+                        d[oc] += wrow[oc] * sv;
+                      }
+                    }
+                  }
+                }
+              }
+            }
+            float* drow = dst.data() +
+                          (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) *
+                              kB;
+            std::memcpy(drow, acc.data(),
+                        static_cast<std::size_t>(out_w_) * kB *
+                            sizeof(float));
+          }
+        }
+      });
+}
+
+void Conv3d::backward_weights_blocked(const Tensor& /*src*/,
+                                      const Tensor& ddst,
+                                      runtime::ThreadPool& pool) {
+  const std::int64_t icb_count = config_.in_channels / kB;
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t k = config_.kernel;
+  const std::int64_t stride = config_.stride;
+  const std::int64_t dp = padded_src_.shape()[1];
+  const std::int64_t hp = padded_src_.shape()[2];
+  const std::int64_t wp = padded_src_.shape()[3];
+
+  // Bias gradient: one task per output channel block.
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t ocb = begin; ocb < end; ++ocb) {
+          double acc[kB] = {};
+          const float* base = ddst.data() +
+                              static_cast<std::int64_t>(ocb) * out_d_ *
+                                  out_h_ * out_w_ * kB;
+          const std::int64_t voxels = out_d_ * out_h_ * out_w_;
+          for (std::int64_t v = 0; v < voxels; ++v) {
+            for (int oc = 0; oc < kB; ++oc) acc[oc] += base[v * kB + oc];
+          }
+          float* bg = bias_grad_.data() + ocb * kB;
+          for (int oc = 0; oc < kB; ++oc) {
+            bg[oc] += static_cast<float>(acc[oc]);
+          }
+        }
+      });
+
+  // Weight gradient: teams over (ocb, icb, kd) tiles — disjoint writes,
+  // no reduction needed when there are enough channel blocks (the
+  // "skip the reduction entirely" case of §III-C).
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count * icb_count * k),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> acc(kB * kB);
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t kd = static_cast<std::int64_t>(job) % k;
+          const std::int64_t pair = static_cast<std::int64_t>(job) / k;
+          const std::int64_t icb = pair % icb_count;
+          const std::int64_t ocb = pair / icb_count;
+          for (std::int64_t kh = 0; kh < k; ++kh) {
+            for (std::int64_t kw = 0; kw < k; ++kw) {
+              std::fill(acc.begin(), acc.end(), 0.0f);
+              for (std::int64_t od = 0; od < out_d_; ++od) {
+                const std::int64_t id = od * stride + kd;
+                for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+                  const std::int64_t ih = oh * stride + kh;
+                  const float* drow =
+                      ddst.data() +
+                      (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
+                  const float* srow =
+                      padded_src_.data() +
+                      (((icb * dp + id) * hp + ih) * wp + kw) * kB;
+                  micro_bww_row(acc.data(), srow, drow, out_w_, stride);
+                }
+              }
+              float* wtile =
+                  weight_grad_.data() +
+                  ((((ocb * icb_count + icb) * k + kd) * k + kh) * k + kw) *
+                      kB * kB;
+              for (std::int64_t i = 0; i < kB * kB; ++i) {
+                wtile[i] += acc[static_cast<std::size_t>(i)];
+              }
+            }
+          }
+        }
+      });
+}
+
+void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
+                                        const Tensor& ddst,
+                                        runtime::ThreadPool& pool) {
+  const std::int64_t ic_count = config_.in_channels;
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t k = config_.kernel;
+  const std::int64_t stride = config_.stride;
+  const std::int64_t dp = padded_src_.shape()[1];
+  const std::int64_t hp = padded_src_.shape()[2];
+  const std::int64_t wp = padded_src_.shape()[3];
+
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t ocb = begin; ocb < end; ++ocb) {
+          double acc[kB] = {};
+          const float* base = ddst.data() +
+                              static_cast<std::int64_t>(ocb) * out_d_ *
+                                  out_h_ * out_w_ * kB;
+          const std::int64_t voxels = out_d_ * out_h_ * out_w_;
+          for (std::int64_t v = 0; v < voxels; ++v) {
+            for (int oc = 0; oc < kB; ++oc) acc[oc] += base[v * kB + oc];
+          }
+          float* bg = bias_grad_.data() + ocb * kB;
+          for (int oc = 0; oc < kB; ++oc) {
+            bg[oc] += static_cast<float>(acc[oc]);
+          }
+        }
+      });
+
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count * k),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> acc(static_cast<std::size_t>(ic_count) * kB);
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t kd = static_cast<std::int64_t>(job) % k;
+          const std::int64_t ocb = static_cast<std::int64_t>(job) / k;
+          for (std::int64_t kh = 0; kh < k; ++kh) {
+            for (std::int64_t kw = 0; kw < k; ++kw) {
+#if defined(__AVX512F__)
+              if (ic_count == 1) {
+                // Eight independent accumulator chains over the output
+                // row hide the FMA latency.
+                __m512 a0 = _mm512_setzero_ps();
+                __m512 a1 = _mm512_setzero_ps();
+                __m512 a2 = _mm512_setzero_ps();
+                __m512 a3 = _mm512_setzero_ps();
+                __m512 a4 = _mm512_setzero_ps();
+                __m512 a5 = _mm512_setzero_ps();
+                __m512 a6 = _mm512_setzero_ps();
+                __m512 a7 = _mm512_setzero_ps();
+                for (std::int64_t od = 0; od < out_d_; ++od) {
+                  const std::int64_t id = od * stride + kd;
+                  for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+                    const std::int64_t ih = oh * stride + kh;
+                    const float* drow =
+                        ddst.data() +
+                        (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) *
+                            kB;
+                    const float* splane = padded_src_.data() +
+                                          (id * hp + ih) * wp + kw;
+                    std::int64_t ow = 0;
+                    for (; ow + 8 <= out_w_; ow += 8) {
+                      const float* d = drow + ow * kB;
+                      const float* s = splane + ow * stride;
+                      a0 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 0 * kB),
+                                           _mm512_set1_ps(s[0 * stride]),
+                                           a0);
+                      a1 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 1 * kB),
+                                           _mm512_set1_ps(s[1 * stride]),
+                                           a1);
+                      a2 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 2 * kB),
+                                           _mm512_set1_ps(s[2 * stride]),
+                                           a2);
+                      a3 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 3 * kB),
+                                           _mm512_set1_ps(s[3 * stride]),
+                                           a3);
+                      a4 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 4 * kB),
+                                           _mm512_set1_ps(s[4 * stride]),
+                                           a4);
+                      a5 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 5 * kB),
+                                           _mm512_set1_ps(s[5 * stride]),
+                                           a5);
+                      a6 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 6 * kB),
+                                           _mm512_set1_ps(s[6 * stride]),
+                                           a6);
+                      a7 = _mm512_fmadd_ps(_mm512_loadu_ps(d + 7 * kB),
+                                           _mm512_set1_ps(s[7 * stride]),
+                                           a7);
+                    }
+                    for (; ow < out_w_; ++ow) {
+                      a0 = _mm512_fmadd_ps(
+                          _mm512_loadu_ps(drow + ow * kB),
+                          _mm512_set1_ps(splane[ow * stride]), a0);
+                    }
+                  }
+                }
+                const __m512 total = _mm512_add_ps(
+                    _mm512_add_ps(_mm512_add_ps(a0, a1),
+                                  _mm512_add_ps(a2, a3)),
+                    _mm512_add_ps(_mm512_add_ps(a4, a5),
+                                  _mm512_add_ps(a6, a7)));
+                float* wtile =
+                    weight_grad_.data() +
+                    (((ocb * k + kd) * k + kh) * k + kw) * kB;
+                _mm512_storeu_ps(
+                    wtile, _mm512_add_ps(_mm512_loadu_ps(wtile), total));
+                continue;
+              }
+#endif  // __AVX512F__
+              std::fill(acc.begin(), acc.end(), 0.0f);
+              for (std::int64_t od = 0; od < out_d_; ++od) {
+                const std::int64_t id = od * stride + kd;
+                for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+                  const std::int64_t ih = oh * stride + kh;
+                  const float* drow =
+                      ddst.data() +
+                      (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
+                  for (std::int64_t ic = 0; ic < ic_count; ++ic) {
+                    const float* splane = padded_src_.data() +
+                                          ((ic * dp + id) * hp + ih) * wp +
+                                          kw;
+                    float* arow = acc.data() + ic * kB;
+                    for (std::int64_t ow = 0; ow < out_w_; ++ow) {
+                      const float sv = splane[ow * stride];
+                      const float* d = drow + ow * kB;
+                      for (int oc = 0; oc < kB; ++oc) {
+                        arow[oc] += d[oc] * sv;
+                      }
+                    }
+                  }
+                }
+              }
+              float* wtile =
+                  weight_grad_.data() +
+                  (((ocb * k + kd) * k + kh) * k + kw) * ic_count * kB;
+              for (std::int64_t i = 0; i < ic_count * kB; ++i) {
+                wtile[i] += acc[static_cast<std::size_t>(i)];
+              }
+            }
+          }
+        }
+      });
+}
+
+void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
+                                   runtime::ThreadPool& pool) {
+  const std::int64_t icb_count = config_.in_channels / kB;
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t k = config_.kernel;
+  const std::int64_t stride = config_.stride;
+  const std::int64_t dp = padded_dsrc_.shape()[1];
+  const std::int64_t hp = padded_dsrc_.shape()[2];
+  const std::int64_t wp = padded_dsrc_.shape()[3];
+
+  padded_dsrc_.zero();
+
+  // Each icb slab of the padded difference volume is written by exactly
+  // one task, so the scatter is race-free.
+  pool.parallel_for(
+      static_cast<std::size_t>(icb_count),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t icb = begin; icb < end; ++icb) {
+          for (std::int64_t ocb = 0; ocb < ocb_count; ++ocb) {
+            for (std::int64_t od = 0; od < out_d_; ++od) {
+              for (std::int64_t oh = 0; oh < out_h_; ++oh) {
+                const float* drow =
+                    ddst.data() +
+                    (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
+                for (std::int64_t kd = 0; kd < k; ++kd) {
+                  const std::int64_t id = od * stride + kd;
+                  for (std::int64_t kh = 0; kh < k; ++kh) {
+                    const std::int64_t ih = oh * stride + kh;
+                    float* trow =
+                        padded_dsrc_.data() +
+                        (((static_cast<std::int64_t>(icb) * dp + id) * hp +
+                          ih) *
+                         wp) *
+                            kB;
+                    const float* wtile =
+                        weights_.data() +
+                        ((((ocb * icb_count +
+                            static_cast<std::int64_t>(icb)) *
+                               k +
+                           kd) *
+                              k +
+                          kh) *
+                         k) *
+                            kB * kB;
+                    for (std::int64_t kw = 0; kw < k; ++kw) {
+                      micro_bwd_row(trow + kw * kB, drow,
+                                    wtile + kw * kB * kB, out_w_, stride);
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+
+  // Un-pad: copy the interior back into dsrc.
+  pool.parallel_for(
+      static_cast<std::size_t>(icb_count * in_d_),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t icb = static_cast<std::int64_t>(job) / in_d_;
+          const std::int64_t dd = static_cast<std::int64_t>(job) % in_d_;
+          for (std::int64_t hh = 0; hh < in_h_; ++hh) {
+            const float* s = padded_dsrc_.data() +
+                             (((icb * dp + dd + pad_d_.lo) * hp + hh +
+                               pad_h_.lo) *
+                                  wp +
+                              pad_w_.lo) *
+                                 kB;
+            float* t = dsrc.data() +
+                       (((icb * in_d_ + dd) * in_h_ + hh) * in_w_) * kB;
+            std::memcpy(t, s, static_cast<std::size_t>(in_w_) * kB *
+                                  sizeof(float));
+          }
+        }
+      });
+}
+
+void Conv3d::backward_data_plain_src(const Tensor& ddst, Tensor& dsrc,
+                                     runtime::ThreadPool& pool) {
+  // Cold path: the first layer's input difference signal is only
+  // needed when a Conv3d with IC < 16 sits mid-network, which the
+  // CosmoFlow topology never does. Use the reference kernel on plain
+  // layouts.
+  (void)pool;
+  const Tensor plain_w = plain_weights();
+  const Tensor plain_ddst =
+      tensor::from_blocked_activation(ddst, config_.out_channels);
+  conv3d_backward_data_reference(plain_ddst, plain_w, config_.stride, pad_d_,
+                                 pad_h_, pad_w_, dsrc);
+}
+
+}  // namespace cf::dnn

@@ -1,0 +1,149 @@
+// 3D convolution: the computational heart of CosmoFlow (§III-C).
+//
+// Two engines are provided:
+//  * reference — plain-layout 7-loop direct convolution used as the
+//    correctness oracle in tests (free functions below);
+//  * blocked — the production kernels implementing Algorithm 1 of the
+//    paper: activations in nCdhw16c, weights in OIdhw16i16o, innermost
+//    (ow, ic, oc) loops unrolled/vectorized to AVX-512 FMAs, threading
+//    over the output voxel space (forward/backward-data) and over
+//    channel-block pairs (backward-weights).
+//
+// Kernels are cubic and "same"/"valid" padding is resolved per spatial
+// dimension at plan time (asymmetric when the total is odd, matching
+// TensorFlow). The first layer of the network has a single input
+// channel; it uses a dedicated plain-source kernel instead of blowing
+// the 128^3 input up to 16 channels.
+#pragma once
+
+#include <memory>
+
+#include "dnn/layer.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/layout.hpp"
+
+namespace cf::dnn {
+
+enum class Padding { kSame, kValid };
+
+struct Conv3dConfig {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 3;  // cubic
+  std::int64_t stride = 1;
+  Padding padding = Padding::kSame;
+};
+
+/// Resolved padding for one spatial dimension.
+struct PadSpec {
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+  std::int64_t total() const { return lo + hi; }
+};
+
+class Conv3d final : public Layer {
+ public:
+  Conv3d(std::string name, Conv3dConfig config);
+
+  std::string kind() const override { return "conv"; }
+
+  /// Input: blocked {ICb, D, H, W, 16} when in_channels is a multiple
+  /// of 16, else plain {IC, D, H, W} (first layer). Output: blocked
+  /// {OCb, OD, OH, OW, 16}. out_channels must be a multiple of 16.
+  tensor::Shape plan(const tensor::Shape& input) override;
+
+  void forward(const tensor::Tensor& src, tensor::Tensor& dst,
+               runtime::ThreadPool& pool) override;
+  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+                tensor::Tensor& dsrc, bool need_dsrc,
+                runtime::ThreadPool& pool) override;
+
+  std::vector<ParamView> params() override;
+  FlopCounts flops() const override;
+
+  const Conv3dConfig& config() const noexcept { return config_; }
+
+  /// Deterministic He initialization (fan-in = IC * K^3).
+  void init_he(runtime::Rng& rng);
+
+  /// Replace weights from / export weights to the plain
+  /// {OC, IC, KD, KH, KW} layout (tests, checkpoints).
+  void set_plain_weights(const tensor::Tensor& weights,
+                         const tensor::Tensor& bias);
+  tensor::Tensor plain_weights() const;
+  tensor::Tensor plain_weight_grads() const;
+
+  const tensor::Tensor& bias() const noexcept { return bias_; }
+  const tensor::Tensor& bias_grad() const noexcept { return bias_grad_; }
+
+  /// When false (default for the first network layer via Network),
+  /// backward skips the input difference signal.
+  bool input_is_plain() const noexcept { return plain_input_; }
+
+ private:
+  void forward_blocked(const tensor::Tensor& src, tensor::Tensor& dst,
+                       runtime::ThreadPool& pool);
+  void forward_plain_src(const tensor::Tensor& src, tensor::Tensor& dst,
+                         runtime::ThreadPool& pool);
+  void backward_weights_blocked(const tensor::Tensor& src,
+                                const tensor::Tensor& ddst,
+                                runtime::ThreadPool& pool);
+  void backward_weights_plain_src(const tensor::Tensor& src,
+                                  const tensor::Tensor& ddst,
+                                  runtime::ThreadPool& pool);
+  void backward_data_blocked(const tensor::Tensor& ddst,
+                             tensor::Tensor& dsrc,
+                             runtime::ThreadPool& pool);
+  void backward_data_plain_src(const tensor::Tensor& ddst,
+                               tensor::Tensor& dsrc,
+                               runtime::ThreadPool& pool);
+
+  Conv3dConfig config_;
+  bool plain_input_ = false;
+
+  // Spatial geometry (set by plan).
+  std::int64_t in_d_ = 0, in_h_ = 0, in_w_ = 0;
+  std::int64_t out_d_ = 0, out_h_ = 0, out_w_ = 0;
+  PadSpec pad_d_, pad_h_, pad_w_;
+
+  // Parameters. Weights live permanently in the blocked layout
+  // ({OCb, ICb, K, K, K, 16ic, 16oc}, or {OCb, K, K, K, IC, 16oc} for
+  // the plain-input case).
+  tensor::Tensor weights_;
+  tensor::Tensor weight_grad_;
+  tensor::Tensor bias_;
+  tensor::Tensor bias_grad_;
+
+  // Scratch reused across steps: zero-padded source copy and padded
+  // input difference signal.
+  tensor::Tensor padded_src_;
+  tensor::Tensor padded_dsrc_;
+};
+
+// ---------------------------------------------------------------------------
+// Reference engine (plain layouts, correctness oracle).
+
+/// dst {OC, OD, OH, OW} = conv(src {IC, D, H, W}, weights
+/// {OC, IC, K, K, K}) + bias, with the given stride and per-dim pads.
+void conv3d_forward_reference(const tensor::Tensor& src,
+                              const tensor::Tensor& weights,
+                              const tensor::Tensor& bias, std::int64_t stride,
+                              const PadSpec& pd, const PadSpec& ph,
+                              const PadSpec& pw, tensor::Tensor& dst);
+
+void conv3d_backward_data_reference(const tensor::Tensor& ddst,
+                                    const tensor::Tensor& weights,
+                                    std::int64_t stride, const PadSpec& pd,
+                                    const PadSpec& ph, const PadSpec& pw,
+                                    tensor::Tensor& dsrc);
+
+void conv3d_backward_weights_reference(
+    const tensor::Tensor& src, const tensor::Tensor& ddst,
+    std::int64_t stride, const PadSpec& pd, const PadSpec& ph,
+    const PadSpec& pw, tensor::Tensor& dweights, tensor::Tensor& dbias);
+
+/// Resolves the padding of one spatial dimension.
+PadSpec resolve_pad(Padding mode, std::int64_t in, std::int64_t kernel,
+                    std::int64_t stride);
+
+}  // namespace cf::dnn

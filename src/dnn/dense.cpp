@@ -1,0 +1,134 @@
+#include "dnn/dense.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::dnn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Dense::Dense(std::string name, std::int64_t in_features,
+             std::int64_t out_features)
+    : Layer(std::move(name)), in_(in_features), out_(out_features) {
+  if (in_ <= 0 || out_ <= 0) {
+    throw std::invalid_argument("Dense: feature counts must be positive");
+  }
+}
+
+Shape Dense::plan(const Shape& input) {
+  if (input.rank() != 1 || input[0] != in_) {
+    throw std::invalid_argument("Dense::plan: expected plain {" +
+                                std::to_string(in_) + "}, got " +
+                                input.to_string());
+  }
+  weights_ = Tensor(Shape{in_, out_});
+  weight_grad_ = Tensor(Shape{in_, out_});
+  bias_ = Tensor(Shape{out_});
+  bias_grad_ = Tensor(Shape{out_});
+  const Shape out{out_};
+  set_shapes(input, out);
+  return out;
+}
+
+std::vector<ParamView> Dense::params() {
+  return {{name() + ".weights", &weights_, &weight_grad_},
+          {name() + ".bias", &bias_, &bias_grad_}};
+}
+
+FlopCounts Dense::flops() const {
+  FlopCounts counts;
+  counts.fwd = 2 * in_ * out_;
+  counts.bwd_data = 2 * in_ * out_;
+  counts.bwd_weights = 2 * in_ * out_;
+  return counts;
+}
+
+void Dense::init_xavier(runtime::Rng& rng) {
+  const float limit = std::sqrt(6.0f / static_cast<float>(in_ + out_));
+  tensor::fill_uniform(weights_, rng, -limit, limit);
+  bias_.zero();
+}
+
+void Dense::forward(const Tensor& src, Tensor& dst,
+                    runtime::ThreadPool& pool) {
+  const runtime::ScopedTimer timer(timers_.fwd);
+  if (src.shape() != input_shape() || dst.shape() != output_shape()) {
+    throw std::invalid_argument("Dense::forward: shape mismatch");
+  }
+  // Split the reduction over the input dimension into a *fixed* number
+  // of chunks combined in chunk order, so the floating-point summation
+  // order — and therefore the result — is independent of the thread
+  // count (the determinism invariant synchronous training rests on).
+  constexpr std::size_t kChunks = 16;
+  const std::size_t chunks =
+      std::min<std::size_t>(kChunks, static_cast<std::size_t>(in_));
+  const std::size_t chunk_size =
+      (static_cast<std::size_t>(in_) + chunks - 1) / chunks;
+  std::vector<std::vector<float>> partial(
+      chunks, std::vector<float>(static_cast<std::size_t>(out_), 0.0f));
+  pool.parallel_for(
+      chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t chunk = begin; chunk < end; ++chunk) {
+          float* acc = partial[chunk].data();
+          const std::size_t lo = chunk * chunk_size;
+          const std::size_t hi = std::min(
+              static_cast<std::size_t>(in_), lo + chunk_size);
+          for (std::size_t i = lo; i < hi; ++i) {
+            const float sv = src[i];
+            const float* wrow = weights_.data() + i * out_;
+            for (std::int64_t o = 0; o < out_; ++o) acc[o] += wrow[o] * sv;
+          }
+        }
+      });
+  std::memcpy(dst.data(), bias_.data(),
+              static_cast<std::size_t>(out_) * sizeof(float));
+  for (const auto& acc : partial) {
+    for (std::int64_t o = 0; o < out_; ++o) {
+      dst[static_cast<std::size_t>(o)] += acc[static_cast<std::size_t>(o)];
+    }
+  }
+}
+
+void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+                     bool need_dsrc, runtime::ThreadPool& pool) {
+  if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
+    throw std::invalid_argument("Dense::backward: shape mismatch");
+  }
+  {
+    const runtime::ScopedTimer timer(timers_.bwd_weights);
+    tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
+    pool.parallel_for(
+        static_cast<std::size_t>(in_),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const float sv = src[i];
+            float* grow = weight_grad_.data() + i * out_;
+            const float* d = ddst.data();
+            for (std::int64_t o = 0; o < out_; ++o) grow[o] += d[o] * sv;
+          }
+        });
+  }
+  if (!need_dsrc) return;
+  const runtime::ScopedTimer timer(timers_.bwd_data);
+  if (dsrc.shape() != input_shape()) {
+    throw std::invalid_argument("Dense::backward: dsrc shape mismatch");
+  }
+  pool.parallel_for(
+      static_cast<std::size_t>(in_),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const float* wrow = weights_.data() + i * out_;
+          const float* d = ddst.data();
+          float acc = 0.0f;
+          for (std::int64_t o = 0; o < out_; ++o) acc += wrow[o] * d[o];
+          dsrc[i] = acc;
+        }
+      });
+}
+
+}  // namespace cf::dnn

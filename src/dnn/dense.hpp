@@ -1,0 +1,52 @@
+// Fully-connected layer for the CosmoFlow regression head.
+//
+// Weights are stored input-major ({I, O}) so the forward pass, the
+// weight-gradient outer product and the data-gradient dot product all
+// stream contiguously over the output dimension and vectorize.
+#pragma once
+
+#include "dnn/layer.hpp"
+#include "runtime/rng.hpp"
+
+namespace cf::dnn {
+
+class Dense final : public Layer {
+ public:
+  Dense(std::string name, std::int64_t in_features,
+        std::int64_t out_features);
+
+  std::string kind() const override { return "dense"; }
+
+  /// Input: plain {in_features}. Output: plain {out_features}.
+  tensor::Shape plan(const tensor::Shape& input) override;
+
+  void forward(const tensor::Tensor& src, tensor::Tensor& dst,
+               runtime::ThreadPool& pool) override;
+  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+                tensor::Tensor& dsrc, bool need_dsrc,
+                runtime::ThreadPool& pool) override;
+
+  std::vector<ParamView> params() override;
+  FlopCounts flops() const override;
+
+  /// Deterministic Xavier/Glorot initialization.
+  void init_xavier(runtime::Rng& rng);
+
+  std::int64_t in_features() const noexcept { return in_; }
+  std::int64_t out_features() const noexcept { return out_; }
+
+  /// weights are {I, O}; w(i, o) = weights()[i * O + o].
+  tensor::Tensor& weights() noexcept { return weights_; }
+  const tensor::Tensor& weights() const noexcept { return weights_; }
+  tensor::Tensor& bias() noexcept { return bias_; }
+
+ private:
+  std::int64_t in_ = 0;
+  std::int64_t out_ = 0;
+  tensor::Tensor weights_;
+  tensor::Tensor weight_grad_;
+  tensor::Tensor bias_;
+  tensor::Tensor bias_grad_;
+};
+
+}  // namespace cf::dnn

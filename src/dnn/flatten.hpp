@@ -1,0 +1,33 @@
+// Reorder boundary between the blocked conv stack and the dense head:
+// blocked {Cb, D, H, W, 16} -> plain {C * D * H * W} (channel-major,
+// the same order a plain {C, D, H, W} tensor flattens to). This is one
+// of the "data reordering between the blocked and non-blocked layout"
+// stages the paper profiles in §V-B.
+#pragma once
+
+#include "dnn/layer.hpp"
+
+namespace cf::dnn {
+
+class Flatten final : public Layer {
+ public:
+  /// `channels` is the true channel count (Cb * 16 when the conv stack
+  /// keeps multiples of 16).
+  Flatten(std::string name, std::int64_t channels);
+
+  std::string kind() const override { return "reorder"; }
+
+  tensor::Shape plan(const tensor::Shape& input) override;
+
+  void forward(const tensor::Tensor& src, tensor::Tensor& dst,
+               runtime::ThreadPool& pool) override;
+  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+                tensor::Tensor& dsrc, bool need_dsrc,
+                runtime::ThreadPool& pool) override;
+
+ private:
+  std::int64_t channels_ = 0;
+  std::int64_t d_ = 0, h_ = 0, w_ = 0;
+};
+
+}  // namespace cf::dnn

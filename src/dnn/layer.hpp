@@ -1,0 +1,117 @@
+// Layer abstraction for the CosmoFlow network.
+//
+// The paper trains with a mini-batch of one sample per rank, so a layer
+// maps one activation tensor to one activation tensor. Convolutional
+// activations travel in the blocked nCdhw16c layout end-to-end (the
+// network inserts explicit reorders only at the plain-input boundary
+// and before the dense head), mirroring the MKL-DNN graph the paper
+// describes in §V-B.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cf::dnn {
+
+/// Floating point operation counts per pass for one sample, used for
+/// the §V-A flop-rate accounting and Table I.
+struct FlopCounts {
+  std::int64_t fwd = 0;
+  std::int64_t bwd_data = 0;
+  std::int64_t bwd_weights = 0;
+
+  std::int64_t total() const { return fwd + bwd_data + bwd_weights; }
+
+  FlopCounts& operator+=(const FlopCounts& other) {
+    fwd += other.fwd;
+    bwd_data += other.bwd_data;
+    bwd_weights += other.bwd_weights;
+    return *this;
+  }
+};
+
+/// Mutable view of one parameter tensor and its gradient, used by the
+/// optimizer (LARC normalizes per parameter tensor) and by gradient
+/// aggregation.
+struct ParamView {
+  std::string name;
+  tensor::Tensor* value = nullptr;
+  tensor::Tensor* grad = nullptr;
+};
+
+/// Per-layer wall-clock accounting (Table I / Fig 3).
+struct LayerTimers {
+  runtime::TimeStats fwd;
+  runtime::TimeStats bwd_data;
+  runtime::TimeStats bwd_weights;
+};
+
+class Layer {
+ public:
+  explicit Layer(std::string name) : name_(std::move(name)) {}
+  virtual ~Layer() = default;
+
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// One of "conv", "pool", "dense", "activation", "reorder" — the
+  /// category key for the Fig 3 breakdown.
+  virtual std::string kind() const = 0;
+
+  /// Validates `input` and computes the output shape; called once by
+  /// Network::finalize. Allocates parameters and scratch.
+  virtual tensor::Shape plan(const tensor::Shape& input) = 0;
+
+  const tensor::Shape& input_shape() const noexcept { return input_shape_; }
+  const tensor::Shape& output_shape() const noexcept {
+    return output_shape_;
+  }
+
+  /// dst must have output_shape().
+  virtual void forward(const tensor::Tensor& src, tensor::Tensor& dst,
+                       runtime::ThreadPool& pool) = 0;
+
+  /// Computes parameter gradients (accumulated into the grad tensors —
+  /// callers zero them per step) and, when `need_dsrc`, the input
+  /// difference signal. `src` is the forward input of this layer.
+  virtual void backward(const tensor::Tensor& src,
+                        const tensor::Tensor& ddst, tensor::Tensor& dsrc,
+                        bool need_dsrc, runtime::ThreadPool& pool) = 0;
+
+  /// Parameter tensors (empty for parameterless layers).
+  virtual std::vector<ParamView> params() { return {}; }
+
+  virtual FlopCounts flops() const { return {}; }
+
+  std::int64_t param_count() {
+    std::int64_t n = 0;
+    for (const auto& p : params()) n += p.value->shape().numel();
+    return n;
+  }
+
+  LayerTimers& timers() noexcept { return timers_; }
+  const LayerTimers& timers() const noexcept { return timers_; }
+  void reset_timers() { timers_ = LayerTimers{}; }
+
+ protected:
+  void set_shapes(const tensor::Shape& in, const tensor::Shape& out) {
+    input_shape_ = in;
+    output_shape_ = out;
+  }
+
+  LayerTimers timers_;
+
+ private:
+  std::string name_;
+  tensor::Shape input_shape_;
+  tensor::Shape output_shape_;
+};
+
+}  // namespace cf::dnn

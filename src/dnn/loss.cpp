@@ -1,0 +1,31 @@
+#include "dnn/loss.hpp"
+
+#include <stdexcept>
+
+namespace cf::dnn {
+
+float mse_loss(std::span<const float> pred, std::span<const float> target) {
+  if (pred.size() != target.size() || pred.empty()) {
+    throw std::invalid_argument("mse_loss: size mismatch or empty");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    const double diff = static_cast<double>(pred[i]) - target[i];
+    acc += diff * diff;
+  }
+  return static_cast<float>(acc / static_cast<double>(pred.size()));
+}
+
+void mse_loss_grad(std::span<const float> pred,
+                   std::span<const float> target, std::span<float> dpred) {
+  if (pred.size() != target.size() || pred.size() != dpred.size() ||
+      pred.empty()) {
+    throw std::invalid_argument("mse_loss_grad: size mismatch or empty");
+  }
+  const float scale = 2.0f / static_cast<float>(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    dpred[i] = scale * (pred[i] - target[i]);
+  }
+}
+
+}  // namespace cf::dnn

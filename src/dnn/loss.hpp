@@ -1,0 +1,19 @@
+// Mean-squared-error regression loss over the three predicted
+// cosmological parameters (targets are normalized to [0, 1] by the data
+// pipeline).
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace cf::dnn {
+
+/// loss = mean_i (pred[i] - target[i])^2
+float mse_loss(std::span<const float> pred, std::span<const float> target);
+
+/// dpred[i] = 2 * (pred[i] - target[i]) / n
+void mse_loss_grad(std::span<const float> pred,
+                   std::span<const float> target, std::span<float> dpred);
+
+}  // namespace cf::dnn

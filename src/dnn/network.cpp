@@ -1,0 +1,173 @@
+#include "dnn/network.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace cf::dnn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+void Network::add(std::unique_ptr<Layer> layer) {
+  if (finalized_) {
+    throw std::logic_error("Network::add: network already finalized");
+  }
+  layers_.push_back(std::move(layer));
+}
+
+void Network::finalize(const Shape& input_shape) {
+  if (finalized_) throw std::logic_error("Network::finalize: called twice");
+  if (layers_.empty()) {
+    throw std::logic_error("Network::finalize: no layers");
+  }
+  input_shape_ = input_shape;
+  input_ = Tensor(input_shape);
+  Shape shape = input_shape;
+  activations_.reserve(layers_.size());
+  diffs_.reserve(layers_.size());
+  for (auto& layer : layers_) {
+    shape = layer->plan(shape);
+    activations_.emplace_back(shape);
+    diffs_.emplace_back(shape);
+  }
+  output_shape_ = shape;
+  finalized_ = true;
+}
+
+const Tensor& Network::forward(const Tensor& input,
+                               runtime::ThreadPool& pool) {
+  if (!finalized_) throw std::logic_error("Network::forward: not finalized");
+  if (input.shape() != input_shape_) {
+    throw std::invalid_argument("Network::forward: input shape " +
+                                input.shape().to_string() + ", expected " +
+                                input_shape_.to_string());
+  }
+  std::memcpy(input_.data(), input.data(), input.size() * sizeof(float));
+  const Tensor* src = &input_;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    layers_[i]->forward(*src, activations_[i], pool);
+    src = &activations_[i];
+  }
+  forward_done_ = true;
+  return activations_.back();
+}
+
+void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool) {
+  if (!forward_done_) {
+    throw std::logic_error("Network::backward: no preceding forward");
+  }
+  if (dloss.shape() != output_shape_) {
+    throw std::invalid_argument("Network::backward: dloss shape mismatch");
+  }
+  std::memcpy(diffs_.back().data(), dloss.data(),
+              dloss.size() * sizeof(float));
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    const Tensor& src = i == 0 ? input_ : activations_[i - 1];
+    const bool need_dsrc = i > 0;
+    // diffs_[i - 1] is overwritten by layer i's backward; pass a dummy
+    // for the first layer (its dsrc is skipped).
+    Tensor& dsrc = need_dsrc ? diffs_[i - 1] : diffs_[0];
+    layers_[i]->backward(src, diffs_[i], dsrc, need_dsrc, pool);
+  }
+}
+
+void Network::zero_grads() {
+  for (const ParamView& p : params()) p.grad->zero();
+}
+
+std::vector<ParamView> Network::params() {
+  std::vector<ParamView> all;
+  for (auto& layer : layers_) {
+    for (ParamView& p : layer->params()) all.push_back(p);
+  }
+  return all;
+}
+
+std::int64_t Network::param_count() {
+  std::int64_t n = 0;
+  for (const ParamView& p : params()) n += p.value->shape().numel();
+  return n;
+}
+
+FlopCounts Network::flops(bool skip_first_bwd_data) const {
+  FlopCounts total;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    FlopCounts f = layers_[i]->flops();
+    if (i == 0 && skip_first_bwd_data) f.bwd_data = 0;
+    total += f;
+  }
+  return total;
+}
+
+namespace {
+
+template <typename CopyFn>
+void walk_flat(std::vector<ParamView> params, std::size_t expected,
+               CopyFn&& copy) {
+  std::size_t offset = 0;
+  for (const ParamView& p : params) {
+    const std::size_t n = static_cast<std::size_t>(p.value->shape().numel());
+    copy(p, offset, n);
+    offset += n;
+  }
+  if (offset != expected) {
+    throw std::invalid_argument(
+        "Network flat vector: span size does not match parameter count");
+  }
+}
+
+}  // namespace
+
+void Network::copy_params_to(std::span<float> out) {
+  walk_flat(params(), out.size(),
+            [&](const ParamView& p, std::size_t offset, std::size_t n) {
+              std::memcpy(out.data() + offset, p.value->data(),
+                          n * sizeof(float));
+            });
+}
+
+void Network::set_params_from(std::span<const float> in) {
+  walk_flat(params(), in.size(),
+            [&](const ParamView& p, std::size_t offset, std::size_t n) {
+              std::memcpy(p.value->data(), in.data() + offset,
+                          n * sizeof(float));
+            });
+}
+
+void Network::copy_grads_to(std::span<float> out) {
+  walk_flat(params(), out.size(),
+            [&](const ParamView& p, std::size_t offset, std::size_t n) {
+              std::memcpy(out.data() + offset, p.grad->data(),
+                          n * sizeof(float));
+            });
+}
+
+void Network::set_grads_from(std::span<const float> in) {
+  walk_flat(params(), in.size(),
+            [&](const ParamView& p, std::size_t offset, std::size_t n) {
+              std::memcpy(p.grad->data(), in.data() + offset,
+                          n * sizeof(float));
+            });
+}
+
+std::vector<LayerProfile> Network::profiles() const {
+  std::vector<LayerProfile> rows;
+  rows.reserve(layers_.size());
+  for (const auto& layer : layers_) {
+    LayerProfile row;
+    row.name = layer->name();
+    row.kind = layer->kind();
+    row.fwd = layer->timers().fwd;
+    row.bwd_data = layer->timers().bwd_data;
+    row.bwd_weights = layer->timers().bwd_weights;
+    row.flops = layer->flops();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void Network::reset_profiles() {
+  for (auto& layer : layers_) layer->reset_timers();
+}
+
+}  // namespace cf::dnn

@@ -1,0 +1,97 @@
+// Sequential network container: owns the layers, the inter-layer
+// activation/difference buffers, and the flat parameter/gradient
+// vector interface used by the optimizer, the gradient allreduce and
+// checkpoints.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dnn/layer.hpp"
+
+namespace cf::dnn {
+
+/// Per-layer profile row (Table I).
+struct LayerProfile {
+  std::string name;
+  std::string kind;
+  runtime::TimeStats fwd;
+  runtime::TimeStats bwd_data;
+  runtime::TimeStats bwd_weights;
+  FlopCounts flops;
+};
+
+class Network {
+ public:
+  Network() = default;
+
+  /// Adds a layer; returns a reference for further configuration.
+  template <typename L, typename... Args>
+  L& emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L& ref = *layer;
+    add(std::move(layer));
+    return ref;
+  }
+
+  void add(std::unique_ptr<Layer> layer);
+
+  /// Plans every layer, allocating parameters and activation buffers.
+  /// Must be called exactly once, after all layers are added.
+  void finalize(const tensor::Shape& input_shape);
+  bool finalized() const noexcept { return finalized_; }
+
+  std::size_t layer_count() const noexcept { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
+  const Layer& layer(std::size_t i) const { return *layers_[i]; }
+
+  const tensor::Shape& input_shape() const noexcept { return input_shape_; }
+  const tensor::Shape& output_shape() const noexcept {
+    return output_shape_;
+  }
+
+  /// Runs the forward pass; the returned view stays valid until the
+  /// next forward() call.
+  const tensor::Tensor& forward(const tensor::Tensor& input,
+                                runtime::ThreadPool& pool);
+
+  /// Runs the backward pass from the loss gradient w.r.t. the network
+  /// output. Parameter gradients accumulate; the first layer's input
+  /// difference signal is skipped (the input is data, §V-A workflow).
+  /// Requires a preceding forward() on the same input.
+  void backward(const tensor::Tensor& dloss, runtime::ThreadPool& pool);
+
+  void zero_grads();
+
+  std::vector<ParamView> params();
+  std::int64_t param_count();
+  std::size_t param_bytes() { return param_count() * sizeof(float); }
+
+  /// Total per-sample flops; `skip_first_bwd_data` drops the unneeded
+  /// first-layer data gradient (the default, matching the real
+  /// workload).
+  FlopCounts flops(bool skip_first_bwd_data = true) const;
+
+  // Flat vector interface. Order is layer order, value tensor order.
+  void copy_params_to(std::span<float> out);
+  void set_params_from(std::span<const float> in);
+  void copy_grads_to(std::span<float> out);
+  void set_grads_from(std::span<const float> in);
+
+  std::vector<LayerProfile> profiles() const;
+  void reset_profiles();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::vector<tensor::Tensor> activations_;   // output of each layer
+  std::vector<tensor::Tensor> diffs_;         // d(loss)/d(activation)
+  tensor::Tensor input_;
+  tensor::Shape input_shape_;
+  tensor::Shape output_shape_;
+  bool finalized_ = false;
+  bool forward_done_ = false;
+};
+
+}  // namespace cf::dnn

@@ -1,0 +1,88 @@
+// Synchronous data-parallel step-time and scaling model (Fig 4).
+//
+// One SSGD step on n nodes costs
+//
+//   t_step(n) = max(t_compute, t_io(n)) + t_allreduce(n)
+//
+// because the input pipeline overlaps reads with gradient computation
+// (so only the slower of the two shows) while the fully-synchronous
+// gradient aggregation serializes after it. The allreduce follows the
+// alpha-beta model of a ring/tree reduction that "communicates twice
+// the message length" (§VI-B), with an effective per-node bandwidth
+// that degrades slowly with scale — calibrated so 28.15 MB aggregates
+// in 33 ms at 1024 nodes (1.7 GB/s/node) and 39 ms at 8192
+// (1.42 GB/s/node), the paper's measurements.
+//
+// Epoch walltime adds the validation loop and per-epoch overheads the
+// paper's "epoch" efficiency includes:
+//
+//   t_epoch(n) = (N_train / n) t_step(n) + (N_val / n) t_val(n) + c
+//
+// Speedups/efficiencies are epoch-time ratios against n = 1, exactly
+// the paper's metric.
+#pragma once
+
+#include <vector>
+
+#include "iosim/filesystem_model.hpp"
+
+namespace cf::iosim {
+
+struct StepModelParams {
+  double compute_seconds = 0.129;    // single-node fwd+bwd+update (§VI-B)
+  double sample_mbytes = 8.0;        // one 128^3 f32 sub-volume
+  double gradient_mbytes = 28.15;    // model size (§V-A)
+  /// Allreduce latency per log2(n) stage.
+  double allreduce_alpha = 1e-4;
+  /// Effective per-node bandwidth bw0 / (1 + beta * log2(n)).
+  double allreduce_bw0_gbps = 4.96;
+  double allreduce_beta = 0.1918;
+  /// Validation forward pass relative to a training step.
+  double validation_step_fraction = 0.33;
+  /// Fixed per-epoch overhead (loss averaging, loop bookkeeping). The
+  /// paper's 3.35 s epochs at 8192 nodes (20 steps of 168 ms) leave
+  /// only a few tens of ms unaccounted.
+  double epoch_overhead_seconds = 0.02;
+};
+
+struct ScalingPoint {
+  int nodes = 0;
+  double step_seconds = 0.0;
+  double io_seconds = 0.0;
+  double allreduce_seconds = 0.0;
+  double epoch_seconds = 0.0;
+  double speedup = 0.0;      // t_epoch(1) / t_epoch(n)
+  double efficiency = 0.0;   // speedup / n
+  double samples_per_second = 0.0;  // aggregate throughput
+  double sustained_pflops = 0.0;    // with flops_per_sample
+};
+
+class StepTimeModel {
+ public:
+  StepTimeModel(StepModelParams params, FilesystemModel filesystem);
+
+  const StepModelParams& params() const noexcept { return params_; }
+  const FilesystemModel& filesystem() const noexcept { return filesystem_; }
+
+  double allreduce_seconds(int nodes) const;
+  double io_seconds(int nodes) const;
+  double step_seconds(int nodes) const;
+
+  /// Epoch walltime for a training set of `train_samples` and a
+  /// validation set of `val_samples`.
+  double epoch_seconds(int nodes, std::int64_t train_samples,
+                       std::int64_t val_samples) const;
+
+  /// Full sweep over `node_counts`; flops_per_sample feeds the
+  /// sustained-Pflop/s column (69.33e9 for the canonical network).
+  std::vector<ScalingPoint> sweep(const std::vector<int>& node_counts,
+                                  std::int64_t train_samples,
+                                  std::int64_t val_samples,
+                                  double flops_per_sample) const;
+
+ private:
+  StepModelParams params_;
+  FilesystemModel filesystem_;
+};
+
+}  // namespace cf::iosim

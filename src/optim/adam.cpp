@@ -1,0 +1,52 @@
+#include "optim/adam.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::optim {
+
+AdamState::AdamState(std::size_t size, AdamConfig config)
+    : config_(config), m_(size, 0.0f), v_(size, 0.0f) {
+  if (config.beta1 < 0.0 || config.beta1 >= 1.0 || config.beta2 < 0.0 ||
+      config.beta2 >= 1.0 || config.epsilon <= 0.0) {
+    throw std::invalid_argument("AdamState: bad hyper-parameters");
+  }
+}
+
+void AdamState::step(std::span<float> params, std::span<const float> grads,
+                     double lr) {
+  if (params.size() != m_.size() || grads.size() != m_.size()) {
+    throw std::invalid_argument("AdamState::step: size mismatch");
+  }
+  ++t_;
+  const float beta1 = static_cast<float>(config_.beta1);
+  const float beta2 = static_cast<float>(config_.beta2);
+  const double bias1 = 1.0 - std::pow(config_.beta1, t_);
+  const double bias2 = 1.0 - std::pow(config_.beta2, t_);
+  const float inv_bias1 = static_cast<float>(1.0 / bias1);
+  const float inv_bias2 = static_cast<float>(1.0 / bias2);
+  const float rate = static_cast<float>(lr);
+  const float eps = static_cast<float>(config_.epsilon);
+
+  const std::size_t n = params.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float g = grads[i];
+    m_[i] = beta1 * m_[i] + (1.0f - beta1) * g;
+    v_[i] = beta2 * v_[i] + (1.0f - beta2) * g * g;
+    const float m_hat = m_[i] * inv_bias1;
+    const float v_hat = v_[i] * inv_bias2;
+    params[i] -= rate * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+void AdamState::restore(std::span<const float> m, std::span<const float> v,
+                        std::int64_t steps) {
+  if (m.size() != m_.size() || v.size() != v_.size() || steps < 0) {
+    throw std::invalid_argument("AdamState::restore: bad state");
+  }
+  std::copy(m.begin(), m.end(), m_.begin());
+  std::copy(v.begin(), v.end(), v_.begin());
+  t_ = steps;
+}
+
+}  // namespace cf::optim

@@ -1,0 +1,46 @@
+// Adam (Kingma & Ba 2014) with the paper's hyper-parameters
+// (beta1 = 0.9, beta2 = 0.999, epsilon = 1e-8, §III-B). Operates on one
+// flat parameter/gradient pair; LarcAdam composes one AdamState per
+// parameter tensor.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cf::optim {
+
+struct AdamConfig {
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// First/second moment state for one parameter tensor.
+class AdamState {
+ public:
+  AdamState() = default;
+  AdamState(std::size_t size, AdamConfig config);
+
+  /// Applies one Adam update with learning rate `lr`. The internal step
+  /// counter (used for bias correction) advances by one.
+  void step(std::span<float> params, std::span<const float> grads,
+            double lr);
+
+  std::int64_t steps_taken() const noexcept { return t_; }
+  const AdamConfig& config() const noexcept { return config_; }
+
+  /// Serialized moment access for checkpointing.
+  std::span<const float> first_moment() const { return m_; }
+  std::span<const float> second_moment() const { return v_; }
+  void restore(std::span<const float> m, std::span<const float> v,
+               std::int64_t steps);
+
+ private:
+  AdamConfig config_;
+  std::vector<float> m_;
+  std::vector<float> v_;
+  std::int64_t t_ = 0;
+};
+
+}  // namespace cf::optim

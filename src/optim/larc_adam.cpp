@@ -1,0 +1,67 @@
+#include "optim/larc_adam.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::optim {
+
+LarcAdam::LarcAdam(std::vector<dnn::ParamView> params, AdamConfig adam,
+                   LarcConfig larc,
+                   std::shared_ptr<const LrSchedule> schedule)
+    : params_(std::move(params)),
+      larc_(larc),
+      schedule_(std::move(schedule)) {
+  if (params_.empty()) {
+    throw std::invalid_argument("LarcAdam: no parameters");
+  }
+  if (!schedule_) {
+    throw std::invalid_argument("LarcAdam: schedule is null");
+  }
+  if (larc_.trust_coefficient <= 0.0 || larc_.fallback_ratio <= 0.0) {
+    throw std::invalid_argument("LarcAdam: bad LARC constants");
+  }
+  std::size_t max_size = 0;
+  states_.reserve(params_.size());
+  for (const dnn::ParamView& p : params_) {
+    if (p.value == nullptr || p.grad == nullptr ||
+        p.value->shape() != p.grad->shape()) {
+      throw std::invalid_argument("LarcAdam: malformed parameter view");
+    }
+    states_.emplace_back(p.value->size(), adam);
+    max_size = std::max(max_size, p.value->size());
+  }
+  scaled_grad_.resize(max_size);
+  last_local_rates_.resize(params_.size(), 0.0);
+}
+
+void LarcAdam::step() {
+  const double eta_t = schedule_->lr(step_);
+  ++step_;
+  last_lr_ = eta_t;
+
+  for (std::size_t group = 0; group < params_.size(); ++group) {
+    const dnn::ParamView& p = params_[group];
+    const std::size_t n = p.value->size();
+    const double weight_norm = tensor::l2_norm(p.value->values());
+    const double grad_norm = tensor::l2_norm(p.grad->values());
+
+    double local_rate = larc_.fallback_ratio;
+    if (weight_norm != 0.0 && grad_norm != 0.0) {
+      local_rate = larc_.trust_coefficient * weight_norm / grad_norm;
+    }
+    if (larc_.clip) local_rate = std::min(local_rate, 1.0);
+    last_local_rates_[group] = local_rate;
+
+    const float scale = static_cast<float>(local_rate);
+    const float* g = p.grad->data();
+    for (std::size_t i = 0; i < n; ++i) scaled_grad_[i] = scale * g[i];
+
+    states_[group].step(p.value->values(),
+                        std::span<const float>(scaled_grad_.data(), n),
+                        eta_t);
+  }
+}
+
+}  // namespace cf::optim

@@ -1,0 +1,27 @@
+#include "optim/lr_schedule.hpp"
+
+#include <stdexcept>
+
+namespace cf::optim {
+
+PolynomialDecay::PolynomialDecay(double base_lr, double min_lr,
+                                 std::int64_t decay_steps)
+    : base_lr_(base_lr), min_lr_(min_lr), decay_steps_(decay_steps) {
+  if (base_lr <= 0.0 || min_lr < 0.0 || min_lr > base_lr) {
+    throw std::invalid_argument("PolynomialDecay: need 0 <= min_lr <= "
+                                "base_lr, base_lr > 0");
+  }
+  if (decay_steps <= 0) {
+    throw std::invalid_argument("PolynomialDecay: decay_steps must be > 0");
+  }
+}
+
+double PolynomialDecay::lr(std::int64_t step) const {
+  if (step < 0) throw std::invalid_argument("PolynomialDecay: step < 0");
+  if (step >= decay_steps_) return min_lr_;
+  const double fraction =
+      1.0 - static_cast<double>(step) / static_cast<double>(decay_steps_);
+  return (base_lr_ - min_lr_) * fraction + min_lr_;
+}
+
+}  // namespace cf::optim

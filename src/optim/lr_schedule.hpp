@@ -1,0 +1,47 @@
+// Learning-rate schedules. CosmoFlow uses a polynomial decay with
+// power 1 (§III-B):
+//
+//   eta_t = (eta_0 - eta_min) * (1 - t / t_decay) + eta_min
+//
+// which enables large learning rates early in training and decays to
+// eta_min to help convergence at large effective batch sizes.
+#pragma once
+
+#include <cstdint>
+
+namespace cf::optim {
+
+class LrSchedule {
+ public:
+  virtual ~LrSchedule() = default;
+  virtual double lr(std::int64_t step) const = 0;
+};
+
+class PolynomialDecay final : public LrSchedule {
+ public:
+  /// Paper defaults: eta_0 = 2e-3, eta_min = 1e-4.
+  PolynomialDecay(double base_lr, double min_lr, std::int64_t decay_steps);
+
+  /// Clamped to min_lr once t >= decay_steps.
+  double lr(std::int64_t step) const override;
+
+  double base_lr() const noexcept { return base_lr_; }
+  double min_lr() const noexcept { return min_lr_; }
+  std::int64_t decay_steps() const noexcept { return decay_steps_; }
+
+ private:
+  double base_lr_;
+  double min_lr_;
+  std::int64_t decay_steps_;
+};
+
+class ConstantLr final : public LrSchedule {
+ public:
+  explicit ConstantLr(double lr) : lr_(lr) {}
+  double lr(std::int64_t) const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+}  // namespace cf::optim

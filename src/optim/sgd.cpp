@@ -1,0 +1,42 @@
+#include "optim/sgd.hpp"
+
+#include <stdexcept>
+
+namespace cf::optim {
+
+SgdMomentum::SgdMomentum(std::vector<dnn::ParamView> params, double momentum,
+                         std::shared_ptr<const LrSchedule> schedule)
+    : params_(std::move(params)),
+      momentum_(momentum),
+      schedule_(std::move(schedule)) {
+  if (params_.empty()) throw std::invalid_argument("SgdMomentum: no params");
+  if (!schedule_) throw std::invalid_argument("SgdMomentum: null schedule");
+  if (momentum < 0.0 || momentum >= 1.0) {
+    throw std::invalid_argument("SgdMomentum: momentum must be in [0, 1)");
+  }
+  velocity_.reserve(params_.size());
+  for (const dnn::ParamView& p : params_) {
+    if (p.value == nullptr || p.grad == nullptr) {
+      throw std::invalid_argument("SgdMomentum: malformed parameter view");
+    }
+    velocity_.emplace_back(p.value->size(), 0.0f);
+  }
+}
+
+void SgdMomentum::step() {
+  const double lr = schedule_->lr(step_);
+  ++step_;
+  const float rate = static_cast<float>(lr);
+  const float mu = static_cast<float>(momentum_);
+  for (std::size_t group = 0; group < params_.size(); ++group) {
+    float* w = params_[group].value->data();
+    const float* g = params_[group].grad->data();
+    std::vector<float>& vel = velocity_[group];
+    for (std::size_t i = 0; i < vel.size(); ++i) {
+      vel[i] = mu * vel[i] + g[i];
+      w[i] -= rate * vel[i];
+    }
+  }
+}
+
+}  // namespace cf::optim

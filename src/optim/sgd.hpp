@@ -1,0 +1,31 @@
+// Plain SGD with momentum — the ablation baseline against Adam+LARC
+// (the paper motivates LARC by the instability of plain large-batch
+// SGD; bench/bench_ablation compares the two).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dnn/layer.hpp"
+#include "optim/lr_schedule.hpp"
+
+namespace cf::optim {
+
+class SgdMomentum {
+ public:
+  SgdMomentum(std::vector<dnn::ParamView> params, double momentum,
+              std::shared_ptr<const LrSchedule> schedule);
+
+  void step();
+
+  std::int64_t steps_taken() const noexcept { return step_; }
+
+ private:
+  std::vector<dnn::ParamView> params_;
+  std::vector<std::vector<float>> velocity_;
+  double momentum_;
+  std::shared_ptr<const LrSchedule> schedule_;
+  std::int64_t step_ = 0;
+};
+
+}  // namespace cf::optim

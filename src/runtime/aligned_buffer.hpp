@@ -1,0 +1,80 @@
+// Cache-line / SIMD aligned storage for kernel data.
+//
+// Tensor payloads are aligned to 64 bytes so that AVX-512 loads of
+// 16-float channel blocks (the nCdhw16c layout of dnn/conv3d) are always
+// aligned, mirroring the alignment contract MKL-DNN imposes on its
+// primitives.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace cf::runtime {
+
+inline constexpr std::size_t kAlignment = 64;
+
+/// Owning, 64-byte-aligned, uninitialized array of trivially
+/// destructible elements. Move-only.
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "AlignedBuffer holds raw kernel data only");
+
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count) : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T));
+    data_ = static_cast<T*>(std::aligned_alloc(kAlignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      release();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { release(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+ private:
+  static std::size_t round_up(std::size_t bytes) {
+    return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  }
+
+  void release() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace cf::runtime

@@ -1,0 +1,53 @@
+// Reusable sense-reversing barrier for rank-thread synchronization.
+//
+// cf::comm models MPI ranks as threads of one process; every collective
+// (broadcast, allreduce) is phrased as compute steps separated by
+// barrier episodes, exactly like the bulk-synchronous structure of the
+// paper's SSGD training loop.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace cf::runtime {
+
+/// Blocking barrier for a fixed set of participants; reusable any
+/// number of times. Uses a condition variable (ranks may oversubscribe
+/// cores heavily, so spinning would be pathological on small machines).
+class Barrier {
+ public:
+  explicit Barrier(std::size_t participants)
+      : participants_(participants), remaining_(participants) {}
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all participants arrive. Returns true on exactly one
+  /// participant per episode (the last to arrive), false on the others —
+  /// handy for electing a thread to do per-phase setup.
+  bool arrive_and_wait() {
+    std::unique_lock lock(mutex_);
+    const std::size_t my_phase = phase_;
+    if (--remaining_ == 0) {
+      remaining_ = participants_;
+      ++phase_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return phase_ != my_phase; });
+    return false;
+  }
+
+  std::size_t participants() const noexcept { return participants_; }
+
+ private:
+  const std::size_t participants_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t remaining_;
+  std::size_t phase_ = 0;
+};
+
+}  // namespace cf::runtime

@@ -1,0 +1,118 @@
+#include "runtime/rng.hpp"
+
+#include <cmath>
+
+namespace cf::runtime {
+
+namespace {
+
+constexpr std::uint32_t kPhiloxM0 = 0xD2511F53u;
+constexpr std::uint32_t kPhiloxM1 = 0xCD9E8D57u;
+constexpr std::uint32_t kPhiloxW0 = 0x9E3779B9u;  // golden ratio
+constexpr std::uint32_t kPhiloxW1 = 0xBB67AE85u;  // sqrt(3) - 1
+
+inline std::uint32_t mul_hi(std::uint32_t a, std::uint32_t b) noexcept {
+  return static_cast<std::uint32_t>(
+      (static_cast<std::uint64_t>(a) * b) >> 32);
+}
+
+inline Philox4x32::Counter single_round(Philox4x32::Counter ctr,
+                                        Philox4x32::Key key) noexcept {
+  const std::uint32_t lo0 = kPhiloxM0 * ctr[0];
+  const std::uint32_t hi0 = mul_hi(kPhiloxM0, ctr[0]);
+  const std::uint32_t lo1 = kPhiloxM1 * ctr[2];
+  const std::uint32_t hi1 = mul_hi(kPhiloxM1, ctr[2]);
+  return {hi1 ^ ctr[1] ^ key[0], lo1, hi0 ^ ctr[3] ^ key[1], lo0};
+}
+
+}  // namespace
+
+Philox4x32::Counter Philox4x32::round10(Counter ctr, Key key) noexcept {
+  for (int round = 0; round < 10; ++round) {
+    ctr = single_round(ctr, key);
+    key[0] += kPhiloxW0;
+    key[1] += kPhiloxW1;
+  }
+  return ctr;
+}
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) noexcept {
+  key_ = {static_cast<std::uint32_t>(seed),
+          static_cast<std::uint32_t>(seed >> 32)};
+  counter_ = {0, 0, static_cast<std::uint32_t>(stream),
+              static_cast<std::uint32_t>(stream >> 32)};
+}
+
+void Rng::refill() noexcept {
+  buffer_ = Philox4x32::round10(counter_, key_);
+  buffered_ = 4;
+  // 64-bit increment of the low half of the counter; the high half
+  // carries the stream id and is never touched.
+  if (++counter_[0] == 0) ++counter_[1];
+}
+
+std::uint32_t Rng::next_u32() noexcept {
+  if (buffered_ == 0) refill();
+  return buffer_[4 - buffered_--];
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t hi = next_u32();
+  return (hi << 32) | next_u32();
+}
+
+float Rng::uniform() noexcept {
+  // 24 significant bits so the result is exact in float and < 1.
+  return static_cast<float>(next_u32() >> 8) * 0x1.0p-24f;
+}
+
+double Rng::uniform_double() noexcept {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+float Rng::normal() noexcept {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; u1 must be > 0 for the log.
+  float u1 = 0.0f;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0f);
+  const float u2 = uniform();
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float angle = 2.0f * 3.14159265358979323846f * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+float Rng::normal(float mean, float stddev) noexcept {
+  return mean + stddev * normal();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) noexcept {
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - ~std::uint64_t{0} % n;
+  std::uint64_t value = 0;
+  do {
+    value = next_u64();
+  } while (value >= limit);
+  return value % n;
+}
+
+void Rng::skip_blocks(std::uint64_t n) noexcept {
+  const std::uint64_t lo = counter_[0] + static_cast<std::uint32_t>(n);
+  const bool carry_lo = lo < counter_[0];
+  counter_[0] = static_cast<std::uint32_t>(lo);
+  counter_[1] += static_cast<std::uint32_t>(n >> 32) + (carry_lo ? 1 : 0);
+  buffered_ = 0;
+  has_cached_normal_ = false;
+}
+
+}  // namespace cf::runtime

@@ -1,0 +1,62 @@
+// Counter-based random number generation (Philox4x32-10).
+//
+// Training, simulation and data sharding all need reproducible streams
+// that can be split per rank / per simulation box without coordination.
+// A counter-based generator gives every (seed, stream) pair an
+// independent sequence; jumping to any offset is O(1). This mirrors the
+// Philox generator TensorFlow uses for its random ops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace cf::runtime {
+
+/// Raw Philox4x32-10 block function: maps (counter, key) -> 4x u32.
+struct Philox4x32 {
+  using Counter = std::array<std::uint32_t, 4>;
+  using Key = std::array<std::uint32_t, 2>;
+
+  static Counter round10(Counter ctr, Key key) noexcept;
+};
+
+/// Convenience stream wrapping Philox with buffered output and
+/// float/double/normal helpers.
+class Rng {
+ public:
+  /// `seed` selects the key, `stream` partitions independent substreams
+  /// (e.g. one per MPI rank or per simulation box).
+  explicit Rng(std::uint64_t seed = 0, std::uint64_t stream = 0) noexcept;
+
+  std::uint32_t next_u32() noexcept;
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  float uniform() noexcept;
+  double uniform_double() noexcept;
+
+  /// Uniform in [lo, hi).
+  float uniform(float lo, float hi) noexcept;
+
+  /// Standard normal via Box-Muller (caches the second variate).
+  float normal() noexcept;
+  float normal(float mean, float stddev) noexcept;
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// Jump the counter forward by `n` 128-bit blocks. O(1).
+  void skip_blocks(std::uint64_t n) noexcept;
+
+ private:
+  void refill() noexcept;
+
+  Philox4x32::Counter counter_{};
+  Philox4x32::Key key_{};
+  std::array<std::uint32_t, 4> buffer_{};
+  int buffered_ = 0;      // unread values remaining in buffer_
+  bool has_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace cf::runtime

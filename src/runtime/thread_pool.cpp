@@ -1,0 +1,125 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace cf::runtime {
+
+std::size_t ThreadPool::default_num_threads() {
+  if (const char* env = std::getenv("COSMOFLOW_NUM_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(std::max<std::size_t>(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::chunk_bounds(std::size_t total, std::size_t worker,
+                              std::size_t* begin, std::size_t* end) const {
+  const std::size_t base = total / num_threads_;
+  const std::size_t remainder = total % num_threads_;
+  *begin = worker * base + std::min(worker, remainder);
+  *end = *begin + base + (worker < remainder ? 1 : 0);
+}
+
+void ThreadPool::run_chunk(std::size_t worker) {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  chunk_bounds(task_.total, worker, &begin, &end);
+  if (begin >= end) return;
+  task_.body(begin, end, worker);
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_ready_.wait(lock, [&] {
+        return stopping_ || generation_ != seen_generation;
+      });
+      if (stopping_) return;
+      seen_generation = generation_;
+    }
+    std::exception_ptr error;
+    try {
+      run_chunk(worker_index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--pending_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (total == 0) return;
+  if (num_threads_ == 1 || total == 1) {
+    body(0, total, 0);
+    return;
+  }
+  {
+    std::lock_guard lock(mutex_);
+    task_.body = body;
+    task_.total = total;
+    pending_ = num_threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+
+  std::exception_ptr caller_error;
+  try {
+    run_chunk(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock lock(mutex_);
+  work_done_.wait(lock, [&] { return pending_ == 0; });
+  task_.body = nullptr;
+  const std::exception_ptr error =
+      caller_error ? caller_error : first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error) std::rethrow_exception(error);
+}
+
+void ThreadPool::run_on_all(
+    const std::function<void(std::size_t worker)>& body) {
+  parallel_for(num_threads_,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) body(i);
+               });
+}
+
+}  // namespace cf::runtime

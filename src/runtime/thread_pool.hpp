@@ -1,0 +1,78 @@
+// Persistent worker-thread pool with a static-partition parallel_for.
+//
+// This is the threading substrate under every compute kernel in cf::dnn
+// (the paper threads its MKL-DNN primitives over output voxels /
+// channel blocks with OpenMP; we provide the same decomposition with a
+// owned pool so partitioning is deterministic and testable).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cf::runtime {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts workers *including* the calling thread:
+  /// parallel_for(n) runs chunk 0 on the caller and chunks 1..n-1 on
+  /// pool threads. num_threads == 1 means fully serial (no threads
+  /// spawned).
+  explicit ThreadPool(std::size_t num_threads = default_num_threads());
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  std::size_t num_threads() const noexcept { return num_threads_; }
+
+  /// Run body(begin, end, worker) over [0, total) split into
+  /// num_threads contiguous chunks. Blocks until every chunk is done.
+  /// Exceptions thrown by `body` are rethrown on the caller (first one
+  /// wins).
+  void parallel_for(
+      std::size_t total,
+      const std::function<void(std::size_t begin, std::size_t end,
+                               std::size_t worker)>& body);
+
+  /// Run body(worker) once on each of the num_threads workers.
+  void run_on_all(const std::function<void(std::size_t worker)>& body);
+
+  /// Process-wide pool sized from the COSMOFLOW_NUM_THREADS environment
+  /// variable (default: hardware_concurrency).
+  static ThreadPool& global();
+
+  static std::size_t default_num_threads();
+
+ private:
+  struct Task {
+    std::function<void(std::size_t begin, std::size_t end,
+                       std::size_t worker)>
+        body;
+    std::size_t total = 0;
+    std::size_t generation = 0;
+  };
+
+  void worker_loop(std::size_t worker_index);
+  void chunk_bounds(std::size_t total, std::size_t worker,
+                    std::size_t* begin, std::size_t* end) const;
+  void run_chunk(std::size_t worker);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  Task task_;
+  std::size_t pending_ = 0;
+  std::size_t generation_ = 0;
+  bool stopping_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cf::runtime

@@ -1,0 +1,193 @@
+#include "tensor/layout.hpp"
+
+#include <stdexcept>
+
+namespace cf::tensor {
+
+std::int64_t blocked_channel_count(std::int64_t channels) {
+  return (channels + kChannelBlock - 1) / kChannelBlock;
+}
+
+namespace {
+
+void require_rank(const Tensor& t, std::size_t rank, const char* what) {
+  if (t.shape().rank() != rank) {
+    throw std::invalid_argument(std::string(what) + ": expected rank " +
+                                std::to_string(rank) + ", got shape " +
+                                t.shape().to_string());
+  }
+}
+
+}  // namespace
+
+Tensor to_blocked_activation(const Tensor& plain) {
+  require_rank(plain, 4, "to_blocked_activation");
+  const std::int64_t c = plain.shape()[0];
+  const std::int64_t d = plain.shape()[1];
+  const std::int64_t h = plain.shape()[2];
+  const std::int64_t w = plain.shape()[3];
+  const std::int64_t cb = blocked_channel_count(c);
+  Tensor blocked(Shape{cb, d, h, w, kChannelBlock});
+
+  const std::int64_t spatial = d * h * w;
+  const float* src = plain.data();
+  float* dst = blocked.data();
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    const std::int64_t block = ch / kChannelBlock;
+    const std::int64_t lane = ch % kChannelBlock;
+    const float* src_ch = src + ch * spatial;
+    float* dst_block = dst + block * spatial * kChannelBlock + lane;
+    for (std::int64_t v = 0; v < spatial; ++v) {
+      dst_block[v * kChannelBlock] = src_ch[v];
+    }
+  }
+  return blocked;
+}
+
+Tensor from_blocked_activation(const Tensor& blocked, std::int64_t channels) {
+  require_rank(blocked, 5, "from_blocked_activation");
+  if (blocked.shape()[4] != kChannelBlock) {
+    throw std::invalid_argument(
+        "from_blocked_activation: innermost dim must be 16");
+  }
+  if (blocked_channel_count(channels) != blocked.shape()[0]) {
+    throw std::invalid_argument(
+        "from_blocked_activation: channel count inconsistent with blocks");
+  }
+  const std::int64_t d = blocked.shape()[1];
+  const std::int64_t h = blocked.shape()[2];
+  const std::int64_t w = blocked.shape()[3];
+  const std::int64_t spatial = d * h * w;
+  Tensor plain(Shape{channels, d, h, w});
+
+  const float* src = blocked.data();
+  float* dst = plain.data();
+  for (std::int64_t ch = 0; ch < channels; ++ch) {
+    const std::int64_t block = ch / kChannelBlock;
+    const std::int64_t lane = ch % kChannelBlock;
+    const float* src_block = src + block * spatial * kChannelBlock + lane;
+    float* dst_ch = dst + ch * spatial;
+    for (std::int64_t v = 0; v < spatial; ++v) {
+      dst_ch[v] = src_block[v * kChannelBlock];
+    }
+  }
+  return plain;
+}
+
+Tensor to_blocked_weights(const Tensor& plain) {
+  require_rank(plain, 5, "to_blocked_weights");
+  const std::int64_t oc = plain.shape()[0];
+  const std::int64_t ic = plain.shape()[1];
+  const std::int64_t kd = plain.shape()[2];
+  const std::int64_t kh = plain.shape()[3];
+  const std::int64_t kw = plain.shape()[4];
+  const std::int64_t ocb = blocked_channel_count(oc);
+  const std::int64_t icb = blocked_channel_count(ic);
+  Tensor blocked(
+      Shape{ocb, icb, kd, kh, kw, kChannelBlock, kChannelBlock});
+
+  const std::int64_t kvol = kd * kh * kw;
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t i = 0; i < ic; ++i) {
+      const float* src = plain.data() + (o * ic + i) * kvol;
+      float* dst = blocked.data() +
+                   (((o / kChannelBlock) * icb + i / kChannelBlock) * kvol) *
+                       kChannelBlock * kChannelBlock +
+                   (i % kChannelBlock) * kChannelBlock + o % kChannelBlock;
+      for (std::int64_t k = 0; k < kvol; ++k) {
+        dst[k * kChannelBlock * kChannelBlock] = src[k];
+      }
+    }
+  }
+  return blocked;
+}
+
+Tensor from_blocked_weights(const Tensor& blocked, std::int64_t oc,
+                            std::int64_t ic) {
+  require_rank(blocked, 7, "from_blocked_weights");
+  if (blocked.shape()[0] != blocked_channel_count(oc) ||
+      blocked.shape()[1] != blocked_channel_count(ic)) {
+    throw std::invalid_argument(
+        "from_blocked_weights: channel counts inconsistent with blocks");
+  }
+  const std::int64_t icb = blocked.shape()[1];
+  const std::int64_t kd = blocked.shape()[2];
+  const std::int64_t kh = blocked.shape()[3];
+  const std::int64_t kw = blocked.shape()[4];
+  const std::int64_t kvol = kd * kh * kw;
+  Tensor plain(Shape{oc, ic, kd, kh, kw});
+
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t i = 0; i < ic; ++i) {
+      float* dst = plain.data() + (o * ic + i) * kvol;
+      const float* src =
+          blocked.data() +
+          (((o / kChannelBlock) * icb + i / kChannelBlock) * kvol) *
+              kChannelBlock * kChannelBlock +
+          (i % kChannelBlock) * kChannelBlock + o % kChannelBlock;
+      for (std::int64_t k = 0; k < kvol; ++k) {
+        dst[k] = src[k * kChannelBlock * kChannelBlock];
+      }
+    }
+  }
+  return plain;
+}
+
+Tensor to_blocked_weights_small_ic(const Tensor& plain) {
+  require_rank(plain, 5, "to_blocked_weights_small_ic");
+  const std::int64_t oc = plain.shape()[0];
+  const std::int64_t ic = plain.shape()[1];
+  if (ic >= kChannelBlock) {
+    throw std::invalid_argument(
+        "to_blocked_weights_small_ic: IC must be < 16");
+  }
+  const std::int64_t kd = plain.shape()[2];
+  const std::int64_t kh = plain.shape()[3];
+  const std::int64_t kw = plain.shape()[4];
+  const std::int64_t ocb = blocked_channel_count(oc);
+  Tensor blocked(Shape{ocb, kd, kh, kw, ic, kChannelBlock});
+
+  const std::int64_t kvol = kd * kh * kw;
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t i = 0; i < ic; ++i) {
+      const float* src = plain.data() + (o * ic + i) * kvol;
+      float* dst = blocked.data() +
+                   (o / kChannelBlock) * kvol * ic * kChannelBlock +
+                   i * kChannelBlock + o % kChannelBlock;
+      for (std::int64_t k = 0; k < kvol; ++k) {
+        dst[k * ic * kChannelBlock] = src[k];
+      }
+    }
+  }
+  return blocked;
+}
+
+Tensor from_blocked_weights_small_ic(const Tensor& blocked, std::int64_t oc,
+                                     std::int64_t ic) {
+  require_rank(blocked, 6, "from_blocked_weights_small_ic");
+  if (blocked.shape()[0] != blocked_channel_count(oc) ||
+      blocked.shape()[4] != ic) {
+    throw std::invalid_argument(
+        "from_blocked_weights_small_ic: shape inconsistent");
+  }
+  const std::int64_t kd = blocked.shape()[1];
+  const std::int64_t kh = blocked.shape()[2];
+  const std::int64_t kw = blocked.shape()[3];
+  const std::int64_t kvol = kd * kh * kw;
+  Tensor plain(Shape{oc, ic, kd, kh, kw});
+
+  for (std::int64_t o = 0; o < oc; ++o) {
+    for (std::int64_t i = 0; i < ic; ++i) {
+      float* dst = plain.data() + (o * ic + i) * kvol;
+      const float* src = blocked.data() +
+                         (o / kChannelBlock) * kvol * ic * kChannelBlock +
+                         i * kChannelBlock + o % kChannelBlock;
+      for (std::int64_t k = 0; k < kvol; ++k) {
+        dst[k] = src[k * ic * kChannelBlock];
+      }
+    }
+  }
+  return plain;
+}
+
+}  // namespace cf::tensor

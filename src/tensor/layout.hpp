@@ -1,0 +1,51 @@
+// Blocked data layouts for the 3D convolution primitives.
+//
+// Algorithm 1 of the paper blocks activations and weights by 16
+// channels so the innermost loops vectorize over a full AVX-512
+// register:
+//   activation  plain {C, D, H, W}        -> blocked {Cb, D, H, W, 16}
+//   weights     plain {OC, IC, KD, KH, KW} -> blocked {OCb, ICb, KD, KH,
+//                                             KW, 16ic, 16oc}
+// Channel counts that are not multiples of 16 are zero-padded in the
+// blocked form (the canonical CosmoFlow topology keeps every channel
+// count a multiple of 16 precisely to avoid this, §III-A). The first
+// conv layer (IC == 1) uses a dedicated weight layout
+// {OCb, KD, KH, KW, IC, 16oc} so the 128^3 input volume is not blown up
+// 16x.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace cf::tensor {
+
+inline constexpr std::int64_t kChannelBlock = 16;
+
+/// ceil(channels / 16)
+std::int64_t blocked_channel_count(std::int64_t channels);
+
+/// plain {C, D, H, W} -> blocked {Cb, D, H, W, 16}; tail channels of the
+/// last block are zero.
+Tensor to_blocked_activation(const Tensor& plain);
+
+/// blocked {Cb, D, H, W, 16} -> plain {channels, D, H, W}.
+Tensor from_blocked_activation(const Tensor& blocked, std::int64_t channels);
+
+/// plain {OC, IC, KD, KH, KW} -> blocked {OCb, ICb, KD, KH, KW, 16, 16}
+/// with layout w[ocb][icb][kd][kh][kw][ic][oc].
+Tensor to_blocked_weights(const Tensor& plain);
+
+/// Inverse of to_blocked_weights.
+Tensor from_blocked_weights(const Tensor& blocked, std::int64_t oc,
+                            std::int64_t ic);
+
+/// plain {OC, IC, KD, KH, KW} with small IC (< 16) ->
+/// {OCb, KD, KH, KW, IC, 16oc}.
+Tensor to_blocked_weights_small_ic(const Tensor& plain);
+
+/// Inverse of to_blocked_weights_small_ic.
+Tensor from_blocked_weights_small_ic(const Tensor& blocked, std::int64_t oc,
+                                     std::int64_t ic);
+
+}  // namespace cf::tensor

@@ -1,0 +1,76 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace cf::tensor {
+
+Shape::Shape(std::initializer_list<std::int64_t> dims) {
+  if (dims.size() > kMaxRank) {
+    throw std::invalid_argument("Shape: rank exceeds kMaxRank");
+  }
+  for (const std::int64_t d : dims) {
+    if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+    dims_[rank_++] = d;
+  }
+}
+
+std::int64_t Shape::dim(std::size_t axis) const {
+  if (axis >= rank_) throw std::out_of_range("Shape::dim: axis out of range");
+  return dims_[axis];
+}
+
+std::int64_t Shape::numel() const noexcept {
+  std::int64_t n = 1;
+  for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+  return n;
+}
+
+std::int64_t Shape::stride(std::size_t axis) const {
+  if (axis >= rank_) {
+    throw std::out_of_range("Shape::stride: axis out of range");
+  }
+  std::int64_t s = 1;
+  for (std::size_t i = axis + 1; i < rank_; ++i) s *= dims_[i];
+  return s;
+}
+
+bool Shape::operator==(const Shape& other) const noexcept {
+  if (rank_ != other.rank_) return false;
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (dims_[i] != other.dims_[i]) return false;
+  }
+  return true;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i > 0) out << ", ";
+    out << dims_[i];
+  }
+  out << '}';
+  return out.str();
+}
+
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad_total) {
+  if (kernel <= 0 || stride <= 0 || pad_total < 0) {
+    throw std::invalid_argument("conv_out_dim: bad window parameters");
+  }
+  const std::int64_t padded = in + pad_total - kernel;
+  if (padded < 0) {
+    throw std::invalid_argument("conv_out_dim: window larger than input");
+  }
+  return padded / stride + 1;
+}
+
+std::int64_t same_pad_total(std::int64_t in, std::int64_t kernel,
+                            std::int64_t stride) {
+  const std::int64_t out = (in + stride - 1) / stride;
+  const std::int64_t needed = (out - 1) * stride + kernel - in;
+  return needed > 0 ? needed : 0;
+}
+
+}  // namespace cf::tensor

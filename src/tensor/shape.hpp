@@ -1,0 +1,64 @@
+// Tensor shapes.
+//
+// CosmoFlow trains with a mini-batch of one sample per rank (§III-B),
+// so activations carry no batch dimension: a conv activation is
+// {C, D, H, W} in plain layout or {Cb, D, H, W, 16} in the blocked
+// layout of Algorithm 1; dense activations are {N}. Shapes are small
+// fixed-capacity value types.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+namespace cf::tensor {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 7;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims);
+
+  static Shape of(std::initializer_list<std::int64_t> dims) {
+    return Shape(dims);
+  }
+
+  std::size_t rank() const noexcept { return rank_; }
+  std::int64_t dim(std::size_t axis) const;
+  std::int64_t operator[](std::size_t axis) const { return dim(axis); }
+
+  /// Total number of elements (1 for a rank-0 shape).
+  std::int64_t numel() const noexcept;
+
+  /// Row-major stride of `axis`.
+  std::int64_t stride(std::size_t axis) const;
+
+  bool operator==(const Shape& other) const noexcept;
+  bool operator!=(const Shape& other) const noexcept {
+    return !(*this == other);
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_{};
+  std::size_t rank_ = 0;
+};
+
+/// Output spatial size of a convolution/pooling window:
+/// floor((in + pad_total - kernel) / stride) + 1, where pad_total is
+/// the sum of leading and trailing padding. Throws on non-positive
+/// results.
+std::int64_t conv_out_dim(std::int64_t in, std::int64_t kernel,
+                          std::int64_t stride, std::int64_t pad_total);
+
+/// Total padding that keeps out == ceil(in / stride) for a given kernel
+/// ("same" padding). Split as lo = total / 2, hi = total - lo — the
+/// extra element goes at the end, matching TensorFlow.
+std::int64_t same_pad_total(std::int64_t in, std::int64_t kernel,
+                            std::int64_t stride);
+
+}  // namespace cf::tensor

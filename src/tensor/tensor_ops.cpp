@@ -1,0 +1,83 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cf::tensor {
+
+namespace {
+
+void require_same_size(std::span<const float> x, std::span<const float> y,
+                       const char* what) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+}
+
+}  // namespace
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  require_same_size(x, y, "axpy");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale(std::span<float> x, float alpha) {
+  for (float& v : x) v *= alpha;
+}
+
+double dot(std::span<const float> x, std::span<const float> y) {
+  require_same_size(x, y, "dot");
+  double acc = 0.0;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  return acc;
+}
+
+double l2_norm(std::span<const float> x) { return std::sqrt(dot(x, x)); }
+
+double sum(std::span<const float> x) {
+  double acc = 0.0;
+  for (const float v : x) acc += v;
+  return acc;
+}
+
+float max_abs(std::span<const float> x) {
+  float m = 0.0f;
+  for (const float v : x) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float max_abs_diff(std::span<const float> x, std::span<const float> y) {
+  require_same_size(x, y, "max_abs_diff");
+  float m = 0.0f;
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    m = std::max(m, std::fabs(x[i] - y[i]));
+  }
+  return m;
+}
+
+bool allclose(std::span<const float> x, std::span<const float> y, float rtol,
+              float atol) {
+  require_same_size(x, y, "allclose");
+  const std::size_t n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::fabs(x[i] - y[i]) > atol + rtol * std::fabs(y[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void fill_uniform(Tensor& t, runtime::Rng& rng, float lo, float hi) {
+  for (float& v : t.values()) v = rng.uniform(lo, hi);
+}
+
+void fill_normal(Tensor& t, runtime::Rng& rng, float mean, float stddev) {
+  for (float& v : t.values()) v = rng.normal(mean, stddev);
+}
+
+}  // namespace cf::tensor

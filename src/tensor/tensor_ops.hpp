@@ -1,0 +1,38 @@
+// Element-wise vector math over float spans. These back the optimizer
+// updates, LARC norms, gradient aggregation and test comparisons.
+#pragma once
+
+#include <span>
+
+#include "runtime/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cf::tensor {
+
+/// y += alpha * x
+void axpy(float alpha, std::span<const float> x, std::span<float> y);
+
+/// x *= alpha
+void scale(std::span<float> x, float alpha);
+
+/// sum_i x[i] * y[i] (accumulated in double).
+double dot(std::span<const float> x, std::span<const float> y);
+
+/// sqrt(sum x^2) (accumulated in double).
+double l2_norm(std::span<const float> x);
+
+double sum(std::span<const float> x);
+
+float max_abs(std::span<const float> x);
+
+/// max_i |x[i] - y[i]|
+float max_abs_diff(std::span<const float> x, std::span<const float> y);
+
+/// True when |x - y| <= atol + rtol * |y| element-wise.
+bool allclose(std::span<const float> x, std::span<const float> y,
+              float rtol = 1e-5f, float atol = 1e-6f);
+
+void fill_uniform(Tensor& t, runtime::Rng& rng, float lo, float hi);
+void fill_normal(Tensor& t, runtime::Rng& rng, float mean, float stddev);
+
+}  // namespace cf::tensor

@@ -1,0 +1,95 @@
+// Tests for orientation augmentation (data/augment.hpp).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/augment.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::data {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_volume(std::int64_t n, std::uint64_t seed) {
+  Tensor volume(Shape{1, n, n, n});
+  runtime::Rng rng(seed);
+  tensor::fill_normal(volume, rng, 0.0f, 1.0f);
+  return volume;
+}
+
+TEST(OrientVolume, IdentityCodeLeavesVolumeUntouched) {
+  Tensor volume = random_volume(4, 1);
+  const Tensor original = volume.clone();
+  orient_volume(volume, 0);
+  EXPECT_EQ(tensor::max_abs_diff(volume.values(), original.values()), 0.0f);
+}
+
+TEST(OrientVolume, ConservesMassAndMultiset) {
+  Tensor volume = random_volume(4, 2);
+  const double mass = tensor::sum(volume.values());
+  std::multiset<float> original(volume.values().begin(),
+                                volume.values().end());
+  for (std::uint32_t code = 0; code < kOrientationCount; ++code) {
+    Tensor oriented = volume.clone();
+    orient_volume(oriented, code);
+    EXPECT_NEAR(tensor::sum(oriented.values()), mass, 1e-3);
+    std::multiset<float> values(oriented.values().begin(),
+                                oriented.values().end());
+    EXPECT_EQ(values, original) << "code " << code;
+  }
+}
+
+TEST(OrientVolume, All48OrientationsAreDistinct) {
+  // A generic volume has trivial symmetry group, so the 48 images must
+  // be pairwise distinct.
+  Tensor volume = random_volume(3, 3);
+  std::set<std::vector<float>> images;
+  for (std::uint32_t code = 0; code < kOrientationCount; ++code) {
+    Tensor oriented = volume.clone();
+    orient_volume(oriented, code);
+    images.insert(oriented.to_vector());
+  }
+  EXPECT_EQ(images.size(), kOrientationCount);
+}
+
+TEST(OrientVolume, PureMirrorIsAnInvolution) {
+  // Codes 1..7 are pure mirrors (identity permutation): applying twice
+  // restores the volume.
+  for (std::uint32_t mirror = 1; mirror < 8; ++mirror) {
+    Tensor volume = random_volume(4, 4 + mirror);
+    const Tensor original = volume.clone();
+    orient_volume(volume, mirror);
+    EXPECT_GT(tensor::max_abs_diff(volume.values(), original.values()),
+              0.0f);
+    orient_volume(volume, mirror);
+    EXPECT_EQ(tensor::max_abs_diff(volume.values(), original.values()),
+              0.0f);
+  }
+}
+
+TEST(OrientVolume, MirrorBit0FlipsDepthAxis) {
+  Tensor volume(Shape{1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) {
+    volume[i] = static_cast<float>(i);
+  }
+  // Mirror bit 0 flips coordinate 0 (the depth axis z).
+  orient_volume(volume, 1);
+  EXPECT_FLOAT_EQ(volume.at({0, 0, 0, 0}), 4.0f);
+  EXPECT_FLOAT_EQ(volume.at({0, 0, 0, 1}), 5.0f);
+  EXPECT_FLOAT_EQ(volume.at({0, 1, 1, 0}), 2.0f);
+}
+
+TEST(OrientVolume, RejectsBadInputs) {
+  Tensor volume = random_volume(4, 6);
+  EXPECT_THROW(orient_volume(volume, 48), std::invalid_argument);
+  Tensor rect(Shape{1, 2, 2, 4});
+  EXPECT_THROW(orient_volume(rect, 1), std::invalid_argument);
+  Tensor channels(Shape{2, 4, 4, 4});
+  EXPECT_THROW(orient_volume(channels, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cf::data

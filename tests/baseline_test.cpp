@@ -1,0 +1,163 @@
+// Tests for field statistics and the classical summary-statistics
+// baseline estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/baseline.hpp"
+#include "cosmo/gaussian_field.hpp"
+#include "cosmo/statistics.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(FieldMoments, MatchesHandComputedValues) {
+  Tensor volume(Shape{4}, std::vector<float>{1.0f, 2.0f, 3.0f, 4.0f});
+  const cosmo::FieldMoments m = cosmo::field_moments(volume);
+  EXPECT_DOUBLE_EQ(m.mean, 2.5);
+  EXPECT_DOUBLE_EQ(m.variance, 1.25);
+  EXPECT_NEAR(m.skewness, 0.0, 1e-12);  // symmetric values
+}
+
+TEST(FieldMoments, GaussianFieldHasGaussianMoments) {
+  runtime::Rng rng(1);
+  Tensor volume(Shape{1, 16, 16, 16});
+  tensor::fill_normal(volume, rng, 2.0f, 0.5f);
+  const cosmo::FieldMoments m = cosmo::field_moments(volume);
+  EXPECT_NEAR(m.mean, 2.0, 0.05);
+  EXPECT_NEAR(m.variance, 0.25, 0.02);
+  EXPECT_NEAR(m.skewness, 0.0, 0.15);
+  EXPECT_NEAR(m.kurtosis, 0.0, 0.3);
+}
+
+TEST(FieldMoments, SkewnessDetectsAsymmetry) {
+  // Exponentially distributed values are right-skewed.
+  runtime::Rng rng(2);
+  Tensor volume(Shape{4096});
+  for (float& v : volume.values()) {
+    v = -std::log(1.0f - rng.uniform() + 1e-9f);
+  }
+  EXPECT_GT(cosmo::field_moments(volume).skewness, 1.0);
+}
+
+TEST(RealFieldPowerSpectrum, RecoversGrfSpectrum) {
+  // Generating a GRF and measuring its real-space field must give the
+  // same shell powers as measuring the modes directly.
+  const cosmo::GridSpec grid{32, 256.0};
+  const cosmo::PowerSpectrum ps(cosmo::CosmoParams{});
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(3);
+  auto modes = cosmo::generate_delta_k(ps, grid, rng, pool);
+  const auto direct = cosmo::measure_power_spectrum(modes, grid, 6);
+  const Tensor delta =
+      cosmo::delta_x_from_modes(std::move(modes), grid, pool);
+
+  const auto from_field =
+      cosmo::real_field_power_spectrum(delta, grid.box_size, 6, pool);
+  for (std::size_t b = 0; b < from_field.size(); ++b) {
+    if (direct[b].modes < 50) continue;
+    EXPECT_NEAR(from_field[b], direct[b].power, 0.05 * direct[b].power)
+        << "bin " << b;
+  }
+}
+
+TEST(RealFieldPowerSpectrum, RejectsBadInputs) {
+  runtime::ThreadPool pool(1);
+  Tensor rect(Shape{2, 4, 4});
+  EXPECT_THROW(cosmo::real_field_power_spectrum(rect, 100.0, 4, pool),
+               std::invalid_argument);
+  Tensor cube(Shape{4, 4, 4});
+  EXPECT_THROW(cosmo::real_field_power_spectrum(cube, -1.0, 4, pool),
+               std::invalid_argument);
+  EXPECT_THROW(cosmo::real_field_power_spectrum(cube, 100.0, 0, pool),
+               std::invalid_argument);
+}
+
+TEST(SummaryFeatures, HasExpectedLayoutAndFiniteValues) {
+  runtime::ThreadPool pool(1);
+  runtime::Rng rng(4);
+  Tensor volume(Shape{1, 8, 8, 8});
+  tensor::fill_normal(volume, rng, 0.0f, 1.0f);
+  const auto features = cosmo::summary_features(volume, 64.0, 5, pool);
+  EXPECT_EQ(features.size(), 3u + 5u);
+  for (const double f : features) EXPECT_TRUE(std::isfinite(f));
+}
+
+TEST(SolveSpd, SolvesKnownSystem) {
+  // A = [[4, 2], [2, 3]], b = [2, 5] -> x = [-0.5, 2].
+  const auto x = core::solve_spd({4, 2, 2, 3}, {2, 5});
+  EXPECT_NEAR(x[0], -0.5, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(SolveSpd, RejectsNonSpd) {
+  EXPECT_THROW(core::solve_spd({1, 2, 2, 1}, {1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(core::solve_spd({1, 2, 3}, {1, 1}), std::invalid_argument);
+}
+
+TEST(SummaryStatBaseline, RecoversLinearSignal) {
+  // Synthetic samples whose variance encodes target 0 exactly: the
+  // baseline must learn the mapping almost perfectly.
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(5);
+  std::vector<data::Sample> samples;
+  for (int i = 0; i < 64; ++i) {
+    const float level = 0.2f + 0.6f * rng.uniform();
+    data::Sample s;
+    s.volume = Tensor(Shape{1, 8, 8, 8});
+    for (float& v : s.volume.values()) v = level * rng.normal();
+    s.target = {level, 0.5f, 0.5f};
+    samples.push_back(std::move(s));
+  }
+  std::vector<data::Sample> test_samples;
+  for (int i = 0; i < 16; ++i) {
+    test_samples.push_back(samples[static_cast<std::size_t>(i)].clone());
+  }
+  data::InMemorySource train(std::move(samples));
+  data::InMemorySource test(std::move(test_samples));
+
+  core::SummaryStatBaseline baseline(core::BaselineConfig{});
+  EXPECT_FALSE(baseline.fitted());
+  baseline.fit(train, pool);
+  EXPECT_TRUE(baseline.fitted());
+
+  const auto reader = test.make_reader();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const data::Sample sample = reader->get(i);
+    const auto pred = baseline.predict(sample, pool);
+    worst = std::max(worst, std::fabs(static_cast<double>(pred[0]) -
+                                      sample.target[0]));
+  }
+  EXPECT_LT(worst, 0.08);
+}
+
+TEST(SummaryStatBaseline, PredictBeforeFitThrows) {
+  core::SummaryStatBaseline baseline(core::BaselineConfig{});
+  runtime::ThreadPool pool(1);
+  data::Sample sample;
+  sample.volume = Tensor(Shape{1, 8, 8, 8});
+  EXPECT_THROW(baseline.predict(sample, pool), std::logic_error);
+}
+
+TEST(SummaryStatBaseline, RejectsBadConfigAndTinyDatasets) {
+  core::BaselineConfig bad;
+  bad.spectrum_bins = 0;
+  EXPECT_THROW(core::SummaryStatBaseline{bad}, std::invalid_argument);
+
+  core::SummaryStatBaseline baseline(core::BaselineConfig{});
+  runtime::ThreadPool pool(1);
+  std::vector<data::Sample> few(2);
+  for (auto& s : few) s.volume = Tensor(Shape{1, 8, 8, 8});
+  data::InMemorySource source(std::move(few));
+  EXPECT_THROW(baseline.fit(source, pool), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cf

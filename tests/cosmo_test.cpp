@@ -1,0 +1,411 @@
+// Tests for the cosmology substrate: power spectrum physics, Gaussian
+// random field statistics, LPT displacement, mass deposit and the
+// simulation driver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmo/deposit.hpp"
+#include "cosmo/gaussian_field.hpp"
+#include "cosmo/power_spectrum.hpp"
+#include "cosmo/simulation.hpp"
+#include "cosmo/zeldovich.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::cosmo {
+namespace {
+
+TEST(TophatWindow, LimitsAndValues) {
+  EXPECT_NEAR(tophat_window(1e-8), 1.0, 1e-9);
+  // W(pi): 3(sin(pi) - pi cos(pi))/pi^3 = 3/pi^2.
+  EXPECT_NEAR(tophat_window(3.14159265358979), 3.0 / (3.14159265 * 3.14159265),
+              1e-6);
+  EXPECT_LT(std::fabs(tophat_window(50.0)), 0.01);  // decays
+}
+
+TEST(PowerSpectrum, Sigma8NormalizationIsExact) {
+  for (const double s8 : {0.78, 0.8159, 0.95}) {
+    CosmoParams params;
+    params.sigma8 = s8;
+    const PowerSpectrum ps(params);
+    EXPECT_NEAR(ps.sigma_r(8.0), s8, 1e-4 * s8);
+  }
+}
+
+TEST(PowerSpectrum, TransferIsMonotonicallyDecreasing) {
+  const PowerSpectrum ps(CosmoParams{});
+  double previous = ps.transfer(1e-4);
+  EXPECT_NEAR(previous, 1.0, 2e-3);
+  for (double k = 1e-3; k < 100.0; k *= 2.0) {
+    const double current = ps.transfer(k);
+    EXPECT_LT(current, previous + 1e-12) << "k = " << k;
+    previous = current;
+  }
+}
+
+TEST(PowerSpectrum, SigmaDecreasesWithRadius) {
+  const PowerSpectrum ps(CosmoParams{});
+  EXPECT_GT(ps.sigma_r(2.0), ps.sigma_r(8.0));
+  EXPECT_GT(ps.sigma_r(8.0), ps.sigma_r(32.0));
+}
+
+TEST(PowerSpectrum, TiltShiftsSmallScalePower) {
+  // Higher ns boosts small scales relative to large scales (both
+  // normalized to the same sigma8).
+  CosmoParams low;
+  low.ns = 0.9;
+  CosmoParams high;
+  high.ns = 1.0;
+  const PowerSpectrum ps_low(low);
+  const PowerSpectrum ps_high(high);
+  const double k_small = 5.0;   // h/Mpc, small scales
+  const double k_large = 0.01;  // large scales
+  const double ratio_low = ps_low(k_small) / ps_low(k_large);
+  const double ratio_high = ps_high(k_small) / ps_high(k_large);
+  EXPECT_GT(ratio_high, ratio_low);
+}
+
+TEST(PowerSpectrum, OmegaMShiftsTurnover) {
+  // Larger OmegaM * h pushes the matter-radiation-equality turnover to
+  // larger k, raising small-scale power relative to the peak.
+  CosmoParams low;
+  low.omega_m = 0.25;
+  CosmoParams high;
+  high.omega_m = 0.35;
+  const PowerSpectrum ps_low(low);
+  const PowerSpectrum ps_high(high);
+  EXPECT_GT(ps_high.transfer(1.0), ps_low.transfer(1.0));
+}
+
+TEST(PowerSpectrum, RejectsUnphysicalParameters) {
+  CosmoParams bad;
+  bad.omega_m = 0.0;
+  EXPECT_THROW(PowerSpectrum{bad}, std::invalid_argument);
+  bad = CosmoParams{};
+  bad.sigma8 = -1.0;
+  EXPECT_THROW(PowerSpectrum{bad}, std::invalid_argument);
+}
+
+TEST(GaussianField, RecoversInputSpectrum) {
+  const GridSpec grid{32, 256.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(101);
+  const auto modes = generate_delta_k(ps, grid, rng, pool);
+
+  const auto bins = measure_power_spectrum(modes, grid, 8);
+  int checked = 0;
+  for (const auto& bin : bins) {
+    if (bin.modes < 200) continue;  // skip noisy shells
+    const double expected = ps(bin.k);
+    EXPECT_NEAR(bin.power, expected, 0.25 * expected)
+        << "k = " << bin.k << " (" << bin.modes << " modes)";
+    ++checked;
+  }
+  EXPECT_GE(checked, 3);
+}
+
+TEST(GaussianField, RealFieldHasZeroMean) {
+  const GridSpec grid{16, 128.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(102);
+  auto modes = generate_delta_k(ps, grid, rng, pool);
+  const tensor::Tensor delta = delta_x_from_modes(std::move(modes), grid,
+                                                  pool);
+  EXPECT_NEAR(tensor::sum(delta.values()) / delta.size(), 0.0, 1e-4);
+  // And nonzero fluctuation power.
+  EXPECT_GT(tensor::l2_norm(delta.values()), 1.0);
+}
+
+TEST(GaussianField, DeterministicInSeed) {
+  const GridSpec grid{16, 128.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng_a(103);
+  runtime::Rng rng_b(103);
+  const auto a = generate_delta_k(ps, grid, rng_a, pool);
+  const auto b = generate_delta_k(ps, grid, rng_b, pool);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].real(), b[i].real());
+    ASSERT_EQ(a[i].imag(), b[i].imag());
+  }
+}
+
+TEST(GaussianField, HigherSigma8MeansStrongerFluctuations) {
+  const GridSpec grid{16, 128.0};
+  runtime::ThreadPool pool(2);
+  CosmoParams low;
+  low.sigma8 = 0.78;
+  CosmoParams high;
+  high.sigma8 = 0.95;
+  runtime::Rng rng_a(104);
+  runtime::Rng rng_b(104);  // same noise, different coloring
+  auto modes_low = generate_delta_k(PowerSpectrum(low), grid, rng_a, pool);
+  auto modes_high = generate_delta_k(PowerSpectrum(high), grid, rng_b, pool);
+  const auto delta_low =
+      delta_x_from_modes(std::move(modes_low), grid, pool);
+  const auto delta_high =
+      delta_x_from_modes(std::move(modes_high), grid, pool);
+  EXPECT_GT(tensor::l2_norm(delta_high.values()),
+            tensor::l2_norm(delta_low.values()));
+}
+
+TEST(Zeldovich, ZeroFieldLeavesLatticeInPlace) {
+  const GridSpec grid{8, 64.0};
+  runtime::ThreadPool pool(1);
+  std::vector<std::complex<float>> modes(
+      static_cast<std::size_t>(grid.cells()), {0.0f, 0.0f});
+  const ParticleSet particles = zeldovich_displace(modes, grid, 1.0, pool);
+  ASSERT_EQ(particles.size(), static_cast<std::size_t>(grid.cells()));
+  const double cell = grid.cell_size();
+  for (std::int64_t z = 0; z < grid.n; ++z) {
+    for (std::int64_t y = 0; y < grid.n; ++y) {
+      for (std::int64_t x = 0; x < grid.n; ++x) {
+        const std::size_t idx = static_cast<std::size_t>(
+            (z * grid.n + y) * grid.n + x);
+        ASSERT_FLOAT_EQ(particles.x[idx], static_cast<float>(x * cell));
+        ASSERT_FLOAT_EQ(particles.y[idx], static_cast<float>(y * cell));
+        ASSERT_FLOAT_EQ(particles.z[idx], static_cast<float>(z * cell));
+      }
+    }
+  }
+}
+
+TEST(Zeldovich, PositionsStayInBox) {
+  const GridSpec grid{16, 128.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(105);
+  const auto modes = generate_delta_k(ps, grid, rng, pool);
+  const ParticleSet particles = zeldovich_displace(modes, grid, 1.0, pool);
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    ASSERT_GE(particles.x[i], 0.0f);
+    ASSERT_LT(particles.x[i], grid.box_size);
+    ASSERT_GE(particles.y[i], 0.0f);
+    ASSERT_LT(particles.y[i], grid.box_size);
+    ASSERT_GE(particles.z[i], 0.0f);
+    ASSERT_LT(particles.z[i], grid.box_size);
+  }
+}
+
+TEST(Zeldovich, DisplacementCreatesClustering) {
+  // Deposited counts of a displaced lattice must fluctuate (uniform
+  // lattice deposits exactly one particle per cell).
+  const GridSpec grid{16, 128.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(106);
+  const auto modes = generate_delta_k(ps, grid, rng, pool);
+  const ParticleSet particles = zeldovich_displace(modes, grid, 1.0, pool);
+  const tensor::Tensor counts =
+      deposit_particles(particles, grid.n, DepositScheme::kNgp);
+  double variance = 0.0;
+  for (const float c : counts.values()) {
+    variance += (c - 1.0) * (c - 1.0);
+  }
+  variance /= static_cast<double>(counts.size());
+  EXPECT_GT(variance, 0.05);
+}
+
+TEST(Zeldovich, Lpt2ReducesToZaForWeakFields) {
+  const GridSpec grid{8, 64.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(1);
+  runtime::Rng rng(107);
+  auto modes = generate_delta_k(ps, grid, rng, pool);
+  for (auto& m : modes) m *= 1e-4f;  // linear regime
+  const ParticleSet za = zeldovich_displace(modes, grid, 1.0, pool);
+  const ParticleSet lpt2 = lpt2_displace(modes, grid, 1.0, pool);
+  float max_diff = 0.0f;
+  for (std::size_t i = 0; i < za.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(za.x[i] - lpt2.x[i]));
+    max_diff = std::max(max_diff, std::fabs(za.y[i] - lpt2.y[i]));
+    max_diff = std::max(max_diff, std::fabs(za.z[i] - lpt2.z[i]));
+  }
+  EXPECT_LT(max_diff, 1e-4f * grid.box_size);
+}
+
+TEST(Deposit, ConservesMass) {
+  const GridSpec grid{8, 64.0};
+  const PowerSpectrum ps(CosmoParams{});
+  runtime::ThreadPool pool(1);
+  runtime::Rng rng(108);
+  const auto modes = generate_delta_k(ps, grid, rng, pool);
+  const ParticleSet particles = zeldovich_displace(modes, grid, 1.0, pool);
+  for (const DepositScheme scheme :
+       {DepositScheme::kNgp, DepositScheme::kCic}) {
+    const tensor::Tensor counts = deposit_particles(particles, 16, scheme);
+    EXPECT_NEAR(tensor::sum(counts.values()),
+                static_cast<double>(particles.size()), 1e-2);
+  }
+}
+
+TEST(Deposit, SingleParticleNgpPlacement) {
+  ParticleSet particles;
+  particles.box_size = 10.0;
+  particles.x = {7.3f};
+  particles.y = {0.1f};
+  particles.z = {9.99f};
+  const tensor::Tensor counts =
+      deposit_particles(particles, 10, DepositScheme::kNgp);
+  EXPECT_FLOAT_EQ(counts.at({9, 0, 7}), 1.0f);  // [z][y][x]
+  EXPECT_NEAR(tensor::sum(counts.values()), 1.0, 1e-6);
+}
+
+TEST(Deposit, CicSplitsWeightAcrossNeighbours) {
+  ParticleSet particles;
+  particles.box_size = 8.0;
+  // Exactly on a cell-center: all weight in one cell.
+  particles.x = {0.5f};
+  particles.y = {0.5f};
+  particles.z = {0.5f};
+  tensor::Tensor counts = deposit_particles(particles, 8, DepositScheme::kCic);
+  EXPECT_NEAR(counts.at({0, 0, 0}), 1.0f, 1e-6);
+  // Exactly on a cell corner: split 8 ways.
+  particles.x = {1.0f};
+  particles.y = {1.0f};
+  particles.z = {1.0f};
+  counts = deposit_particles(particles, 8, DepositScheme::kCic);
+  EXPECT_NEAR(counts.at({0, 0, 0}), 0.125f, 1e-6);
+  EXPECT_NEAR(counts.at({1, 1, 1}), 0.125f, 1e-6);
+}
+
+TEST(Deposit, RejectsBadArguments) {
+  ParticleSet particles;
+  particles.box_size = 0.0;
+  EXPECT_THROW(deposit_particles(particles, 8, DepositScheme::kNgp),
+               std::invalid_argument);
+  particles.box_size = 10.0;
+  EXPECT_THROW(deposit_particles(particles, 0, DepositScheme::kNgp),
+               std::invalid_argument);
+}
+
+TEST(Simulation, DeterministicInSeed) {
+  SimulationConfig config;
+  config.grid = {16, 128.0};
+  config.voxels = 16;
+  const Simulation sim(config);
+  runtime::ThreadPool pool(2);
+  const Universe a = sim.run(CosmoParams{}, 42, pool);
+  const Universe b = sim.run(CosmoParams{}, 42, pool);
+  const Universe c = sim.run(CosmoParams{}, 43, pool);
+  EXPECT_EQ(tensor::max_abs_diff(a.voxels.values(), b.voxels.values()), 0.0f);
+  EXPECT_GT(tensor::max_abs_diff(a.voxels.values(), c.voxels.values()), 0.0f);
+}
+
+TEST(Simulation, Sigma8ControlsClumpiness) {
+  // The learnability property behind the whole paper: voxel statistics
+  // respond to the cosmological parameters.
+  SimulationConfig config;
+  config.grid = {16, 128.0};
+  config.voxels = 16;
+  const Simulation sim(config);
+  runtime::ThreadPool pool(2);
+  CosmoParams low;
+  low.sigma8 = 0.78;
+  CosmoParams high;
+  high.sigma8 = 0.95;
+  const Universe ulow = sim.run(low, 7, pool);
+  const Universe uhigh = sim.run(high, 7, pool);
+
+  const auto count_variance = [](const tensor::Tensor& v) {
+    const double mean =
+        tensor::sum(v.values()) / static_cast<double>(v.size());
+    double acc = 0.0;
+    for (const float c : v.values()) acc += (c - mean) * (c - mean);
+    return acc / static_cast<double>(v.size());
+  };
+  EXPECT_GT(count_variance(uhigh.voxels), count_variance(ulow.voxels));
+}
+
+TEST(Simulation, SplitOctantsReassembles) {
+  tensor::Tensor voxels(tensor::Shape{4, 4, 4});
+  for (std::size_t i = 0; i < voxels.size(); ++i) {
+    voxels[i] = static_cast<float>(i);
+  }
+  const auto octants = split_octants(voxels);
+  ASSERT_EQ(octants.size(), 8u);
+  for (const auto& o : octants) {
+    EXPECT_EQ(o.shape(), tensor::Shape({1, 2, 2, 2}));
+  }
+  // Octant order is (oz, oy, ox) row-major; element (z, y, x) of octant
+  // (oz, oy, ox) equals voxels[oz*2+z][oy*2+y][ox*2+x].
+  for (std::int64_t oz = 0; oz < 2; ++oz) {
+    for (std::int64_t oy = 0; oy < 2; ++oy) {
+      for (std::int64_t ox = 0; ox < 2; ++ox) {
+        const auto& sub = octants[static_cast<std::size_t>(
+            (oz * 2 + oy) * 2 + ox)];
+        for (std::int64_t z = 0; z < 2; ++z) {
+          for (std::int64_t y = 0; y < 2; ++y) {
+            for (std::int64_t x = 0; x < 2; ++x) {
+              ASSERT_EQ(sub.at({0, z, y, x}),
+                        voxels.at({oz * 2 + z, oy * 2 + y, ox * 2 + x}));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Simulation, SplitOctantsRejectsOddGrids) {
+  tensor::Tensor odd(tensor::Shape{3, 3, 3});
+  EXPECT_THROW(split_octants(odd), std::invalid_argument);
+  tensor::Tensor rect(tensor::Shape{4, 4, 2});
+  EXPECT_THROW(split_octants(rect), std::invalid_argument);
+}
+
+TEST(Simulation, SampleParametersStayInRanges) {
+  const ParamRanges ranges;
+  const auto params = sample_parameters(500, 11, ranges);
+  ASSERT_EQ(params.size(), 500u);
+  for (const auto& p : params) {
+    EXPECT_GE(p.omega_m, ranges.omega_m_lo);
+    EXPECT_LT(p.omega_m, ranges.omega_m_hi);
+    EXPECT_GE(p.sigma8, ranges.sigma8_lo);
+    EXPECT_LT(p.sigma8, ranges.sigma8_hi);
+    EXPECT_GE(p.ns, ranges.ns_lo);
+    EXPECT_LT(p.ns, ranges.ns_hi);
+  }
+  // Deterministic.
+  const auto again = sample_parameters(500, 11, ranges);
+  EXPECT_EQ(again[499].omega_m, params[499].omega_m);
+}
+
+TEST(Simulation, NormalizeDenormalizeRoundTrip) {
+  CosmoParams p;
+  p.omega_m = 0.31;
+  p.sigma8 = 0.85;
+  p.ns = 0.96;
+  const auto n = normalize_params(p);
+  for (const float v : n) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+  const CosmoParams back = denormalize_params(n);
+  EXPECT_NEAR(back.omega_m, p.omega_m, 1e-6);
+  EXPECT_NEAR(back.sigma8, p.sigma8, 1e-6);
+  EXPECT_NEAR(back.ns, p.ns, 1e-6);
+}
+
+TEST(Simulation, Log1pCompressesCounts) {
+  tensor::Tensor v(tensor::Shape{3}, std::vector<float>{0.0f, 1.0f, 999.0f});
+  log1p_in_place(v);
+  EXPECT_FLOAT_EQ(v[0], 0.0f);
+  EXPECT_NEAR(v[1], std::log(2.0f), 1e-6);
+  EXPECT_NEAR(v[2], std::log(1000.0f), 1e-4);
+}
+
+TEST(Simulation, RejectsBadConfig) {
+  SimulationConfig odd;
+  odd.voxels = 15;
+  EXPECT_THROW(Simulation{odd}, std::invalid_argument);
+  SimulationConfig bad_growth;
+  bad_growth.growth = 0.0;
+  EXPECT_THROW(Simulation{bad_growth}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cf::cosmo

@@ -1,0 +1,171 @@
+// FFT validation: against a naive DFT, roundtrips, Parseval, and the
+// frequency indexing helper.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include "cosmo/fft3d.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace cf::cosmo {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+std::vector<std::complex<double>> naive_dft(
+    const std::vector<std::complex<float>>& in, bool inverse) {
+  const std::size_t n = in.size();
+  std::vector<std::complex<double>> out(n);
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * 2.0 * kPi * static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      acc += std::complex<double>(in[j]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+class Fft1dVsDft : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(Fft1dVsDft, ForwardMatchesNaiveDft) {
+  const std::int64_t n = GetParam();
+  runtime::Rng rng(1, static_cast<std::uint64_t>(n));
+  std::vector<std::complex<float>> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  const auto expected = naive_dft(data, false);
+
+  fft_1d(data.data(), n, false);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_NEAR(data[i].real(), expected[i].real(), 1e-3) << "bin " << i;
+    ASSERT_NEAR(data[i].imag(), expected[i].imag(), 1e-3) << "bin " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft1dVsDft,
+                         ::testing::Values<std::int64_t>(1, 2, 4, 8, 16, 32,
+                                                         64));
+
+TEST(Fft1d, InverseRoundTrip) {
+  const std::int64_t n = 128;
+  runtime::Rng rng(2);
+  std::vector<std::complex<float>> data(static_cast<std::size_t>(n));
+  for (auto& v : data) v = {rng.normal(), rng.normal()};
+  const auto original = data;
+
+  fft_1d(data.data(), n, false);
+  fft_1d(data.data(), n, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Inverse is unnormalized: expect n * original.
+    ASSERT_NEAR(data[i].real(), n * original[i].real(), 1e-2);
+    ASSERT_NEAR(data[i].imag(), n * original[i].imag(), 1e-2);
+  }
+}
+
+TEST(Fft1d, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<float>> data(12);
+  EXPECT_THROW(fft_1d(data.data(), 12, false), std::invalid_argument);
+  EXPECT_THROW(fft_1d(data.data(), 0, false), std::invalid_argument);
+}
+
+TEST(Fft3d, RoundTripIsIdentity) {
+  const std::int64_t n = 16;
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(3);
+  std::vector<std::complex<float>> grid(static_cast<std::size_t>(n * n * n));
+  for (auto& v : grid) v = {rng.normal(), 0.0f};
+  const auto original = grid;
+
+  Fft3d fft(n);
+  fft.forward(grid.data(), pool);
+  fft.inverse(grid.data(), pool);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_NEAR(grid[i].real(), original[i].real(), 1e-3);
+    ASSERT_NEAR(grid[i].imag(), original[i].imag(), 1e-3);
+  }
+}
+
+TEST(Fft3d, ImpulseTransformsToConstant) {
+  const std::int64_t n = 8;
+  runtime::ThreadPool pool(1);
+  std::vector<std::complex<float>> grid(static_cast<std::size_t>(n * n * n),
+                                        {0.0f, 0.0f});
+  grid[0] = {1.0f, 0.0f};
+  Fft3d fft(n);
+  fft.forward(grid.data(), pool);
+  for (const auto& v : grid) {
+    ASSERT_NEAR(v.real(), 1.0f, 1e-5);
+    ASSERT_NEAR(v.imag(), 0.0f, 1e-5);
+  }
+}
+
+TEST(Fft3d, SinglePlaneWaveHitsOneBin) {
+  const std::int64_t n = 8;
+  runtime::ThreadPool pool(1);
+  std::vector<std::complex<float>> grid(static_cast<std::size_t>(n * n * n));
+  // exp(+2 pi i * (2x + y) / n) should land in bin (kx=2, ky=1, kz=0)
+  // with amplitude n^3.
+  for (std::int64_t z = 0; z < n; ++z) {
+    for (std::int64_t y = 0; y < n; ++y) {
+      for (std::int64_t x = 0; x < n; ++x) {
+        const double phase = 2.0 * kPi * (2.0 * x + 1.0 * y) / n;
+        grid[static_cast<std::size_t>((z * n + y) * n + x)] = {
+            static_cast<float>(std::cos(phase)),
+            static_cast<float>(std::sin(phase))};
+      }
+    }
+  }
+  Fft3d fft(n);
+  fft.forward(grid.data(), pool);
+  for (std::int64_t z = 0; z < n; ++z) {
+    for (std::int64_t y = 0; y < n; ++y) {
+      for (std::int64_t x = 0; x < n; ++x) {
+        const auto v = grid[static_cast<std::size_t>((z * n + y) * n + x)];
+        const double expected = (x == 2 && y == 1 && z == 0) ? n * n * n : 0;
+        ASSERT_NEAR(v.real(), expected, 2e-2)
+            << "(" << x << "," << y << "," << z << ")";
+        ASSERT_NEAR(v.imag(), 0.0, 2e-2);
+      }
+    }
+  }
+}
+
+TEST(Fft3d, ParsevalHolds) {
+  const std::int64_t n = 16;
+  runtime::ThreadPool pool(2);
+  runtime::Rng rng(5);
+  std::vector<std::complex<float>> grid(static_cast<std::size_t>(n * n * n));
+  double real_energy = 0.0;
+  for (auto& v : grid) {
+    v = {rng.normal(), 0.0f};
+    real_energy += std::norm(std::complex<double>(v));
+  }
+  Fft3d fft(n);
+  fft.forward(grid.data(), pool);
+  double freq_energy = 0.0;
+  for (const auto& v : grid) freq_energy += std::norm(std::complex<double>(v));
+  EXPECT_NEAR(freq_energy / (n * n * n), real_energy,
+              1e-4 * real_energy);
+}
+
+TEST(FftFreqIndex, StandardOrdering) {
+  EXPECT_EQ(fft_freq_index(0, 8), 0);
+  EXPECT_EQ(fft_freq_index(1, 8), 1);
+  EXPECT_EQ(fft_freq_index(4, 8), 4);   // Nyquist
+  EXPECT_EQ(fft_freq_index(5, 8), -3);
+  EXPECT_EQ(fft_freq_index(7, 8), -1);
+}
+
+TEST(Fft3d, RejectsBadSize) {
+  EXPECT_THROW(Fft3d(12), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cf::cosmo

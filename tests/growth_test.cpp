@@ -1,0 +1,144 @@
+// Tests for the linear growth factor, the Eisenstein-Hu transfer
+// option, and the multi-redshift snapshot extension (§VII-B future
+// work implemented here).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cosmo/growth.hpp"
+#include "cosmo/power_spectrum.hpp"
+#include "cosmo/simulation.hpp"
+#include "runtime/thread_pool.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::cosmo {
+namespace {
+
+TEST(GrowthFactor, NormalizedToUnityToday) {
+  const GrowthFactor growth(0.3089);
+  EXPECT_NEAR(growth.at_scale_factor(1.0), 1.0, 1e-12);
+  EXPECT_NEAR(growth.at_redshift(0.0), 1.0, 1e-12);
+}
+
+TEST(GrowthFactor, EinsteinDeSitterLimitIsLinearInA) {
+  // OmegaM = 1: D(a) = a exactly.
+  const GrowthFactor growth(1.0);
+  for (const double a : {0.1, 0.25, 0.5, 0.8}) {
+    EXPECT_NEAR(growth.at_scale_factor(a), a, 2e-3 * a) << "a = " << a;
+  }
+}
+
+TEST(GrowthFactor, LambdaSuppressesGrowth) {
+  // With dark energy, structure grows more slowly at late times, so
+  // D(a) > a for a < 1 (the past field was *less* suppressed relative
+  // to today than in EdS).
+  const GrowthFactor growth(0.3089);
+  for (const double a : {0.2, 0.5, 0.8}) {
+    EXPECT_GT(growth.at_scale_factor(a), a) << "a = " << a;
+  }
+}
+
+TEST(GrowthFactor, MonotonicallyIncreasing) {
+  const GrowthFactor growth(0.3089);
+  double previous = 0.0;
+  for (double a = 0.05; a <= 1.0; a += 0.05) {
+    const double d = growth.at_scale_factor(a);
+    EXPECT_GT(d, previous);
+    previous = d;
+  }
+}
+
+TEST(GrowthFactor, KnownLcdmValue) {
+  // For OmegaM ~ 0.31 the standard result is D(z=1)/D(0) ~ 0.61-0.62.
+  const GrowthFactor growth(0.31);
+  EXPECT_NEAR(growth.at_redshift(1.0), 0.615, 0.02);
+}
+
+TEST(GrowthFactor, RejectsBadArguments) {
+  EXPECT_THROW(GrowthFactor(0.0), std::invalid_argument);
+  EXPECT_THROW(GrowthFactor(1.5), std::invalid_argument);
+  const GrowthFactor growth(0.3);
+  EXPECT_THROW(growth.at_scale_factor(0.0), std::invalid_argument);
+  EXPECT_THROW(growth.at_scale_factor(1.5), std::invalid_argument);
+  EXPECT_THROW(growth.at_redshift(-1.0), std::invalid_argument);
+}
+
+TEST(EisensteinHu, NormalizedAndDecaying) {
+  const PowerSpectrum ps(CosmoParams{}, TransferModel::kEisensteinHu);
+  EXPECT_NEAR(ps.transfer(1e-5), 1.0, 5e-3);
+  double previous = ps.transfer(1e-3);
+  for (double k = 2e-3; k < 50.0; k *= 2.0) {
+    const double t = ps.transfer(k);
+    EXPECT_LT(t, previous + 1e-12) << "k = " << k;
+    previous = t;
+  }
+  // sigma8 normalization holds for the EH model too.
+  EXPECT_NEAR(ps.sigma_r(8.0), ps.params().sigma8,
+              1e-4 * ps.params().sigma8);
+}
+
+TEST(EisensteinHu, BaryonsSuppressSmallScalePower) {
+  // Relative to a baryon-free model, baryons damp the transfer at
+  // k ~ 0.1-1 h/Mpc.
+  CosmoParams with_baryons;
+  CosmoParams few_baryons;
+  few_baryons.omega_b = 0.005;
+  const PowerSpectrum eh(with_baryons, TransferModel::kEisensteinHu);
+  const PowerSpectrum low(few_baryons, TransferModel::kEisensteinHu);
+  EXPECT_LT(eh.transfer(0.5), low.transfer(0.5));
+}
+
+TEST(EisensteinHu, CloseToBbksShape) {
+  // The two fits agree to tens of percent over the dynamic range used
+  // by the simulations.
+  const PowerSpectrum bbks(CosmoParams{}, TransferModel::kBbks);
+  const PowerSpectrum eh(CosmoParams{}, TransferModel::kEisensteinHu);
+  for (double k = 0.01; k < 5.0; k *= 3.0) {
+    const double ratio = eh.transfer(k) / bbks.transfer(k);
+    EXPECT_GT(ratio, 0.5) << "k = " << k;
+    EXPECT_LT(ratio, 2.0) << "k = " << k;
+  }
+}
+
+TEST(PowerSpectrum, RejectsUnphysicalBaryons) {
+  CosmoParams bad;
+  bad.omega_b = 0.4;  // > OmegaM
+  EXPECT_THROW(PowerSpectrum(bad, TransferModel::kEisensteinHu),
+               std::invalid_argument);
+}
+
+TEST(Simulation, HigherRedshiftSnapshotsAreSmoother) {
+  // The same initial conditions at z = 3 must show weaker clustering
+  // than at z = 0 (growth suppression) — the multi-redshift extension.
+  SimulationConfig z0;
+  z0.grid = {16, 128.0};
+  z0.voxels = 16;
+  SimulationConfig z3 = z0;
+  z3.redshift = 3.0;
+  runtime::ThreadPool pool(2);
+  const Universe early = Simulation(z3).run(CosmoParams{}, 7, pool);
+  const Universe today = Simulation(z0).run(CosmoParams{}, 7, pool);
+
+  const auto count_variance = [](const tensor::Tensor& v) {
+    const double mean =
+        tensor::sum(v.values()) / static_cast<double>(v.size());
+    double acc = 0.0;
+    for (const float c : v.values()) acc += (c - mean) * (c - mean);
+    return acc / static_cast<double>(v.size());
+  };
+  EXPECT_LT(count_variance(early.voxels), count_variance(today.voxels));
+}
+
+TEST(Simulation, EisensteinHuTransferOptionRuns) {
+  SimulationConfig config;
+  config.grid = {16, 128.0};
+  config.voxels = 16;
+  config.transfer = TransferModel::kEisensteinHu;
+  runtime::ThreadPool pool(1);
+  const Universe universe = Simulation(config).run(CosmoParams{}, 9, pool);
+  EXPECT_NEAR(tensor::sum(universe.voxels.values()),
+              16.0 * 16.0 * 16.0, 1.0);  // mass conserved
+}
+
+}  // namespace
+}  // namespace cf::cosmo

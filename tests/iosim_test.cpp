@@ -1,0 +1,186 @@
+// Tests for the filesystem and step-time models that regenerate the
+// paper's scaling study (Fig 4, §VI-A, §VI-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "iosim/filesystem_model.hpp"
+#include "iosim/steptime_model.hpp"
+
+namespace cf::iosim {
+namespace {
+
+TEST(FilesystemModel, AggregateBandwidthGrowsAndSaturates) {
+  const FilesystemModel lustre(FilesystemSpec::cori_lustre());
+  double previous = 0.0;
+  for (const int nodes : {1, 8, 64, 512, 4096, 32768}) {
+    const double bw = lustre.aggregate_bandwidth_gbps(nodes);
+    EXPECT_GE(bw, previous);
+    EXPECT_LE(bw, lustre.spec().aggregate_max_gbps);
+    previous = bw;
+  }
+  // The cap binds at extreme scale.
+  EXPECT_DOUBLE_EQ(lustre.aggregate_bandwidth_gbps(100000),
+                   lustre.spec().aggregate_max_gbps);
+}
+
+TEST(FilesystemModel, PerNodeBandwidthDecreasesWithScale) {
+  const FilesystemModel lustre(FilesystemSpec::cori_lustre());
+  double previous = 1e9;
+  for (const int nodes : {1, 16, 128, 1024, 8192}) {
+    const double bw = lustre.node_bandwidth_gbps(nodes);
+    EXPECT_LE(bw, previous);
+    EXPECT_LE(bw, lustre.spec().node_max_gbps + 1e-12);
+    previous = bw;
+  }
+}
+
+TEST(FilesystemModel, DataWarpOutperformsLustreAtScale) {
+  // The load-bearing fact behind Fig 4's two curves.
+  const FilesystemModel lustre(FilesystemSpec::cori_lustre());
+  const FilesystemModel datawarp(FilesystemSpec::cori_datawarp());
+  for (const int nodes : {128, 512, 1024, 8192}) {
+    EXPECT_GT(datawarp.node_bandwidth_gbps(nodes),
+              lustre.node_bandwidth_gbps(nodes))
+        << "nodes = " << nodes;
+  }
+}
+
+TEST(FilesystemModel, DataWarpFeedsCosmoFlowAt8k) {
+  // 62 MB/s/node required (§VI-A); the burst buffer must deliver it at
+  // 8192 nodes, Lustre must not.
+  const FilesystemModel datawarp(FilesystemSpec::cori_datawarp());
+  const FilesystemModel lustre(FilesystemSpec::cori_lustre());
+  const double required_gbps = 62.0 / 1000.0;
+  EXPECT_GT(datawarp.node_bandwidth_gbps(8192), required_gbps);
+  EXPECT_LT(lustre.node_bandwidth_gbps(8192), required_gbps);
+}
+
+TEST(FilesystemModel, ReadSecondsScalesWithBytes) {
+  const FilesystemModel fs(FilesystemSpec::cori_datawarp());
+  EXPECT_NEAR(fs.read_seconds(64, 16.0), 2.0 * fs.read_seconds(64, 8.0),
+              1e-12);
+  EXPECT_THROW(fs.read_seconds(0, 8.0), std::invalid_argument);
+  EXPECT_THROW(fs.read_seconds(8, -1.0), std::invalid_argument);
+}
+
+TEST(FilesystemModel, StragglerSamplingHasUnitMeanAndSpread) {
+  FilesystemSpec spec = FilesystemSpec::cori_lustre();
+  const FilesystemModel fs(spec);
+  runtime::Rng rng(17);
+  const double expected = fs.read_seconds(256, 8.0);
+  double sum = 0.0;
+  double max_seen = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double t = fs.sample_read_seconds(256, 8.0, rng);
+    EXPECT_GT(t, 0.0);
+    sum += t;
+    max_seen = std::max(max_seen, t);
+  }
+  EXPECT_NEAR(sum / n, expected, 0.03 * expected);  // unit-mean lognormal
+  EXPECT_GT(max_seen, 1.5 * expected);              // heavy tail exists
+}
+
+TEST(BwMin, ReproducesPaperEquation1) {
+  // b = 1, S = 8 MB, t = 0.129 s -> 62 MB/s/node (§VI-A).
+  EXPECT_NEAR(bw_min_mb_per_s(1.0, 8.0, 0.129), 62.0, 0.5);
+  // 2.8 GB/s per OST feeds ~46 nodes.
+  EXPECT_NEAR(nodes_fed_per_ost(2.8, 62.0), 45.2, 1.0);
+  EXPECT_THROW(bw_min_mb_per_s(1.0, 8.0, 0.0), std::invalid_argument);
+}
+
+class StepModel : public ::testing::Test {
+ protected:
+  StepModel()
+      : datawarp_(StepModelParams{},
+                  FilesystemModel(FilesystemSpec::cori_datawarp())),
+        lustre_(StepModelParams{},
+                FilesystemModel(FilesystemSpec::cori_lustre())) {}
+
+  StepTimeModel datawarp_;
+  StepTimeModel lustre_;
+};
+
+TEST_F(StepModel, AllreduceMatchesPaperMeasurements) {
+  // §VI-B: 33 ms at 1024 nodes, ~39 ms at 8192.
+  EXPECT_NEAR(datawarp_.allreduce_seconds(1024), 0.033, 0.004);
+  EXPECT_NEAR(datawarp_.allreduce_seconds(8192), 0.039, 0.005);
+  EXPECT_DOUBLE_EQ(datawarp_.allreduce_seconds(1), 0.0);
+}
+
+TEST_F(StepModel, StepTimesMatchPaperMeasurements) {
+  // 129 ms single node (DataWarp), ~150 ms at 128, ~162 ms at 1024,
+  // ~168 ms at 8192.
+  EXPECT_NEAR(datawarp_.step_seconds(1), 0.129, 0.005);
+  EXPECT_NEAR(datawarp_.step_seconds(128), 0.150, 0.012);
+  EXPECT_NEAR(datawarp_.step_seconds(1024), 0.162, 0.012);
+  EXPECT_NEAR(datawarp_.step_seconds(8192), 0.168, 0.012);
+}
+
+TEST_F(StepModel, LustreStepSlowerAt128Nodes) {
+  // The paper measures 179 ms vs 150 ms at 128 ranks (~16% absolute
+  // performance gap).
+  const double lustre = lustre_.step_seconds(128);
+  const double datawarp = datawarp_.step_seconds(128);
+  EXPECT_GT(lustre, datawarp);
+  EXPECT_NEAR(lustre, 0.179, 0.02);
+}
+
+TEST_F(StepModel, BurstBufferEfficiencyAt8kMatchesPaper) {
+  // 77% parallel efficiency at 8192 nodes (the headline result).
+  const auto points =
+      datawarp_.sweep({1, 8192}, /*train=*/163840, /*val=*/8192, 69.33e9);
+  EXPECT_NEAR(points[1].efficiency, 0.77, 0.05);
+  // 3.5 Pflop/s sustained.
+  EXPECT_NEAR(points[1].sustained_pflops, 3.5, 0.4);
+}
+
+TEST_F(StepModel, LustreKneesBeyond512Nodes) {
+  const std::vector<int> nodes{64, 128, 256, 512, 1024, 2048};
+  const auto lustre = lustre_.sweep(nodes, 163840, 8192, 69.33e9);
+  const auto datawarp = datawarp_.sweep(nodes, 163840, 8192, 69.33e9);
+  // Efficiency on Lustre decays monotonically and falls below ~58% at
+  // 1024 nodes; the burst buffer stays high.
+  for (std::size_t i = 1; i < lustre.size(); ++i) {
+    EXPECT_LT(lustre[i].efficiency, lustre[i - 1].efficiency);
+  }
+  EXPECT_LT(lustre[4].efficiency, 0.62);   // 1024 nodes: "<58%" regime
+  EXPECT_GT(datawarp[4].efficiency, 0.75);
+  // And Lustre is strictly worse than the burst buffer at every scale.
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_LT(lustre[i].efficiency, datawarp[i].efficiency + 1e-12);
+  }
+}
+
+TEST_F(StepModel, PizDaintEfficiencyAt512MatchesPaper) {
+  StepModelParams params;
+  params.compute_seconds = 69.33e9 / 388e9;  // P100 node: 388 Gflop/s
+  const StepTimeModel piz(params,
+                          FilesystemModel(FilesystemSpec::piz_daint_lustre()));
+  const auto points = piz.sweep({1, 512}, 163840, 8192, 69.33e9);
+  EXPECT_NEAR(points[1].efficiency, 0.44, 0.08);
+}
+
+TEST_F(StepModel, SpeedupIsBoundedByIdeal) {
+  const auto points = datawarp_.sweep({1, 2, 4, 8, 16, 4096}, 163840, 8192,
+                                      69.33e9);
+  for (const auto& p : points) {
+    EXPECT_LE(p.speedup, static_cast<double>(p.nodes) * 1.0001);
+    EXPECT_GT(p.speedup, 0.0);
+  }
+  EXPECT_NEAR(points[0].speedup, 1.0, 1e-9);
+}
+
+TEST_F(StepModel, RejectsBadArguments) {
+  EXPECT_THROW(datawarp_.allreduce_seconds(0), std::invalid_argument);
+  EXPECT_THROW(datawarp_.epoch_seconds(4, 0, 0), std::invalid_argument);
+  StepModelParams bad;
+  bad.compute_seconds = 0.0;
+  EXPECT_THROW(
+      StepTimeModel(bad, FilesystemModel(FilesystemSpec::cori_datawarp())),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cf::iosim

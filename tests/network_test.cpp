@@ -1,0 +1,206 @@
+// Network container tests: wiring, flat parameter interface, error
+// handling, and an end-to-end gradient check through a full conv ->
+// pool -> dense stack.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dnn/activations.hpp"
+#include "dnn/avgpool3d.hpp"
+#include "dnn/conv3d.hpp"
+#include "dnn/dense.hpp"
+#include "dnn/flatten.hpp"
+#include "dnn/loss.hpp"
+#include "dnn/network.hpp"
+#include "runtime/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::dnn {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Network make_small_network(std::uint64_t seed) {
+  Network net;
+  auto& conv1 = net.emplace<Conv3d>(
+      "conv1", Conv3dConfig{1, 16, 3, 1, Padding::kSame});
+  net.emplace<LeakyRelu>("act1", 0.01f);
+  net.emplace<AvgPool3d>("pool1", AvgPool3dConfig{2, 2});
+  auto& conv2 = net.emplace<Conv3d>(
+      "conv2", Conv3dConfig{16, 16, 3, 2, Padding::kSame});
+  net.emplace<LeakyRelu>("act2", 0.01f);
+  net.emplace<Flatten>("flatten", 16);
+  auto& fc = net.emplace<Dense>("fc", 16 * 2 * 2 * 2, 3);
+  net.finalize(Shape{1, 8, 8, 8});
+  runtime::Rng rng(seed);
+  conv1.init_he(rng);
+  conv2.init_he(rng);
+  fc.init_xavier(rng);
+  return net;
+}
+
+TEST(Network, ForwardProducesExpectedShapes) {
+  Network net = make_small_network(1);
+  EXPECT_EQ(net.input_shape(), Shape({1, 8, 8, 8}));
+  EXPECT_EQ(net.output_shape(), Shape({3}));
+  EXPECT_EQ(net.layer_count(), 7u);
+
+  runtime::ThreadPool pool(2);
+  Tensor input(net.input_shape());
+  runtime::Rng rng(2);
+  tensor::fill_normal(input, rng, 0.0f, 1.0f);
+  const Tensor& out = net.forward(input, pool);
+  EXPECT_EQ(out.shape(), Shape({3}));
+  for (const float v : out.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Network, MisuseThrows) {
+  Network empty;
+  EXPECT_THROW(empty.finalize(Shape{1, 8, 8, 8}), std::logic_error);
+
+  Network net = make_small_network(3);
+  EXPECT_THROW(net.finalize(Shape{1, 8, 8, 8}), std::logic_error);
+  EXPECT_THROW(net.add(std::make_unique<LeakyRelu>("late", 0.01f)),
+               std::logic_error);
+
+  runtime::ThreadPool pool(1);
+  Tensor dloss(Shape{3});
+  EXPECT_THROW(net.backward(dloss, pool), std::logic_error);  // no forward
+
+  Tensor bad_input(Shape{1, 4, 4, 4});
+  EXPECT_THROW(net.forward(bad_input, pool), std::invalid_argument);
+}
+
+TEST(Network, FlatParamRoundTrip) {
+  Network a = make_small_network(4);
+  Network b = make_small_network(5);
+  const std::size_t n = static_cast<std::size_t>(a.param_count());
+  ASSERT_EQ(n, static_cast<std::size_t>(b.param_count()));
+
+  std::vector<float> params(n);
+  a.copy_params_to(params);
+  b.set_params_from(params);
+  std::vector<float> check(n);
+  b.copy_params_to(check);
+  EXPECT_EQ(tensor::max_abs_diff(params, check), 0.0f);
+
+  // Identical parameters -> identical predictions.
+  runtime::ThreadPool pool(1);
+  Tensor input(a.input_shape());
+  runtime::Rng rng(6);
+  tensor::fill_normal(input, rng, 0.0f, 1.0f);
+  const std::vector<float> ya = a.forward(input, pool).to_vector();
+  const std::vector<float> yb = b.forward(input, pool).to_vector();
+  EXPECT_EQ(tensor::max_abs_diff(ya, yb), 0.0f);
+
+  std::vector<float> wrong(n + 1);
+  EXPECT_THROW(a.set_params_from(wrong), std::invalid_argument);
+}
+
+TEST(Network, FlatGradRoundTrip) {
+  Network net = make_small_network(7);
+  runtime::ThreadPool pool(1);
+  Tensor input(net.input_shape());
+  runtime::Rng rng(8);
+  tensor::fill_normal(input, rng, 0.0f, 1.0f);
+  net.forward(input, pool);
+  Tensor dloss(Shape{3});
+  dloss.fill(1.0f);
+  net.zero_grads();
+  net.backward(dloss, pool);
+
+  const std::size_t n = static_cast<std::size_t>(net.param_count());
+  std::vector<float> grads(n);
+  net.copy_grads_to(grads);
+  EXPECT_GT(tensor::max_abs(grads), 0.0f);
+
+  net.zero_grads();
+  std::vector<float> zeros(n);
+  net.copy_grads_to(zeros);
+  EXPECT_EQ(tensor::max_abs(zeros), 0.0f);
+
+  net.set_grads_from(grads);
+  std::vector<float> check(n);
+  net.copy_grads_to(check);
+  EXPECT_EQ(tensor::max_abs_diff(grads, check), 0.0f);
+}
+
+TEST(Network, EndToEndGradientCheck) {
+  Network net = make_small_network(9);
+  runtime::ThreadPool pool(1);
+  Tensor input(net.input_shape());
+  runtime::Rng rng(10);
+  tensor::fill_normal(input, rng, 0.0f, 1.0f);
+  const std::vector<float> target{0.3f, -0.2f, 0.7f};
+
+  const auto loss = [&] {
+    const Tensor& out = net.forward(input, pool);
+    return mse_loss(out.values(), target);
+  };
+
+  loss();
+  const Tensor& out = net.forward(input, pool);
+  Tensor dloss(Shape{3});
+  mse_loss_grad(out.values(), target, dloss.values());
+  net.zero_grads();
+  net.backward(dloss, pool);
+
+  const std::size_t n = static_cast<std::size_t>(net.param_count());
+  std::vector<float> grads(n);
+  net.copy_grads_to(grads);
+  std::vector<float> params(n);
+  net.copy_params_to(params);
+
+  const float eps = 1e-2f;
+  runtime::Rng pick(11);
+  int checked = 0;
+  for (int trial = 0; trial < 60 && checked < 20; ++trial) {
+    const std::size_t i = pick.uniform_index(n);
+    if (std::fabs(grads[i]) < 1e-5f) continue;  // avoid noise-dominated
+    std::vector<float> perturbed = params;
+    perturbed[i] += eps;
+    net.set_params_from(perturbed);
+    const double up = loss();
+    perturbed[i] -= 2 * eps;
+    net.set_params_from(perturbed);
+    const double down = loss();
+    const double numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(grads[i], numeric,
+                5e-2 * std::max(0.05, std::fabs(numeric)))
+        << "param " << i;
+    ++checked;
+  }
+  EXPECT_GE(checked, 10);
+  net.set_params_from(params);
+}
+
+TEST(Network, FlopAggregationMatchesLayerSum) {
+  Network net = make_small_network(12);
+  FlopCounts manual;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    FlopCounts f = net.layer(i).flops();
+    if (i == 0) f.bwd_data = 0;
+    manual += f;
+  }
+  EXPECT_EQ(net.flops(true).total(), manual.total());
+  EXPECT_GT(net.flops(false).total(), net.flops(true).total());
+}
+
+TEST(Network, ProfilesAccumulateAndReset) {
+  Network net = make_small_network(13);
+  runtime::ThreadPool pool(1);
+  Tensor input(net.input_shape());
+  runtime::Rng rng(14);
+  tensor::fill_normal(input, rng, 0.0f, 1.0f);
+  net.forward(input, pool);
+  net.forward(input, pool);
+  auto profiles = net.profiles();
+  EXPECT_EQ(profiles.front().fwd.count(), 2u);
+  net.reset_profiles();
+  profiles = net.profiles();
+  EXPECT_EQ(profiles.front().fwd.count(), 0u);
+}
+
+}  // namespace
+}  // namespace cf::dnn

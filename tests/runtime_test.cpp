@@ -1,0 +1,270 @@
+// Unit tests for the cf::runtime substrate: aligned buffers, Philox
+// RNG streams, thread pool partitioning, barrier episodes, timers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "runtime/aligned_buffer.hpp"
+#include "runtime/barrier.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+namespace cf::runtime {
+namespace {
+
+TEST(AlignedBuffer, Is64ByteAligned) {
+  AlignedBuffer<float> buffer(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 64, 0u);
+  EXPECT_EQ(buffer.size(), 100u);
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<float> a(16);
+  a[0] = 42.0f;
+  float* original = a.data();
+  AlignedBuffer<float> b(std::move(a));
+  EXPECT_EQ(b.data(), original);
+  EXPECT_FLOAT_EQ(b[0], 42.0f);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(AlignedBuffer, EmptyBufferHasNoStorage) {
+  AlignedBuffer<double> buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.data(), nullptr);
+}
+
+TEST(Rng, DeterministicForSameSeedAndStream) {
+  Rng a(123, 7);
+  Rng b(123, 7);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u32(), b.next_u32());
+  }
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Rng a(123, 0);
+  Rng b(123, 1);
+  int identical = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next_u32() == b.next_u32()) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(Rng, SeedsChangeTheSequence) {
+  Rng a(1, 0);
+  Rng b(2, 0);
+  int identical = 0;
+  for (int i = 0; i < 256; ++i) {
+    if (a.next_u32() == b.next_u32()) ++identical;
+  }
+  EXPECT_LT(identical, 3);
+}
+
+TEST(Rng, UniformIsInHalfOpenUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const float u = rng.uniform();
+    ASSERT_GE(u, 0.0f);
+    ASSERT_LT(u, 1.0f);
+  }
+}
+
+TEST(Rng, UniformMeanAndVarianceMatchTheory) {
+  Rng rng(4);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sum_sq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 5e-3);
+  EXPECT_NEAR(var, 1.0 / 12.0, 5e-3);
+}
+
+TEST(Rng, NormalMomentsMatchTheory) {
+  Rng rng(5);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 1e-2);
+  EXPECT_NEAR(sum_sq / n, 1.0, 2e-2);
+}
+
+TEST(Rng, SkipBlocksMatchesDrawing) {
+  Rng jumped(11, 3);
+  jumped.skip_blocks(25);
+  Rng walked(11, 3);
+  for (int i = 0; i < 25 * 4; ++i) walked.next_u32();
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_EQ(jumped.next_u32(), walked.next_u32());
+  }
+}
+
+TEST(Rng, UniformIndexStaysInRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_LT(rng.uniform_index(17), 17u);
+  }
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t total = 1003;
+  std::vector<std::atomic<int>> touched(total);
+  pool.parallel_for(total,
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        touched[i].fetch_add(1);
+                      }
+                    });
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, WorkerIdsAreDistinct) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<std::size_t> workers;
+  pool.parallel_for(3, [&](std::size_t, std::size_t, std::size_t worker) {
+    std::lock_guard lock(mutex);
+    workers.insert(worker);
+  });
+  EXPECT_EQ(workers.size(), 3u);
+}
+
+TEST(ThreadPool, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.parallel_for(10, [&](std::size_t, std::size_t, std::size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::size_t begin, std::size_t, std::size_t) {
+                          if (begin == 0) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // Pool must remain usable afterwards.
+  std::atomic<int> count{0};
+  pool.parallel_for(8, [&](std::size_t begin, std::size_t end, std::size_t) {
+    count += static_cast<int>(end - begin);
+  });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int iter = 0; iter < 200; ++iter) {
+    pool.parallel_for(64,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        total += static_cast<long>(end - begin);
+                      });
+  }
+  EXPECT_EQ(total.load(), 200 * 64);
+}
+
+TEST(ThreadPool, RunOnAllHitsEveryWorker) {
+  ThreadPool pool(5);
+  std::vector<std::atomic<int>> hits(5);
+  pool.run_on_all([&](std::size_t worker) { hits[worker].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Barrier, SynchronizesCounterAcrossPhases) {
+  const std::size_t n = 4;
+  Barrier barrier(n);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> failed{false};
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 50; ++phase) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        if (counter.load() != static_cast<int>(n) * (phase + 1)) {
+          failed = true;
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(failed.load());
+}
+
+TEST(Barrier, ElectsExactlyOneLeaderPerEpisode) {
+  const std::size_t n = 3;
+  Barrier barrier(n);
+  std::atomic<int> leaders{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < n; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 20; ++phase) {
+        if (barrier.arrive_and_wait()) leaders.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(leaders.load(), 20);
+}
+
+TEST(TimeStats, SummaryStatistics) {
+  TimeStats stats;
+  stats.add(1.0);
+  stats.add(2.0);
+  stats.add(3.0);
+  EXPECT_EQ(stats.count(), 3u);
+  EXPECT_DOUBLE_EQ(stats.total(), 6.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.0);
+  EXPECT_NEAR(stats.stddev(), 1.0, 1e-12);
+}
+
+TEST(TimeStats, MergeEqualsCombinedStream) {
+  TimeStats a;
+  TimeStats b;
+  TimeStats all;
+  for (int i = 1; i <= 10; ++i) {
+    const double v = i * 0.1;
+    (i % 2 == 0 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.total(), all.total(), 1e-12);
+  EXPECT_NEAR(a.stddev(), all.stddev(), 1e-12);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(watch.elapsed_ms(), 15.0);
+}
+
+}  // namespace
+}  // namespace cf::runtime

@@ -1,0 +1,217 @@
+// Unit tests for shapes, tensors, blocked-layout reorders and vector
+// math.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "runtime/rng.hpp"
+#include "tensor/layout.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::tensor {
+namespace {
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.stride(0), 12);
+  EXPECT_EQ(s.stride(2), 1);
+  EXPECT_EQ(s.to_string(), "{2, 3, 4}");
+}
+
+TEST(Shape, EqualityAndRankZero) {
+  EXPECT_EQ(Shape({1, 2}), Shape({1, 2}));
+  EXPECT_NE(Shape({1, 2}), Shape({2, 1}));
+  EXPECT_NE(Shape({1, 2}), Shape({1, 2, 1}));
+  EXPECT_EQ(Shape{}.numel(), 1);
+}
+
+TEST(Shape, RejectsNegativeDims) {
+  EXPECT_THROW(Shape({2, -1}), std::invalid_argument);
+}
+
+TEST(Shape, OutOfRangeAxisThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), std::out_of_range);
+  EXPECT_THROW(s.stride(5), std::out_of_range);
+}
+
+TEST(ConvOutDim, ValidStrideAndPadding) {
+  EXPECT_EQ(conv_out_dim(128, 3, 1, 2), 128);  // same, k3 s1
+  EXPECT_EQ(conv_out_dim(128, 3, 1, 0), 126);  // valid
+  EXPECT_EQ(conv_out_dim(16, 3, 2, 2), 8);     // same, s2
+  EXPECT_EQ(conv_out_dim(64, 4, 1, 3), 64);    // same, even kernel
+  EXPECT_THROW(conv_out_dim(2, 5, 1, 0), std::invalid_argument);
+}
+
+TEST(SamePad, KeepsCeilDivOutput) {
+  for (const std::int64_t in : {7, 8, 16, 33, 64, 128}) {
+    for (const std::int64_t k : {2, 3, 4, 5}) {
+      for (const std::int64_t s : {1, 2, 3}) {
+        const std::int64_t pad = same_pad_total(in, k, s);
+        EXPECT_EQ(conv_out_dim(in, k, s, pad), (in + s - 1) / s)
+            << "in=" << in << " k=" << k << " s=" << s;
+      }
+    }
+  }
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{3, 4});
+  for (const float v : t.values()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(Tensor, MultiIndexAccess) {
+  Tensor t(Shape{2, 3, 4});
+  t.at({1, 2, 3}) = 5.0f;
+  EXPECT_FLOAT_EQ(t[1 * 12 + 2 * 4 + 3], 5.0f);
+  EXPECT_THROW(t.at({2, 0, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t(Shape{4});
+  t.fill(1.0f);
+  Tensor copy = t.clone();
+  copy[0] = 9.0f;
+  EXPECT_FLOAT_EQ(t[0], 1.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  std::vector<float> values(12);
+  std::iota(values.begin(), values.end(), 0.0f);
+  Tensor t(Shape{3, 4}, values);
+  t.reshape(Shape{2, 6});
+  EXPECT_EQ(t.shape(), Shape({2, 6}));
+  EXPECT_FLOAT_EQ(t.at({1, 1}), 7.0f);
+  EXPECT_THROW(t.reshape(Shape{5}), std::invalid_argument);
+}
+
+TEST(Layout, BlockedChannelCount) {
+  EXPECT_EQ(blocked_channel_count(1), 1);
+  EXPECT_EQ(blocked_channel_count(16), 1);
+  EXPECT_EQ(blocked_channel_count(17), 2);
+  EXPECT_EQ(blocked_channel_count(64), 4);
+}
+
+class ActivationRoundTrip : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(ActivationRoundTrip, PlainToBlockedAndBack) {
+  const std::int64_t channels = GetParam();
+  runtime::Rng rng(7, channels);
+  Tensor plain(Shape{channels, 3, 4, 5});
+  fill_normal(plain, rng, 0.0f, 1.0f);
+
+  const Tensor blocked = to_blocked_activation(plain);
+  EXPECT_EQ(blocked.shape(),
+            Shape({blocked_channel_count(channels), 3, 4, 5, 16}));
+  const Tensor back = from_blocked_activation(blocked, channels);
+  EXPECT_EQ(back.shape(), plain.shape());
+  EXPECT_EQ(max_abs_diff(back.values(), plain.values()), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ActivationRoundTrip,
+                         ::testing::Values<std::int64_t>(1, 3, 16, 17, 32,
+                                                         48));
+
+TEST(Layout, BlockedActivationElementPlacement) {
+  // channel 17 (block 1, lane 1) of a {18, 1, 1, 2} tensor.
+  Tensor plain(Shape{18, 1, 1, 2});
+  plain.at({17, 0, 0, 1}) = 3.0f;
+  const Tensor blocked = to_blocked_activation(plain);
+  EXPECT_FLOAT_EQ(blocked.at({1, 0, 0, 1, 1}), 3.0f);
+  // Padded lanes stay zero.
+  EXPECT_FLOAT_EQ(blocked.at({1, 0, 0, 0, 5}), 0.0f);
+}
+
+class WeightRoundTrip
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(WeightRoundTrip, PlainToBlockedAndBack) {
+  const auto [oc, ic] = GetParam();
+  runtime::Rng rng(8, static_cast<std::uint64_t>(oc * 100 + ic));
+  Tensor plain(Shape{oc, ic, 3, 3, 3});
+  fill_normal(plain, rng, 0.0f, 1.0f);
+
+  const Tensor blocked = to_blocked_weights(plain);
+  EXPECT_EQ(blocked.shape()[0], blocked_channel_count(oc));
+  EXPECT_EQ(blocked.shape()[1], blocked_channel_count(ic));
+  const Tensor back = from_blocked_weights(blocked, oc, ic);
+  EXPECT_EQ(max_abs_diff(back.values(), plain.values()), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Channels, WeightRoundTrip,
+    ::testing::Values(std::pair<std::int64_t, std::int64_t>{16, 16},
+                      std::pair<std::int64_t, std::int64_t>{32, 16},
+                      std::pair<std::int64_t, std::int64_t>{16, 32},
+                      std::pair<std::int64_t, std::int64_t>{48, 32},
+                      std::pair<std::int64_t, std::int64_t>{8, 4},
+                      std::pair<std::int64_t, std::int64_t>{20, 18}));
+
+TEST(Layout, SmallIcWeightsRoundTrip) {
+  runtime::Rng rng(9);
+  Tensor plain(Shape{32, 1, 3, 3, 3});
+  fill_normal(plain, rng, 0.0f, 1.0f);
+  const Tensor blocked = to_blocked_weights_small_ic(plain);
+  EXPECT_EQ(blocked.shape(), Shape({2, 3, 3, 3, 1, 16}));
+  const Tensor back = from_blocked_weights_small_ic(blocked, 32, 1);
+  EXPECT_EQ(max_abs_diff(back.values(), plain.values()), 0.0f);
+}
+
+TEST(Layout, SmallIcRejectsLargeIc) {
+  Tensor plain(Shape{16, 16, 3, 3, 3});
+  EXPECT_THROW(to_blocked_weights_small_ic(plain), std::invalid_argument);
+}
+
+TEST(TensorOps, AxpyAndScale) {
+  std::vector<float> x{1.0f, 2.0f, 3.0f};
+  std::vector<float> y{10.0f, 20.0f, 30.0f};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[2], 36.0f);
+  scale(y, 0.5f);
+  EXPECT_FLOAT_EQ(y[0], 6.0f);
+}
+
+TEST(TensorOps, DotAndNorm) {
+  std::vector<float> x{3.0f, 4.0f};
+  EXPECT_DOUBLE_EQ(dot(x, x), 25.0);
+  EXPECT_DOUBLE_EQ(l2_norm(x), 5.0);
+  EXPECT_DOUBLE_EQ(sum(x), 7.0);
+  EXPECT_FLOAT_EQ(max_abs(x), 4.0f);
+}
+
+TEST(TensorOps, SizeMismatchThrows) {
+  std::vector<float> x{1.0f};
+  std::vector<float> y{1.0f, 2.0f};
+  EXPECT_THROW(axpy(1.0f, x, y), std::invalid_argument);
+  EXPECT_THROW(dot(x, y), std::invalid_argument);
+}
+
+TEST(TensorOps, AllClose) {
+  std::vector<float> x{1.0f, 2.0f};
+  std::vector<float> y{1.0f + 1e-7f, 2.0f};
+  EXPECT_TRUE(allclose(x, y));
+  y[1] = 2.1f;
+  EXPECT_FALSE(allclose(x, y));
+}
+
+TEST(TensorOps, FillRoutinesAreDeterministic) {
+  runtime::Rng a(3, 1);
+  runtime::Rng b(3, 1);
+  Tensor ta(Shape{100});
+  Tensor tb(Shape{100});
+  fill_uniform(ta, a, -1.0f, 1.0f);
+  fill_uniform(tb, b, -1.0f, 1.0f);
+  EXPECT_EQ(max_abs_diff(ta.values(), tb.values()), 0.0f);
+}
+
+}  // namespace
+}  // namespace cf::tensor
