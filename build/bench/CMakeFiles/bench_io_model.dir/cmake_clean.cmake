@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_io_model.dir/bench_io_model.cpp.o"
+  "CMakeFiles/bench_io_model.dir/bench_io_model.cpp.o.d"
+  "bench_io_model"
+  "bench_io_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_io_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

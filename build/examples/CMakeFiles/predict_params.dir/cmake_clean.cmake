@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_params.dir/predict_params.cpp.o"
+  "CMakeFiles/predict_params.dir/predict_params.cpp.o.d"
+  "predict_params"
+  "predict_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_cosmoflow.dir/train_cosmoflow.cpp.o"
+  "CMakeFiles/train_cosmoflow.dir/train_cosmoflow.cpp.o.d"
+  "train_cosmoflow"
+  "train_cosmoflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_cosmoflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

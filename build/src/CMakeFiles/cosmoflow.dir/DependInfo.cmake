@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/mlcomm.cpp" "src/CMakeFiles/cosmoflow.dir/comm/mlcomm.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/comm/mlcomm.cpp.o.d"
+  "/root/repo/src/core/baseline.cpp" "src/CMakeFiles/cosmoflow.dir/core/baseline.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/core/baseline.cpp.o.d"
+  "/root/repo/src/core/checkpoint.cpp" "src/CMakeFiles/cosmoflow.dir/core/checkpoint.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/core/checkpoint.cpp.o.d"
+  "/root/repo/src/core/dataset_gen.cpp" "src/CMakeFiles/cosmoflow.dir/core/dataset_gen.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/core/dataset_gen.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/cosmoflow.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/CMakeFiles/cosmoflow.dir/core/topology.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/core/topology.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/CMakeFiles/cosmoflow.dir/core/trainer.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/core/trainer.cpp.o.d"
+  "/root/repo/src/cosmo/deposit.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/deposit.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/deposit.cpp.o.d"
+  "/root/repo/src/cosmo/fft3d.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/fft3d.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/fft3d.cpp.o.d"
+  "/root/repo/src/cosmo/gaussian_field.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/gaussian_field.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/gaussian_field.cpp.o.d"
+  "/root/repo/src/cosmo/growth.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/growth.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/growth.cpp.o.d"
+  "/root/repo/src/cosmo/power_spectrum.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/power_spectrum.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/power_spectrum.cpp.o.d"
+  "/root/repo/src/cosmo/simulation.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/simulation.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/simulation.cpp.o.d"
+  "/root/repo/src/cosmo/statistics.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/statistics.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/statistics.cpp.o.d"
+  "/root/repo/src/cosmo/zeldovich.cpp" "src/CMakeFiles/cosmoflow.dir/cosmo/zeldovich.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/cosmo/zeldovich.cpp.o.d"
+  "/root/repo/src/data/augment.cpp" "src/CMakeFiles/cosmoflow.dir/data/augment.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/data/augment.cpp.o.d"
+  "/root/repo/src/data/cfrecord.cpp" "src/CMakeFiles/cosmoflow.dir/data/cfrecord.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/data/cfrecord.cpp.o.d"
+  "/root/repo/src/data/crc32.cpp" "src/CMakeFiles/cosmoflow.dir/data/crc32.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/data/crc32.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/cosmoflow.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/pipeline.cpp" "src/CMakeFiles/cosmoflow.dir/data/pipeline.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/data/pipeline.cpp.o.d"
+  "/root/repo/src/data/sample.cpp" "src/CMakeFiles/cosmoflow.dir/data/sample.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/data/sample.cpp.o.d"
+  "/root/repo/src/dnn/activations.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/activations.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/activations.cpp.o.d"
+  "/root/repo/src/dnn/avgpool3d.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/avgpool3d.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/avgpool3d.cpp.o.d"
+  "/root/repo/src/dnn/conv3d.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/conv3d.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/conv3d.cpp.o.d"
+  "/root/repo/src/dnn/conv3d_ref.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/conv3d_ref.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/conv3d_ref.cpp.o.d"
+  "/root/repo/src/dnn/dense.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/dense.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/dense.cpp.o.d"
+  "/root/repo/src/dnn/flatten.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/flatten.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/flatten.cpp.o.d"
+  "/root/repo/src/dnn/loss.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/loss.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/loss.cpp.o.d"
+  "/root/repo/src/dnn/network.cpp" "src/CMakeFiles/cosmoflow.dir/dnn/network.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/dnn/network.cpp.o.d"
+  "/root/repo/src/iosim/filesystem_model.cpp" "src/CMakeFiles/cosmoflow.dir/iosim/filesystem_model.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/iosim/filesystem_model.cpp.o.d"
+  "/root/repo/src/iosim/steptime_model.cpp" "src/CMakeFiles/cosmoflow.dir/iosim/steptime_model.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/iosim/steptime_model.cpp.o.d"
+  "/root/repo/src/optim/adam.cpp" "src/CMakeFiles/cosmoflow.dir/optim/adam.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/optim/adam.cpp.o.d"
+  "/root/repo/src/optim/larc_adam.cpp" "src/CMakeFiles/cosmoflow.dir/optim/larc_adam.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/optim/larc_adam.cpp.o.d"
+  "/root/repo/src/optim/lr_schedule.cpp" "src/CMakeFiles/cosmoflow.dir/optim/lr_schedule.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/optim/lr_schedule.cpp.o.d"
+  "/root/repo/src/optim/sgd.cpp" "src/CMakeFiles/cosmoflow.dir/optim/sgd.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/optim/sgd.cpp.o.d"
+  "/root/repo/src/runtime/logging.cpp" "src/CMakeFiles/cosmoflow.dir/runtime/logging.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/runtime/logging.cpp.o.d"
+  "/root/repo/src/runtime/rng.cpp" "src/CMakeFiles/cosmoflow.dir/runtime/rng.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/runtime/rng.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/cosmoflow.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/tensor/layout.cpp" "src/CMakeFiles/cosmoflow.dir/tensor/layout.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/tensor/layout.cpp.o.d"
+  "/root/repo/src/tensor/shape.cpp" "src/CMakeFiles/cosmoflow.dir/tensor/shape.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/tensor/shape.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/cosmoflow.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/tensor/tensor_ops.cpp" "src/CMakeFiles/cosmoflow.dir/tensor/tensor_ops.cpp.o" "gcc" "src/CMakeFiles/cosmoflow.dir/tensor/tensor_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

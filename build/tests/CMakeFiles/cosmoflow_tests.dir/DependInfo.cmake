@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/augment_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/augment_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/augment_test.cpp.o.d"
+  "/root/repo/tests/baseline_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/baseline_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/baseline_test.cpp.o.d"
+  "/root/repo/tests/comm_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/comm_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/comm_test.cpp.o.d"
+  "/root/repo/tests/conv3d_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/conv3d_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/conv3d_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/cosmo_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/cosmo_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/cosmo_test.cpp.o.d"
+  "/root/repo/tests/data_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/data_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/data_test.cpp.o.d"
+  "/root/repo/tests/determinism_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/determinism_test.cpp.o.d"
+  "/root/repo/tests/fft_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/fft_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/fft_test.cpp.o.d"
+  "/root/repo/tests/growth_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/growth_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/growth_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/iosim_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/iosim_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/iosim_test.cpp.o.d"
+  "/root/repo/tests/layers_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/layers_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/layers_test.cpp.o.d"
+  "/root/repo/tests/network_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/network_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/network_test.cpp.o.d"
+  "/root/repo/tests/optim_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/optim_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/optim_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/tensor_test.cpp" "tests/CMakeFiles/cosmoflow_tests.dir/tensor_test.cpp.o" "gcc" "tests/CMakeFiles/cosmoflow_tests.dir/tensor_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cosmoflow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
