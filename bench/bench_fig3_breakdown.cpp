@@ -10,18 +10,24 @@
 // data.
 //
 //   ./bench_fig3_breakdown [--dhw=32] [--ranks=2] [--epochs=2]
+//                          [--trace=trace.json]
 #include <cstdio>
 #include <cstring>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "core/dataset_gen.hpp"
 #include "core/topology.hpp"
 #include "core/trainer.hpp"
+#include "obs/telemetry.hpp"
 
 int main(int argc, char** argv) {
   using namespace cf;
   std::int64_t dhw = 32;
   int ranks = 2;
   int epochs = 2;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dhw=", 6) == 0) dhw = std::atoll(argv[i] + 6);
     if (std::strncmp(argv[i], "--ranks=", 8) == 0) {
@@ -29,6 +35,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
       epochs = std::atoi(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
     }
   }
 
@@ -53,6 +62,9 @@ int main(int argc, char** argv) {
   core::Trainer trainer(core::cosmoflow_scaled(dhw), train, val, config);
   std::printf("training %s, %d ranks x %d epochs on %zu samples...\n\n",
               trainer.topology().name.c_str(), ranks, epochs, train.size());
+#if COSMOFLOW_TELEMETRY_ENABLED
+  obs::Tracer::global().clear();
+#endif
   const auto stats = trainer.run();
 
   const core::CategoryBreakdown breakdown = trainer.breakdown();
@@ -75,6 +87,42 @@ int main(int argc, char** argv) {
   row("I/O wait (unhidden)", breakdown.seconds.at("io_wait"));
   row("other (framework)", breakdown.total - accounted);
   std::printf("%-22s %10.3f\n", "walltime", breakdown.total);
+
+#if COSMOFLOW_TELEMETRY_ENABLED
+  // Cross-check: the same shape regenerated from trace spans, grouped
+  // by span category and summed over every rank thread.
+  std::map<std::string, std::pair<double, std::int64_t>> by_category;
+  for (const obs::TraceEvent& event : obs::Tracer::global().snapshot()) {
+    auto& [seconds, count] = by_category[event.category];
+    seconds += static_cast<double>(event.dur_ns) / 1e9;
+    ++count;
+  }
+  std::printf("\n%-22s %10s %8s  (trace spans, all ranks)\n",
+              "span category", "seconds", "events");
+  for (const auto& [category, acc] : by_category) {
+    std::printf("%-22s %10.3f %8lld\n", category.c_str(), acc.first,
+                static_cast<long long>(acc.second));
+  }
+  if (obs::Tracer::global().dropped() > 0) {
+    std::printf("(%llu events dropped; raise COSMOFLOW_TRACE_CAPACITY "
+                "for full traces)\n",
+                static_cast<unsigned long long>(
+                    obs::Tracer::global().dropped()));
+  }
+  if (!trace_path.empty()) {
+    if (obs::Tracer::global().write_chrome_trace(trace_path)) {
+      std::printf("wrote chrome://tracing trace to %s\n",
+                  trace_path.c_str());
+    } else {
+      std::printf("FAILED to write trace to %s\n", trace_path.c_str());
+      return 1;
+    }
+  }
+#else
+  if (!trace_path.empty()) {
+    std::printf("\n--trace ignored: built with COSMOFLOW_TELEMETRY=OFF\n");
+  }
+#endif
 
   std::printf("\nlast epoch: train loss %.5f, val loss %.5f\n",
               stats.back().train_loss, stats.back().val_loss);

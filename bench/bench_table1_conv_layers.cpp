@@ -9,11 +9,18 @@
 // tail (channel-starved) layers.
 //
 //   ./bench_table1_conv_layers [--iters=3]
+//
+// With telemetry compiled in (the default), per-pass times come from
+// the cf::obs trace spans the layers emit; with COSMOFLOW_TELEMETRY=OFF
+// the table falls back to the per-layer profile timers.
 #include <cstdio>
 #include <cstring>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "core/topology.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/timer.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -44,6 +51,9 @@ int main(int argc, char** argv) {
   net.zero_grads();
   net.backward(dloss, pool);
   net.reset_profiles();
+#if COSMOFLOW_TELEMETRY_ENABLED
+  obs::Tracer::global().clear();
+#endif
 
   const runtime::Stopwatch watch;
   for (int it = 0; it < iters; ++it) {
@@ -53,16 +63,43 @@ int main(int argc, char** argv) {
   }
   const double step = watch.elapsed_seconds() / iters;
 
+#if COSMOFLOW_TELEMETRY_ENABLED
+  // Regenerate the table from the trace: mean duration of the
+  // `{layer}/fwd`, `{layer}/bww` and `{layer}/bwd_data` spans.
+  std::map<std::string, std::pair<double, int>> span_ms;
+  for (const obs::TraceEvent& event : obs::Tracer::global().snapshot()) {
+    auto& [total, count] = span_ms[event.name];
+    total += static_cast<double>(event.dur_ns) / 1e6;
+    ++count;
+  }
+  const auto span_mean_ms = [&](const std::string& name) {
+    const auto it = span_ms.find(name);
+    return it != span_ms.end() && it->second.second > 0
+               ? it->second.first / it->second.second
+               : 0.0;
+  };
+  std::printf("(per-pass times aggregated from cf::obs trace spans)\n");
+#else
+  std::printf("(telemetry off: per-pass times from layer profile "
+              "timers)\n");
+#endif
+
   std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "Layer", "Fwd ms",
               "Bww ms", "Bwd ms", "Fwd GF/s", "Bww GF/s", "Bwd GF/s");
   double conv_total_ms = 0.0;
   for (const dnn::LayerProfile& profile : net.profiles()) {
     if (profile.kind != "conv") continue;
+#if COSMOFLOW_TELEMETRY_ENABLED
+    const double fwd_ms = span_mean_ms(profile.name + "/fwd");
+    const double bww_ms = span_mean_ms(profile.name + "/bww");
+    const double bwd_ms = span_mean_ms(profile.name + "/bwd_data");
+#else
     const double fwd_ms = profile.fwd.mean() * 1e3;
     const double bww_ms = profile.bwd_weights.mean() * 1e3;
     const double bwd_ms = profile.bwd_data.count() > 0
                               ? profile.bwd_data.mean() * 1e3
                               : 0.0;
+#endif
     const auto rate = [](double flops, double ms) {
       return ms > 0.0 ? flops / (ms * 1e-3) / 1e9 : 0.0;
     };

@@ -5,6 +5,10 @@
 //   ./examples/train_cosmoflow --data=/tmp/cosmoflow_data
 //       [--ranks=4] [--epochs=8] [--base-lr=2e-3] [--min-lr=1e-4]
 //       [--checkpoint=/tmp/cosmoflow.ckpt] [--optimizer=adamlarc|adam|sgd]
+//       [--trace=trace.json] [--step-log=steps.jsonl]
+//
+// --trace writes a chrome://tracing/Perfetto-loadable span trace,
+// --step-log a JSONL record per training step (see OBSERVABILITY.md).
 #include <cstdio>
 #include <filesystem>
 
@@ -12,6 +16,7 @@
 #include "core/topology.hpp"
 #include "core/trainer.hpp"
 #include "examples/example_utils.hpp"
+#include "obs/telemetry.hpp"
 
 namespace {
 
@@ -37,7 +42,8 @@ int main(int argc, char** argv) {
       argc, argv,
       "usage: train_cosmoflow --data=DIR [--ranks=N] [--epochs=N] "
       "[--base-lr=F] [--min-lr=F] [--checkpoint=PATH] "
-      "[--optimizer=adamlarc|adam|sgd]");
+      "[--optimizer=adamlarc|adam|sgd] [--trace=PATH] "
+      "[--step-log=PATH]");
 
   const std::string dir = flags.get_string("data", "/tmp/cosmoflow_data");
   const auto train_shards = find_shards(dir, "train");
@@ -67,6 +73,8 @@ int main(int argc, char** argv) {
   config.base_lr = flags.get_double("base-lr", 2e-3);
   config.min_lr = flags.get_double("min-lr", 1e-4);
   config.pipeline.io_threads = 2;
+  config.step_log_path = flags.get_string("step-log", "");
+  const std::string trace_path = flags.get_string("trace", "");
   const std::string optimizer = flags.get_string("optimizer", "adamlarc");
   if (optimizer == "adam") {
     config.optimizer = core::OptimizerKind::kAdam;
@@ -86,7 +94,16 @@ int main(int argc, char** argv) {
   }
   core::Trainer trainer(topology, train, val, config);
 
-  const auto stats = trainer.run();
+#if COSMOFLOW_TELEMETRY_ENABLED
+  obs::Tracer::global().clear();
+#endif
+  std::vector<core::EpochStats> stats;
+  try {
+    stats = trainer.run();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "training failed: %s\n", e.what());
+    return 1;
+  }
   for (const core::EpochStats& epoch : stats) {
     std::printf("epoch %3d  train %.5f  val %.5f  %.2fs  "
                 "(step mean %.1f ms)\n",
@@ -98,6 +115,25 @@ int main(int argc, char** argv) {
   std::printf("\nstage breakdown (rank 0, %.1fs total):\n", breakdown.total);
   for (const auto& [category, seconds] : breakdown.seconds) {
     std::printf("  %-10s %8.2fs\n", category.c_str(), seconds);
+  }
+
+  if (!trace_path.empty()) {
+#if COSMOFLOW_TELEMETRY_ENABLED
+    if (obs::Tracer::global().write_chrome_trace(trace_path)) {
+      std::printf("\ntrace written to %s (open in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+#else
+    std::printf("\n--trace ignored: built with COSMOFLOW_TELEMETRY=OFF\n");
+#endif
+  }
+  if (!config.step_log_path.empty()) {
+    std::printf("step log written to %s\n", config.step_log_path.c_str());
   }
 
   const std::string ckpt =

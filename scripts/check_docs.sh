@@ -1,0 +1,46 @@
+#!/usr/bin/env sh
+# Docs lint, run from ctest (see tests/CMakeLists.txt):
+#   1. every src/<module>/ directory must be mentioned in DESIGN.md, so
+#      new subsystems cannot land undocumented;
+#   2. every build/bench/NAME or build/examples/NAME command inside a
+#      README code fence must correspond to a target declared in the
+#      matching CMakeLists (add_executable(NAME ...) or NAME in a
+#      target list), so the README never advertises targets that do
+#      not build.
+#
+# Usage: check_docs.sh [repo_root]
+set -u
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 1
+
+fail=0
+
+for dir in src/*/; do
+  module="$(basename "$dir")"
+  if ! grep -q "$module" DESIGN.md; then
+    echo "FAIL: src/$module/ is not mentioned in DESIGN.md" >&2
+    fail=1
+  fi
+done
+
+# Extract code-fenced lines from README.md, keep tokens that look like
+# build/bench/NAME or build/examples/NAME (either the binary path form
+# used in run commands or a --target argument).
+targets="$(awk '/^```/{fence=!fence; next} fence' README.md |
+  grep -oE 'build/(bench|examples)/[A-Za-z0-9_]+' | sort -u)"
+
+for target in $targets; do
+  kind="$(printf '%s' "$target" | cut -d/ -f2)"
+  name="$(printf '%s' "$target" | cut -d/ -f3)"
+  if ! grep -qw "$name" "$kind/CMakeLists.txt"; then
+    echo "FAIL: README references $target but $kind/CMakeLists.txt" \
+         "declares no target named $name" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "check_docs: OK"

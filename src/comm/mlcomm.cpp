@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/telemetry.hpp"
+
 namespace cf::comm {
 
 int RankHandle::size() const noexcept { return comm_->size(); }
@@ -11,17 +13,20 @@ int RankHandle::size() const noexcept { return comm_->size(); }
 void RankHandle::barrier() { comm_->barrier_.arrive_and_wait(); }
 
 void RankHandle::broadcast(std::span<float> data, int root) {
-  const runtime::ScopedTimer timer(comm_->comm_time_[rank_]);
+  CF_TRACE_SCOPE("comm/broadcast", "comm");
+  const obs::ScopedStatTimer timer(*comm_->comm_stats_[rank_]);
   comm_->do_broadcast(rank_, data, root);
 }
 
 void RankHandle::allreduce_average(std::span<float> data) {
-  const runtime::ScopedTimer timer(comm_->comm_time_[rank_]);
+  CF_TRACE_SCOPE("comm/allreduce", "comm");
+  const obs::ScopedStatTimer timer(*comm_->comm_stats_[rank_]);
   comm_->do_allreduce(rank_, data);
 }
 
 double RankHandle::allreduce_average_scalar(double value) {
-  const runtime::ScopedTimer timer(comm_->comm_time_[rank_]);
+  CF_TRACE_SCOPE("comm/allreduce_scalar", "comm");
+  const obs::ScopedStatTimer timer(*comm_->comm_stats_[rank_]);
   comm_->scalar_slots_[rank_] = value;
   comm_->barrier_.arrive_and_wait();
   double acc = 0.0;
@@ -30,13 +35,11 @@ double RankHandle::allreduce_average_scalar(double value) {
   return acc / comm_->nranks_;
 }
 
-const runtime::TimeStats& RankHandle::comm_time() const {
-  return comm_->comm_time_[rank_];
+runtime::TimeStats RankHandle::comm_time() const {
+  return comm_->comm_stats_[rank_]->snapshot();
 }
 
-void RankHandle::reset_comm_time() {
-  comm_->comm_time_[rank_] = runtime::TimeStats{};
-}
+void RankHandle::reset_comm_time() { comm_->comm_stats_[rank_]->reset(); }
 
 MlComm::MlComm(int nranks, MlCommConfig config)
     : nranks_(nranks),
@@ -44,14 +47,24 @@ MlComm::MlComm(int nranks, MlCommConfig config)
       barrier_(static_cast<std::size_t>(nranks)),
       slots_(static_cast<std::size_t>(nranks), nullptr),
       slot_sizes_(static_cast<std::size_t>(nranks), 0),
-      scalar_slots_(static_cast<std::size_t>(nranks), 0.0),
-      comm_time_(static_cast<std::size_t>(nranks)) {
+      scalar_slots_(static_cast<std::size_t>(nranks), 0.0) {
   if (nranks <= 0) throw std::invalid_argument("MlComm: nranks must be > 0");
   if (config_.chunk_elems == 0) {
     throw std::invalid_argument("MlComm: chunk_elems must be > 0");
   }
   handles_.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) handles_.push_back(RankHandle(this, r));
+  comm_stats_.reserve(static_cast<std::size_t>(nranks));
+  obs::Registry& registry = obs::Registry::global();
+  for (int r = 0; r < nranks; ++r) {
+    handles_.push_back(RankHandle(this, r));
+    obs::Stat& stat =
+        registry.stat("comm/collective/r" + std::to_string(r));
+    stat.reset();  // a new communicator starts a fresh measurement
+    comm_stats_.push_back(&stat);
+  }
+  allreduce_calls_ = &registry.counter("comm/allreduce_calls");
+  allreduce_bytes_ = &registry.counter("comm/allreduce_bytes");
+  allreduce_chunks_ = &registry.counter("comm/allreduce_chunks");
 }
 
 RankHandle& MlComm::handle(int rank) {
@@ -109,6 +122,11 @@ void MlComm::do_broadcast(int rank, std::span<float> data, int root) {
 }
 
 void MlComm::do_allreduce(int rank, std::span<float> data) {
+  if (rank == 0) {
+    allreduce_calls_->add(1);
+    allreduce_bytes_->add(
+        static_cast<std::int64_t>(data.size() * sizeof(float)));
+  }
   if (config_.pre_reduce_hook) config_.pre_reduce_hook(rank);
   publish(rank, data.data(), data.size());
   if (barrier_.arrive_and_wait()) {
@@ -142,6 +160,7 @@ void MlComm::reduce_scatter_allgather(int rank, std::span<float> data) {
 
   // Reduce-scatter: this rank reduces its owned range across all
   // ranks, in fixed rank order (determinism), chunk by chunk.
+  std::int64_t chunks = 0;
   for (std::size_t chunk = begin; chunk < end;
        chunk += config_.chunk_elems) {
     const std::size_t stop = std::min(end, chunk + config_.chunk_elems);
@@ -152,7 +171,9 @@ void MlComm::reduce_scatter_allgather(int rank, std::span<float> data) {
       for (std::size_t i = 0; i < stop - chunk; ++i) out[i] += in[i];
     }
     for (std::size_t i = 0; i < stop - chunk; ++i) out[i] *= inv;
+    ++chunks;
   }
+  if (chunks > 0) allreduce_chunks_->add(chunks);
   barrier_.arrive_and_wait();
 
   // Allgather: copy the full averaged vector back.

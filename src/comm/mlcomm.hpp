@@ -27,6 +27,7 @@
 #include <span>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/barrier.hpp"
 #include "runtime/timer.hpp"
 
@@ -65,8 +66,10 @@ class RankHandle {
   /// Averaged scalar (validation-loss averaging).
   double allreduce_average_scalar(double value);
 
-  /// Wall-clock spent inside collectives on this rank.
-  const runtime::TimeStats& comm_time() const;
+  /// Wall-clock spent inside collectives on this rank — a snapshot of
+  /// the `comm/collective/r<rank>` Stat in the obs registry (each
+  /// MlComm resets its ranks' stats at construction).
+  runtime::TimeStats comm_time() const;
   void reset_comm_time();
 
  private:
@@ -107,7 +110,11 @@ class MlComm {
   std::vector<std::size_t> slot_sizes_;
   std::vector<float> reduce_buffer_;
   std::vector<double> scalar_slots_;
-  std::vector<runtime::TimeStats> comm_time_;
+  // Telemetry handles (obs registry), looked up once at construction.
+  std::vector<obs::Stat*> comm_stats_;     // comm/collective/r<rank>
+  obs::Counter* allreduce_calls_ = nullptr;
+  obs::Counter* allreduce_bytes_ = nullptr;
+  obs::Counter* allreduce_chunks_ = nullptr;
 };
 
 }  // namespace cf::comm

@@ -2,10 +2,12 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 #include "cosmo/simulation.hpp"
 #include "data/augment.hpp"
 #include "dnn/loss.hpp"
+#include "obs/telemetry.hpp"
 
 namespace cf::core {
 
@@ -38,7 +40,15 @@ std::vector<EpochStats> Trainer::run() {
   if (ran_) throw std::logic_error("Trainer::run: called twice");
   ran_ = true;
   stats_.assign(static_cast<std::size_t>(config_.epochs), EpochStats{});
+  if (!config_.step_log_path.empty()) {
+    step_log_ = std::make_unique<obs::JsonlSink>(config_.step_log_path);
+    if (!step_log_->ok()) {
+      throw std::runtime_error("Trainer: cannot open step log " +
+                               config_.step_log_path);
+    }
+  }
 
+  CF_TRACE_SCOPE("trainer/run", "train");
   comm::MlComm comm(config_.nranks, config_.comm);
   const runtime::Stopwatch total_watch;
   comm.run([&](comm::RankHandle& rank) { rank_body(rank, train_, val_); });
@@ -52,6 +62,13 @@ void Trainer::rank_body(comm::RankHandle& rank,
   const int r = rank.rank();
   runtime::ThreadPool pool(config_.threads_per_rank);
 
+  obs::Registry& registry = obs::Registry::global();
+  obs::Stat& opt_stat =
+      registry.stat("trainer/optimizer/r" + std::to_string(r));
+  obs::Stat& step_stat = registry.stat("trainer/step/r" + std::to_string(r));
+  opt_stat.reset();
+  step_stat.reset();
+
   // Build this rank's replica; every rank uses the same init seed and
   // rank 0 broadcasts anyway (the Algorithm 2 preamble).
   auto net = std::make_unique<dnn::Network>(
@@ -62,9 +79,6 @@ void Trainer::rank_body(comm::RankHandle& rank,
   const std::size_t param_count =
       static_cast<std::size_t>(network.param_count());
   std::vector<float> flat(param_count);
-  network.copy_params_to(flat);
-  rank.broadcast(flat, /*root=*/0);
-  network.set_params_from(flat);
 
   const std::int64_t decay_epochs =
       config_.decay_epochs > 0 ? config_.decay_epochs : config_.epochs;
@@ -100,19 +114,51 @@ void Trainer::rank_body(comm::RankHandle& rank,
     }
   };
 
-  data::Pipeline train_pipeline(train, config_.pipeline);
-  data::Pipeline val_pipeline(val, config_.pipeline);
+  // Pipelines carry per-rank metric prefixes so each rank's unhidden
+  // I/O wait is its own registry Stat (`data/pipeline/r<r>/train/wait`).
+  data::PipelineConfig train_pipe_cfg = config_.pipeline;
+  train_pipe_cfg.metric_prefix =
+      config_.pipeline.metric_prefix + "/r" + std::to_string(r) + "/train";
+  data::PipelineConfig val_pipe_cfg = config_.pipeline;
+  val_pipe_cfg.metric_prefix =
+      config_.pipeline.metric_prefix + "/r" + std::to_string(r) + "/val";
+  data::Pipeline train_pipeline(train, train_pipe_cfg);
+  data::Pipeline val_pipeline(val, val_pipe_cfg);
+
+  // This rank's cumulative stage seconds by category — the quantity
+  // breakdown() reports for rank 0. Step/epoch JSONL records log
+  // *deltas* of these totals, so summing a rank's records telescopes
+  // back to the totals exactly.
+  const auto category_totals = [&] {
+    std::map<std::string, double> totals;
+    for (const dnn::LayerProfile& profile : network.profiles()) {
+      totals[profile.kind] += profile.fwd.total() +
+                              profile.bwd_data.total() +
+                              profile.bwd_weights.total();
+    }
+    totals["optimizer"] = opt_stat.snapshot().total();
+    totals["comm"] = rank.comm_time().total();
+    totals["io_wait"] = train_pipeline.wait_time().total();
+    return totals;
+  };
+  // Baseline captured before the initial broadcast so the first step's
+  // comm delta charges for it.
+  std::map<std::string, double> prev_totals =
+      step_log_ ? category_totals() : std::map<std::string, double>{};
+
+  network.copy_params_to(flat);
+  rank.broadcast(flat, /*root=*/0);
+  network.set_params_from(flat);
 
   const std::int64_t n_outputs = network.output_shape()[0];
   std::vector<float> target(static_cast<std::size_t>(n_outputs));
   Tensor dloss(network.output_shape());
 
-  runtime::TimeStats local_opt_time;
-  runtime::TimeStats local_step_time;
   runtime::Rng augment_rng(config_.seed ^ 0xA46D454E54ULL,
                            static_cast<std::uint64_t>(r));
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    CF_TRACE_SCOPE("train/epoch", "train");
     const runtime::Stopwatch epoch_watch;
     train_pipeline.start_epoch(data::epoch_indices_for_rank(
         train.size(), config_.nranks, r,
@@ -123,6 +169,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
     std::int64_t steps = 0;
     data::Sample sample;
     while (steps < steps_per_epoch_ && train_pipeline.next(sample)) {
+      CF_TRACE_SCOPE("train/step", "train");
       const runtime::Stopwatch step_watch;
       if (config_.augment) {
         data::orient_volume(
@@ -136,7 +183,8 @@ void Trainer::rank_body(comm::RankHandle& rank,
         target[static_cast<std::size_t>(i)] =
             sample.target[static_cast<std::size_t>(i)];
       }
-      loss_sum += dnn::mse_loss(output.values(), target);
+      const double loss = dnn::mse_loss(output.values(), target);
+      loss_sum += loss;
       dnn::mse_loss_grad(output.values(), target, dloss.values());
       network.zero_grads();
       network.backward(dloss, pool);
@@ -148,30 +196,52 @@ void Trainer::rank_body(comm::RankHandle& rank,
 
       // Identical model update on every replica (line 5).
       {
-        const runtime::ScopedTimer opt_timer(local_opt_time);
+        CF_TRACE_SCOPE("train/optimizer", "optim");
+        const obs::ScopedStatTimer opt_timer(opt_stat);
         optimizer_step();
       }
       ++steps;
-      local_step_time.add(step_watch.elapsed_seconds());
+      const double step_seconds = step_watch.elapsed_seconds();
+      step_stat.add(step_seconds);
+      if (step_log_) {
+        std::map<std::string, double> totals = category_totals();
+        obs::JsonObject rec;
+        rec.field("phase", "step")
+            .field("epoch", epoch)
+            .field("step", static_cast<std::int64_t>(steps - 1))
+            .field("rank", r)
+            .field("loss", loss)
+            .field("lr", larc_opt ? larc_opt->last_lr()
+                                  : schedule->lr(sgd_opt->steps_taken() - 1))
+            .field("sec_step", step_seconds);
+        for (const auto& [category, total] : totals) {
+          rec.field("sec_" + category, total - prev_totals[category]);
+        }
+        step_log_->write(rec);
+        prev_totals = std::move(totals);
+      }
     }
     const double train_loss =
         rank.allreduce_average_scalar(loss_sum /
                                       static_cast<double>(steps));
 
     // Validation loop: forward + loss only, averaged across ranks.
-    val_pipeline.start_epoch(data::epoch_indices_for_rank(
-        val.size(), config_.nranks, r, /*epoch_seed=*/0,
-        /*shuffle=*/false));
     double val_sum = 0.0;
     std::int64_t val_steps = 0;
-    while (val_pipeline.next(sample)) {
-      const Tensor& output = network.forward(sample.volume, pool);
-      for (std::int64_t i = 0; i < n_outputs; ++i) {
-        target[static_cast<std::size_t>(i)] =
-            sample.target[static_cast<std::size_t>(i)];
+    {
+      CF_TRACE_SCOPE("train/validate", "train");
+      val_pipeline.start_epoch(data::epoch_indices_for_rank(
+          val.size(), config_.nranks, r, /*epoch_seed=*/0,
+          /*shuffle=*/false));
+      while (val_pipeline.next(sample)) {
+        const Tensor& output = network.forward(sample.volume, pool);
+        for (std::int64_t i = 0; i < n_outputs; ++i) {
+          target[static_cast<std::size_t>(i)] =
+              sample.target[static_cast<std::size_t>(i)];
+        }
+        val_sum += dnn::mse_loss(output.values(), target);
+        ++val_steps;
       }
-      val_sum += dnn::mse_loss(output.values(), target);
-      ++val_steps;
     }
     const double val_loss = rank.allreduce_average_scalar(
         val_steps > 0 ? val_sum / static_cast<double>(val_steps) : 0.0);
@@ -183,13 +253,33 @@ void Trainer::rank_body(comm::RankHandle& rank,
       es.train_loss = train_loss;
       es.val_loss = val_loss;
       es.epoch_seconds = epoch_watch.elapsed_seconds();
-      es.step_time = local_step_time;
-      local_step_time = runtime::TimeStats{};
+      es.step_time = step_stat.snapshot();
+      step_stat.reset();
+      if (step_log_) {
+        // The epoch record carries the residual deltas (validation
+        // forward passes, scalar reductions) so the record stream
+        // telescopes to the cumulative totals with nothing missing.
+        std::map<std::string, double> totals = category_totals();
+        obs::JsonObject rec;
+        rec.field("phase", "epoch")
+            .field("epoch", epoch)
+            .field("rank", r)
+            .field("train_loss", train_loss)
+            .field("val_loss", val_loss)
+            .field("epoch_seconds", es.epoch_seconds);
+        for (const auto& [category, total] : totals) {
+          rec.field("sec_" + category, total - prev_totals[category]);
+        }
+        step_log_->write(rec);
+        prev_totals = std::move(totals);
+      }
     }
   }
 
   if (r == 0) {
-    optimizer_time_ = local_opt_time;
+    // Snapshot the registry-backed stats so breakdown() keeps its
+    // answer even if a later run registers over the same names.
+    optimizer_time_ = opt_stat.snapshot();
     io_wait_time_ = train_pipeline.wait_time();
     comm_time_ = rank.comm_time();
   }

@@ -18,12 +18,14 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "comm/mlcomm.hpp"
 #include "core/metrics.hpp"
 #include "core/topology.hpp"
 #include "data/pipeline.hpp"
+#include "obs/jsonl.hpp"
 #include "optim/larc_adam.hpp"
 #include "optim/sgd.hpp"
 
@@ -53,6 +55,12 @@ struct TrainerConfig {
   /// symmetries; see data/augment.hpp). Validation is never augmented.
   bool augment = true;
   comm::MlCommConfig comm{};
+  /// When non-empty, every rank appends one JSONL record per step
+  /// (phase/epoch/step/rank/loss/lr plus per-category stage-second
+  /// deltas) and rank 0 adds one record per epoch; the records
+  /// telescope so their rank-0 per-category sums equal breakdown().
+  /// See OBSERVABILITY.md for the schema. Empty disables.
+  std::string step_log_path;
 };
 
 struct EpochStats {
@@ -110,9 +118,12 @@ class Trainer {
 
   std::vector<std::unique_ptr<dnn::Network>> networks_;
   std::vector<EpochStats> stats_;
-  runtime::TimeStats optimizer_time_;  // rank 0
-  runtime::TimeStats io_wait_time_;    // rank 0
-  runtime::TimeStats comm_time_;       // rank 0
+  std::unique_ptr<obs::JsonlSink> step_log_;
+  // Rank-0 snapshots of the obs registry stats, taken when rank 0
+  // leaves rank_body so breakdown() stays stable afterwards.
+  runtime::TimeStats optimizer_time_;
+  runtime::TimeStats io_wait_time_;
+  runtime::TimeStats comm_time_;
   double train_walltime_ = 0.0;
   bool ran_ = false;
 };

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
 #include "runtime/rng.hpp"
 
 namespace cf::data {
@@ -13,6 +14,11 @@ Pipeline::Pipeline(const SampleSource& source, PipelineConfig config)
     throw std::invalid_argument(
         "Pipeline: queue capacity and io_threads must be positive");
   }
+  obs::Registry& registry = obs::Registry::global();
+  wait_stat_ = &registry.stat(config_.metric_prefix + "/wait");
+  wait_stat_->reset();  // a new pipeline starts a fresh measurement
+  samples_counter_ = &registry.counter("data/pipeline/samples_prefetched");
+  bytes_counter_ = &registry.counter("data/pipeline/bytes_prefetched");
   producers_.reserve(config_.io_threads);
   for (std::size_t t = 0; t < config_.io_threads; ++t) {
     producers_.emplace_back([this, t] { producer_loop(t); });
@@ -43,7 +49,8 @@ void Pipeline::start_epoch(std::vector<std::size_t> indices) {
 }
 
 bool Pipeline::next(Sample& out) {
-  const runtime::ScopedTimer timer(wait_);
+  CF_TRACE_SCOPE("io/wait_sample", "io");
+  const obs::ScopedStatTimer timer(*wait_stat_);
   std::unique_lock lock(mutex_);
   if (consumed_ == indices_.size()) return false;  // epoch exhausted
   queue_not_empty_.wait(lock, [&] {
@@ -77,11 +84,18 @@ void Pipeline::producer_loop(std::size_t /*thread_index*/) {
       index = indices_[cursor_++];
       if (cursor_ >= indices_.size()) seen_epoch = epoch_;
     }
-    Sample sample = reader->get(index);
-    if (config_.injected_read_delay > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double>(
-          config_.injected_read_delay));
+    Sample sample;
+    {
+      CF_TRACE_SCOPE("io/read_sample", "io");
+      sample = reader->get(index);
+      if (config_.injected_read_delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            config_.injected_read_delay));
+      }
     }
+    samples_counter_->add(1);
+    bytes_counter_->add(static_cast<std::int64_t>(
+        sample.volume.size() * sizeof(float) + sizeof(sample.target)));
     {
       std::unique_lock lock(mutex_);
       // Backpressure: at most queue_capacity positions may be in

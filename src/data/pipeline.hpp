@@ -17,10 +17,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/timer.hpp"
 
 namespace cf::data {
@@ -31,6 +33,11 @@ struct PipelineConfig {
   /// Injected per-read delay in seconds (filesystem model hook for the
   /// I/O experiments); 0 disables.
   double injected_read_delay = 0.0;
+  /// obs registry prefix for this pipeline's metrics; the consumer
+  /// wait Stat is `<metric_prefix>/wait` (reset at construction). The
+  /// Trainer names its pipelines per rank and split, e.g.
+  /// `data/pipeline/r0/train`.
+  std::string metric_prefix = "data/pipeline";
 };
 
 class Pipeline {
@@ -48,9 +55,10 @@ class Pipeline {
   /// Pops the next sample; returns false when the epoch is exhausted.
   bool next(Sample& out);
 
-  /// Time spent blocked inside next() (unhidden I/O).
-  const runtime::TimeStats& wait_time() const noexcept { return wait_; }
-  void reset_wait_time() { wait_ = runtime::TimeStats{}; }
+  /// Time spent blocked inside next() (unhidden I/O) — a snapshot of
+  /// the `<metric_prefix>/wait` Stat in the obs registry.
+  runtime::TimeStats wait_time() const { return wait_stat_->snapshot(); }
+  void reset_wait_time() { wait_stat_->reset(); }
 
  private:
   void producer_loop(std::size_t thread_index);
@@ -71,7 +79,9 @@ class Pipeline {
   std::size_t epoch_ = 0;
   bool stopping_ = false;
 
-  runtime::TimeStats wait_;
+  obs::Stat* wait_stat_ = nullptr;        // <metric_prefix>/wait
+  obs::Counter* samples_counter_ = nullptr;  // data/pipeline/samples_prefetched
+  obs::Counter* bytes_counter_ = nullptr;    // data/pipeline/bytes_prefetched
   std::vector<std::thread> producers_;
 };
 

@@ -19,6 +19,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/telemetry.hpp"
+
 #if defined(__AVX512F__)
 #include <immintrin.h>
 #endif
@@ -350,6 +352,7 @@ void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
     throw std::invalid_argument("Conv3d::backward: shape mismatch");
   }
   {
+    CF_TRACE_SCOPE(span_label_bww().c_str(), "conv");
     const runtime::ScopedTimer timer(timers_.bwd_weights);
     // The padded source copy is still valid from forward().
     if (plain_input_) {
@@ -359,6 +362,7 @@ void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
     }
   }
   if (!need_dsrc) return;
+  CF_TRACE_SCOPE(span_label_bwd_data().c_str(), "conv");
   const runtime::ScopedTimer timer(timers_.bwd_data);
   if (dsrc.shape() != input_shape()) {
     throw std::invalid_argument("Conv3d::backward: dsrc shape mismatch");

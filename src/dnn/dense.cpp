@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/telemetry.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace cf::dnn {
@@ -100,6 +101,7 @@ void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
     throw std::invalid_argument("Dense::backward: shape mismatch");
   }
   {
+    CF_TRACE_SCOPE(span_label_bww().c_str(), "dense");
     const runtime::ScopedTimer timer(timers_.bwd_weights);
     tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
     pool.parallel_for(
@@ -114,6 +116,7 @@ void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
         });
   }
   if (!need_dsrc) return;
+  CF_TRACE_SCOPE(span_label_bwd_data().c_str(), "dense");
   const runtime::ScopedTimer timer(timers_.bwd_data);
   if (dsrc.shape() != input_shape()) {
     throw std::invalid_argument("Dense::backward: dsrc shape mismatch");

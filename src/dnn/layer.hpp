@@ -53,7 +53,12 @@ struct LayerTimers {
 
 class Layer {
  public:
-  explicit Layer(std::string name) : name_(std::move(name)) {}
+  explicit Layer(std::string name)
+      : name_(std::move(name)),
+        label_fwd_(name_ + "/fwd"),
+        label_bwd_(name_ + "/bwd"),
+        label_bww_(name_ + "/bww"),
+        label_bwd_data_(name_ + "/bwd_data") {}
   virtual ~Layer() = default;
 
   Layer(const Layer&) = delete;
@@ -100,6 +105,15 @@ class Layer {
   const LayerTimers& timers() const noexcept { return timers_; }
   void reset_timers() { timers_ = LayerTimers{}; }
 
+  // Precomputed CF_TRACE_SCOPE labels ("conv2/fwd", ...) so the span
+  // hot path never concatenates strings.
+  const std::string& span_label_fwd() const noexcept { return label_fwd_; }
+  const std::string& span_label_bwd() const noexcept { return label_bwd_; }
+  const std::string& span_label_bww() const noexcept { return label_bww_; }
+  const std::string& span_label_bwd_data() const noexcept {
+    return label_bwd_data_;
+  }
+
  protected:
   void set_shapes(const tensor::Shape& in, const tensor::Shape& out) {
     input_shape_ = in;
@@ -110,6 +124,10 @@ class Layer {
 
  private:
   std::string name_;
+  std::string label_fwd_;
+  std::string label_bwd_;
+  std::string label_bww_;
+  std::string label_bwd_data_;
   tensor::Shape input_shape_;
   tensor::Shape output_shape_;
 };

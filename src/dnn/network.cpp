@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/telemetry.hpp"
+
 namespace cf::dnn {
 
 using tensor::Shape;
@@ -42,9 +44,12 @@ const Tensor& Network::forward(const Tensor& input,
                                 input.shape().to_string() + ", expected " +
                                 input_shape_.to_string());
   }
+  CF_TRACE_SCOPE("net/forward", "dnn");
   std::memcpy(input_.data(), input.data(), input.size() * sizeof(float));
   const Tensor* src = &input_;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
+    CF_TRACE_SCOPE(layers_[i]->span_label_fwd().c_str(),
+                   layers_[i]->kind().c_str());
     layers_[i]->forward(*src, activations_[i], pool);
     src = &activations_[i];
   }
@@ -59,6 +64,7 @@ void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool) {
   if (dloss.shape() != output_shape_) {
     throw std::invalid_argument("Network::backward: dloss shape mismatch");
   }
+  CF_TRACE_SCOPE("net/backward", "dnn");
   std::memcpy(diffs_.back().data(), dloss.data(),
               dloss.size() * sizeof(float));
   for (std::size_t i = layers_.size(); i-- > 0;) {
@@ -67,6 +73,8 @@ void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool) {
     // diffs_[i - 1] is overwritten by layer i's backward; pass a dummy
     // for the first layer (its dsrc is skipped).
     Tensor& dsrc = need_dsrc ? diffs_[i - 1] : diffs_[0];
+    CF_TRACE_SCOPE(layers_[i]->span_label_bwd().c_str(),
+                   layers_[i]->kind().c_str());
     layers_[i]->backward(src, diffs_[i], dsrc, need_dsrc, pool);
   }
 }

@@ -1,0 +1,222 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cf::obs {
+
+namespace {
+
+std::uint64_t steady_ns_since_epoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+void copy_label(char* dst, std::size_t capacity, const char* src) {
+  std::strncpy(dst, src == nullptr ? "" : src, capacity - 1);
+  dst[capacity - 1] = '\0';
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out += '\\';
+    out += *s;
+  }
+}
+
+}  // namespace
+
+/// One lease per thread: caches the ring acquired from the tracer the
+/// thread last recorded into, and returns it for reuse at thread exit.
+struct ThreadBufferLease {
+  Tracer* owner = nullptr;
+  Tracer::ThreadBuffer* buffer = nullptr;
+  ~ThreadBufferLease() {
+    if (owner != nullptr && buffer != nullptr) {
+      owner->release_buffer(buffer);
+    }
+  }
+};
+
+namespace {
+thread_local ThreadBufferLease tls_lease;
+}  // namespace
+
+Tracer& Tracer::global() {
+  // Leaked: must outlive every thread-exit lease release.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+std::size_t Tracer::default_ring_capacity() {
+  if (const char* env = std::getenv("COSMOFLOW_TRACE_CAPACITY")) {
+    const long v = std::atol(env);
+    if (v > 1) return static_cast<std::size_t>(v);
+  }
+  return 16384;
+}
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(std::max<std::size_t>(2, ring_capacity)) {}
+
+Tracer::~Tracer() = default;
+
+std::uint64_t Tracer::now_ns() { return steady_ns_since_epoch(); }
+
+Tracer::ThreadBuffer* Tracer::acquire_buffer() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) {
+    if (!buffer->in_use) {
+      buffer->in_use = true;
+      return buffer.get();
+    }
+  }
+  buffers_.push_back(
+      std::make_unique<ThreadBuffer>(ring_capacity_, next_tid_++));
+  buffers_.back()->in_use = true;
+  return buffers_.back().get();
+}
+
+void Tracer::release_buffer(ThreadBuffer* buffer) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  buffer->in_use = false;  // events survive for export; ring is reusable
+}
+
+Tracer::ThreadBuffer* Tracer::local_buffer() {
+  ThreadBufferLease& lease = tls_lease;
+  if (lease.owner != this) {
+    if (lease.owner != nullptr && lease.buffer != nullptr) {
+      lease.owner->release_buffer(lease.buffer);
+    }
+    lease.buffer = acquire_buffer();
+    lease.owner = this;
+  }
+  return lease.buffer;
+}
+
+void Tracer::push(ThreadBuffer& buf, const char* name, const char* category,
+                  std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  const std::size_t capacity = buf.ring.size();
+  const std::size_t head = buf.head.load(std::memory_order_relaxed);
+  TraceEvent& event = buf.ring[head];
+  copy_label(event.name, TraceEvent::kNameCapacity, name);
+  copy_label(event.category, TraceEvent::kCategoryCapacity, category);
+  event.ts_ns = ts_ns;
+  event.dur_ns = dur_ns;
+  event.tid = buf.tid;
+  buf.head.store((head + 1) % capacity, std::memory_order_relaxed);
+  const std::size_t count = buf.count.load(std::memory_order_relaxed);
+  if (count < capacity) {
+    buf.count.store(count + 1, std::memory_order_relaxed);
+  } else {
+    buf.dropped.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Tracer::record(const char* name, const char* category,
+                    std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  push(*local_buffer(), name, category, ts_ns, dur_ns);
+}
+
+void Tracer::record_at(const char* name, const char* category,
+                       std::uint32_t tid, std::uint64_t ts_ns,
+                       std::uint64_t dur_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ThreadBuffer* target = nullptr;
+  for (auto& buffer : buffers_) {
+    if (buffer->tid == tid) {
+      target = buffer.get();
+      break;
+    }
+  }
+  if (target == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>(ring_capacity_, tid));
+    next_tid_ = std::max(next_tid_, tid + 1);
+    target = buffers_.back().get();
+  }
+  push(*target, name, category, ts_ns, dur_ns);
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_) {
+      const std::size_t capacity = buffer->ring.size();
+      const std::size_t count =
+          std::min(buffer->count.load(std::memory_order_relaxed), capacity);
+      const std::size_t head = buffer->head.load(std::memory_order_relaxed);
+      const std::size_t oldest = (head + capacity - count) % capacity;
+      for (std::size_t i = 0; i < count; ++i) {
+        events.push_back(buffer->ring[(oldest + i) % capacity]);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+                     return a.tid < b.tid;
+                   });
+  return events;
+}
+
+std::uint64_t Tracer::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& buffer : buffers_) {
+    buffer->head.store(0, std::memory_order_relaxed);
+    buffer->count.store(0, std::memory_order_relaxed);
+    buffer->dropped.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buffer[64];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\":\"";
+    append_escaped(out, event.name);
+    out += "\",\"cat\":\"";
+    append_escaped(out, event.category);
+    out += "\",\"ph\":\"X\",\"pid\":0,\"tid\":";
+    out += std::to_string(event.tid);
+    // chrome://tracing expects microseconds.
+    std::snprintf(buffer, sizeof(buffer), ",\"ts\":%.3f,\"dur\":%.3f}",
+                  static_cast<double>(event.ts_ns) / 1000.0,
+                  static_cast<double>(event.dur_ns) / 1000.0);
+    out += buffer;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string json = to_chrome_json();
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == json.size();
+  return ok;
+}
+
+}  // namespace cf::obs

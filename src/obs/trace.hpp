@@ -1,0 +1,123 @@
+// cf::obs span tracer — nested begin/end events in per-thread ring
+// buffers, exportable as chrome://tracing JSON.
+//
+// Every instrumented scope (a layer's forward pass, one allreduce, a
+// pipeline read) records one *complete* event: name, category, start
+// timestamp and duration. Recording is wait-free on the hot path: each
+// thread owns a ring buffer (registered with the tracer on first use
+// and reclaimed when the thread exits), so a record is a bounds check
+// plus a ~64-byte write. When a ring fills, the oldest events are
+// overwritten and a drop counter advances — tracing never blocks or
+// allocates while training runs.
+//
+// Export (Tracer::write_chrome_trace) merges all buffers, sorts by
+// timestamp and emits the Chrome Trace Event JSON format ("X" phase
+// events), loadable in chrome://tracing or https://ui.perfetto.dev.
+// The schema is documented in OBSERVABILITY.md.
+//
+// Snapshots taken while other threads are still recording may observe
+// partially-written events; take them at quiesce points (after a
+// training run, between benchmark iterations).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cf::obs {
+
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 48;
+  static constexpr std::size_t kCategoryCapacity = 16;
+
+  char name[kNameCapacity];
+  char category[kCategoryCapacity];
+  std::uint64_t ts_ns = 0;   // start, nanoseconds since tracer epoch
+  std::uint64_t dur_ns = 0;  // duration, nanoseconds
+  std::uint32_t tid = 0;     // logical thread id (registration order)
+};
+
+class Tracer {
+ public:
+  /// Process-wide tracer used by the CF_TRACE_SCOPE macros.
+  static Tracer& global();
+
+  explicit Tracer(std::size_t ring_capacity = default_ring_capacity());
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer();
+
+  /// Runtime switch (spans also compile away entirely under
+  /// COSMOFLOW_TELEMETRY=OFF; see obs/telemetry.hpp).
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) noexcept {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Nanoseconds on the monotonic clock since the process-wide epoch.
+  static std::uint64_t now_ns();
+
+  /// Records one complete event on the calling thread's ring.
+  void record(const char* name, const char* category, std::uint64_t ts_ns,
+              std::uint64_t dur_ns);
+
+  /// Test hook: records with an explicit timestamp and logical tid
+  /// (deterministic-export golden tests inject fixed events).
+  void record_at(const char* name, const char* category, std::uint32_t tid,
+                 std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+  /// All recorded events, merged across threads and sorted by
+  /// (ts_ns, tid). Take at a quiesce point.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Events overwritten because a ring filled.
+  std::uint64_t dropped() const;
+
+  /// Forgets all recorded events (buffers stay registered).
+  void clear();
+
+  /// Chrome Trace Event JSON. Deterministic for a fixed event set.
+  std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; returns false on I/O error.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Per-thread ring capacity in events; COSMOFLOW_TRACE_CAPACITY
+  /// overrides the 16384 default.
+  static std::size_t default_ring_capacity();
+  std::size_t ring_capacity() const noexcept { return ring_capacity_; }
+
+ private:
+  struct ThreadBuffer {
+    explicit ThreadBuffer(std::size_t capacity, std::uint32_t tid_)
+        : ring(capacity), tid(tid_) {}
+    std::vector<TraceEvent> ring;
+    /// Single writer; readers use relaxed loads (see header comment).
+    std::atomic<std::size_t> head{0};
+    std::atomic<std::size_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::uint32_t tid = 0;
+    /// Buffers of exited threads are reclaimed (events kept) so memory
+    /// is bounded by the maximum number of concurrent traced threads.
+    bool in_use = false;
+  };
+
+  friend struct ThreadBufferLease;
+  ThreadBuffer* acquire_buffer();
+  void release_buffer(ThreadBuffer* buffer);
+  ThreadBuffer* local_buffer();
+  static void push(ThreadBuffer& buf, const char* name, const char* category,
+                   std::uint64_t ts_ns, std::uint64_t dur_ns);
+
+  std::size_t ring_capacity_;
+  std::atomic<bool> enabled_{true};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::uint32_t next_tid_ = 0;
+};
+
+}  // namespace cf::obs
