@@ -6,9 +6,14 @@
 //       [--ranks=4] [--epochs=8] [--base-lr=2e-3] [--min-lr=1e-4]
 //       [--checkpoint=/tmp/cosmoflow.ckpt] [--optimizer=adamlarc|adam|sgd]
 //       [--trace=trace.json] [--step-log=steps.jsonl]
+//       [--no-overlap] [--bucket-kb=4096]
 //
 // --trace writes a chrome://tracing/Perfetto-loadable span trace,
 // --step-log a JSONL record per training step (see OBSERVABILITY.md).
+// Gradient aggregation is overlapped with backprop by default
+// (bucketed async allreduce, bitwise identical to the synchronous
+// path); --no-overlap is the escape hatch and --bucket-kb tunes the
+// coalescing bucket size.
 #include <cstdio>
 #include <filesystem>
 
@@ -43,7 +48,7 @@ int main(int argc, char** argv) {
       "usage: train_cosmoflow --data=DIR [--ranks=N] [--epochs=N] "
       "[--base-lr=F] [--min-lr=F] [--checkpoint=PATH] "
       "[--optimizer=adamlarc|adam|sgd] [--trace=PATH] "
-      "[--step-log=PATH]");
+      "[--step-log=PATH] [--no-overlap] [--bucket-kb=N]");
 
   const std::string dir = flags.get_string("data", "/tmp/cosmoflow_data");
   const auto train_shards = find_shards(dir, "train");
@@ -73,6 +78,9 @@ int main(int argc, char** argv) {
   config.base_lr = flags.get_double("base-lr", 2e-3);
   config.min_lr = flags.get_double("min-lr", 1e-4);
   config.pipeline.io_threads = 2;
+  config.overlap_comm = flags.get_int("no-overlap", 0) == 0;
+  config.bucket_bytes =
+      static_cast<std::size_t>(flags.get_int("bucket-kb", 4096)) * 1024;
   config.step_log_path = flags.get_string("step-log", "");
   const std::string trace_path = flags.get_string("trace", "");
   const std::string optimizer = flags.get_string("optimizer", "adamlarc");
@@ -114,7 +122,12 @@ int main(int argc, char** argv) {
   const auto breakdown = trainer.breakdown();
   std::printf("\nstage breakdown (rank 0, %.1fs total):\n", breakdown.total);
   for (const auto& [category, seconds] : breakdown.seconds) {
-    std::printf("  %-10s %8.2fs\n", category.c_str(), seconds);
+    std::printf("  %-11s %8.2fs\n", category.c_str(), seconds);
+  }
+  if (config.overlap_comm) {
+    std::printf("comm overlap: %.0f%% of allreduce time hidden behind "
+                "backprop\n",
+                breakdown.overlap_fraction * 100.0);
   }
 
   if (!trace_path.empty()) {

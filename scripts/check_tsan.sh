@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# ThreadSanitizer gate for the concurrent machinery: builds the repo
+# with -DCOSMOFLOW_TSAN=ON into build-tsan/ and runs the test suites
+# that exercise cross-thread hand-offs — the MlComm collectives and
+# helper thread (sync + async bucketed allreduce), the ThreadPool
+# dispatch, and the overlapped trainer step loop. Any data race TSan
+# reports fails the script.
+#
+# Usage: check_tsan.sh [repo_root]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 1
+
+build_dir="build-tsan"
+
+cmake -B "$build_dir" -S . \
+  -DCOSMOFLOW_TSAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build_dir" --target cosmoflow_tests -j "$(nproc)"
+
+# halt_on_error makes the run fail on the first race instead of only
+# logging it; second_deadlock_stack improves lock-order reports.
+export TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1"
+
+"$build_dir/tests/cosmoflow_tests" \
+  --gtest_filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*'
+
+echo "TSan: no data races detected"

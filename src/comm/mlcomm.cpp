@@ -1,5 +1,6 @@
 #include "comm/mlcomm.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <thread>
@@ -35,11 +36,28 @@ double RankHandle::allreduce_average_scalar(double value) {
   return acc / comm_->nranks_;
 }
 
+PendingReduce RankHandle::allreduce_average_async(std::span<float> data) {
+  return comm_->post_async(rank_, data);
+}
+
+void RankHandle::wait(PendingReduce& pending) {
+  CF_TRACE_SCOPE("comm/wait", "comm");
+  comm_->wait_async(rank_, pending);
+}
+
 runtime::TimeStats RankHandle::comm_time() const {
   return comm_->comm_stats_[rank_]->snapshot();
 }
 
 void RankHandle::reset_comm_time() { comm_->comm_stats_[rank_]->reset(); }
+
+runtime::TimeStats RankHandle::exposed_comm_time() const {
+  return comm_->exposed_stats_[rank_]->snapshot();
+}
+
+runtime::TimeStats RankHandle::hidden_comm_time() const {
+  return comm_->hidden_stats_[rank_]->snapshot();
+}
 
 MlComm::MlComm(int nranks, MlCommConfig config)
     : nranks_(nranks),
@@ -54,17 +72,39 @@ MlComm::MlComm(int nranks, MlCommConfig config)
   }
   handles_.reserve(static_cast<std::size_t>(nranks));
   comm_stats_.reserve(static_cast<std::size_t>(nranks));
+  async_posts_.resize(static_cast<std::size_t>(nranks));
+  posted_count_.assign(static_cast<std::size_t>(nranks), 0);
   obs::Registry& registry = obs::Registry::global();
   for (int r = 0; r < nranks; ++r) {
     handles_.push_back(RankHandle(this, r));
-    obs::Stat& stat =
-        registry.stat("comm/collective/r" + std::to_string(r));
+    const std::string suffix = "/r" + std::to_string(r);
+    obs::Stat& stat = registry.stat("comm/collective" + suffix);
     stat.reset();  // a new communicator starts a fresh measurement
     comm_stats_.push_back(&stat);
+    obs::Stat& exposed = registry.stat("comm/exposed" + suffix);
+    exposed.reset();
+    exposed_stats_.push_back(&exposed);
+    obs::Stat& hidden = registry.stat("comm/hidden" + suffix);
+    hidden.reset();
+    hidden_stats_.push_back(&hidden);
+    obs::Gauge& overlap =
+        registry.gauge("comm/overlap_fraction" + suffix);
+    overlap.reset();
+    overlap_gauges_.push_back(&overlap);
   }
   allreduce_calls_ = &registry.counter("comm/allreduce_calls");
   allreduce_bytes_ = &registry.counter("comm/allreduce_bytes");
   allreduce_chunks_ = &registry.counter("comm/allreduce_chunks");
+  bucket_count_ = &registry.counter("comm/buckets");
+}
+
+MlComm::~MlComm() {
+  {
+    const std::lock_guard<std::mutex> lock(async_mutex_);
+    helper_stop_ = true;
+  }
+  async_work_cv_.notify_all();
+  if (helper_.joinable()) helper_.join();
 }
 
 RankHandle& MlComm::handle(int rank) {
@@ -171,6 +211,7 @@ void MlComm::reduce_scatter_allgather(int rank, std::span<float> data) {
       for (std::size_t i = 0; i < stop - chunk; ++i) out[i] += in[i];
     }
     for (std::size_t i = 0; i < stop - chunk; ++i) out[i] *= inv;
+    simulate_chunk_delay();
     ++chunks;
   }
   if (chunks > 0) allreduce_chunks_->add(chunks);
@@ -179,6 +220,144 @@ void MlComm::reduce_scatter_allgather(int rank, std::span<float> data) {
   // Allgather: copy the full averaged vector back.
   std::memcpy(data.data(), reduce_buffer_.data(), n * sizeof(float));
   barrier_.arrive_and_wait();
+}
+
+void MlComm::simulate_chunk_delay() const {
+  if (config_.simulated_chunk_delay.count() > 0) {
+    std::this_thread::sleep_for(config_.simulated_chunk_delay);
+  }
+}
+
+PendingReduce MlComm::post_async(int rank, std::span<float> data) {
+  // Straggler injection delays the rank's contribution, same as the
+  // synchronous path (the bucket cannot start until every rank posts).
+  if (config_.pre_reduce_hook) config_.pre_reduce_hook(rank);
+  const std::lock_guard<std::mutex> lock(async_mutex_);
+  if (async_error_) std::rethrow_exception(async_error_);
+  if (!helper_.joinable()) {
+    // Lazy start: communicators that never go async never pay for a
+    // helper thread.
+    helper_ = std::thread(&MlComm::helper_loop, this);
+  }
+  async_posts_[static_cast<std::size_t>(rank)].push_back(
+      BucketPost{data.data(), data.size()});
+  PendingReduce pending;
+  pending.seq_ = ++posted_count_[static_cast<std::size_t>(rank)];
+  pending.post_seconds_ = comm_clock_.elapsed_seconds();
+  pending.valid_ = true;
+  async_work_cv_.notify_one();
+  return pending;
+}
+
+void MlComm::wait_async(int rank, PendingReduce& pending) {
+  if (!pending.valid_) {
+    throw std::logic_error("RankHandle::wait: invalid PendingReduce ticket");
+  }
+  pending.valid_ = false;
+  const double wait_start = comm_clock_.elapsed_seconds();
+  double completed_seconds = 0.0;
+  {
+    std::unique_lock<std::mutex> lock(async_mutex_);
+    async_done_cv_.wait(lock, [&] {
+      return async_error_ != nullptr || completed_count_ >= pending.seq_;
+    });
+    if (completed_count_ < pending.seq_) {
+      std::rethrow_exception(async_error_);
+    }
+    auto it = completed_.find(pending.seq_);
+    completed_seconds = it->second.completed_seconds;
+    if (--it->second.waiters_left == 0) completed_.erase(it);
+  }
+  // Exposed = time this rank actually blocked here; the rest of the
+  // post-to-completion service time was hidden behind compute.
+  const double exposed = comm_clock_.elapsed_seconds() - wait_start;
+  const double service =
+      std::max(0.0, completed_seconds - pending.post_seconds_);
+  const double hidden = std::max(0.0, service - exposed);
+  const std::size_t r = static_cast<std::size_t>(rank);
+  exposed_stats_[r]->add(exposed);
+  hidden_stats_[r]->add(hidden);
+  comm_stats_[r]->add(exposed);
+  const double h = hidden_stats_[r]->snapshot().total();
+  const double e = exposed_stats_[r]->snapshot().total();
+  overlap_gauges_[r]->set(h + e > 0.0 ? h / (h + e) : 0.0);
+}
+
+void MlComm::set_async_error_locked(std::exception_ptr error) {
+  async_error_ = std::move(error);
+  async_done_cv_.notify_all();
+}
+
+void MlComm::helper_loop() {
+  std::unique_lock<std::mutex> lock(async_mutex_);
+  std::vector<BucketPost> posts(static_cast<std::size_t>(nranks_));
+  while (true) {
+    async_work_cv_.wait(lock, [&] {
+      if (helper_stop_) return true;
+      // The next bucket is ready once every rank has posted it.
+      for (const auto& queue : async_posts_) {
+        if (queue.empty()) return false;
+      }
+      return true;
+    });
+    if (helper_stop_) return;
+    for (std::size_t r = 0; r < async_posts_.size(); ++r) {
+      posts[r] = async_posts_[r].front();
+      async_posts_[r].pop_front();
+    }
+    const std::size_t n = posts[0].size;
+    bool mismatch = false;
+    for (const BucketPost& post : posts) {
+      if (post.size != n) mismatch = true;
+    }
+    if (mismatch) {
+      set_async_error_locked(std::make_exception_ptr(std::invalid_argument(
+          "MlComm: ranks posted async buckets of different sizes")));
+      return;
+    }
+    lock.unlock();
+    {
+      CF_TRACE_SCOPE("comm/helper/reduce", "comm");
+      reduce_bucket(posts);
+    }
+    lock.lock();
+    ++completed_count_;
+    completed_[completed_count_] =
+        BucketDone{comm_clock_.elapsed_seconds(), nranks_};
+    bucket_count_->add(1);
+    allreduce_calls_->add(1);
+    allreduce_bytes_->add(static_cast<std::int64_t>(n * sizeof(float)));
+    async_done_cv_.notify_all();
+  }
+}
+
+void MlComm::reduce_bucket(const std::vector<BucketPost>& posts) {
+  // Same fixed-rank-order chunked arithmetic as
+  // reduce_scatter_allgather, so a vector split into async buckets
+  // averages bitwise identically to one synchronous call over it:
+  // each element sees copy-from-rank-0, += ranks 1..k-1 in order,
+  // then *= 1/k, independent of bucket boundaries.
+  const std::size_t n = posts[0].size;
+  if (n == 0) return;
+  const float inv = 1.0f / static_cast<float>(nranks_);
+  if (async_scratch_.size() < n) async_scratch_.resize(n);
+  std::int64_t chunks = 0;
+  for (std::size_t chunk = 0; chunk < n; chunk += config_.chunk_elems) {
+    const std::size_t stop = std::min(n, chunk + config_.chunk_elems);
+    float* out = async_scratch_.data() + chunk;
+    std::memcpy(out, posts[0].data + chunk, (stop - chunk) * sizeof(float));
+    for (int src = 1; src < nranks_; ++src) {
+      const float* in = posts[static_cast<std::size_t>(src)].data + chunk;
+      for (std::size_t i = 0; i < stop - chunk; ++i) out[i] += in[i];
+    }
+    for (std::size_t i = 0; i < stop - chunk; ++i) out[i] *= inv;
+    simulate_chunk_delay();
+    ++chunks;
+  }
+  for (const BucketPost& post : posts) {
+    std::memcpy(post.data, async_scratch_.data(), n * sizeof(float));
+  }
+  allreduce_chunks_->add(chunks);
 }
 
 void MlComm::central_root(int rank, std::span<float> data) {

@@ -1,5 +1,6 @@
 #include "core/trainer.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -76,10 +77,6 @@ void Trainer::rank_body(comm::RankHandle& rank,
   dnn::Network& network = *net;
   networks_[static_cast<std::size_t>(r)] = std::move(net);
 
-  const std::size_t param_count =
-      static_cast<std::size_t>(network.param_count());
-  std::vector<float> flat(param_count);
-
   const std::int64_t decay_epochs =
       config_.decay_epochs > 0 ? config_.decay_epochs : config_.epochs;
   const auto schedule = std::make_shared<optim::PolynomialDecay>(
@@ -138,6 +135,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
     }
     totals["optimizer"] = opt_stat.snapshot().total();
     totals["comm"] = rank.comm_time().total();
+    totals["comm_hidden"] = rank.hidden_comm_time().total();
     totals["io_wait"] = train_pipeline.wait_time().total();
     return totals;
   };
@@ -146,9 +144,19 @@ void Trainer::rank_body(comm::RankHandle& rank,
   std::map<std::string, double> prev_totals =
       step_log_ ? category_totals() : std::map<std::string, double>{};
 
-  network.copy_params_to(flat);
-  rank.broadcast(flat, /*root=*/0);
-  network.set_params_from(flat);
+  // Every replica's parameters live in one contiguous arena, so the
+  // initial broadcast needs no staging copy.
+  rank.broadcast(network.param_arena(), /*root=*/0);
+
+  // Overlap machinery: ready gradient segments extend [bucket_begin,
+  // bucket_end) downward (backward visits layers last to first and the
+  // arena is laid out in layer order); a bucket is posted once the
+  // region reaches bucket_elems.
+  const std::span<float> grads = network.grad_arena();
+  const std::size_t bucket_elems =
+      std::max<std::size_t>(1, config_.bucket_bytes / sizeof(float));
+  std::vector<comm::PendingReduce> pending;
+  pending.reserve(16);
 
   const std::int64_t n_outputs = network.output_shape()[0];
   std::vector<float> target(static_cast<std::size_t>(n_outputs));
@@ -187,12 +195,33 @@ void Trainer::rank_body(comm::RankHandle& rank,
       loss_sum += loss;
       dnn::mse_loss_grad(output.values(), target, dloss.values());
       network.zero_grads();
-      network.backward(dloss, pool);
 
-      // Global gradient averaging (line 4).
-      network.copy_grads_to(flat);
-      rank.allreduce_average(flat);
-      network.set_grads_from(flat);
+      // Global gradient averaging (line 4) — either launched in
+      // buckets during backward (grad_ready fires tail-first as each
+      // layer's weight gradients finish) and drained after, or one
+      // synchronous in-place allreduce over the arena. No flat-vector
+      // staging copies either way.
+      if (config_.overlap_comm) {
+        pending.clear();
+        std::size_t bucket_begin = grads.size();
+        std::size_t bucket_end = grads.size();
+        network.backward(dloss, pool, [&](std::size_t layer) {
+          bucket_begin = network.segment_offset(layer);
+          if (bucket_end - bucket_begin >= bucket_elems) {
+            pending.push_back(rank.allreduce_average_async(grads.subspan(
+                bucket_begin, bucket_end - bucket_begin)));
+            bucket_end = bucket_begin;
+          }
+        });
+        if (bucket_end > bucket_begin) {
+          pending.push_back(rank.allreduce_average_async(
+              grads.subspan(bucket_begin, bucket_end - bucket_begin)));
+        }
+        for (comm::PendingReduce& p : pending) rank.wait(p);
+      } else {
+        network.backward(dloss, pool);
+        rank.allreduce_average(grads);
+      }
 
       // Identical model update on every replica (line 5).
       {
@@ -282,6 +311,8 @@ void Trainer::rank_body(comm::RankHandle& rank,
     optimizer_time_ = opt_stat.snapshot();
     io_wait_time_ = train_pipeline.wait_time();
     comm_time_ = rank.comm_time();
+    exposed_comm_time_ = rank.exposed_comm_time();
+    hidden_comm_time_ = rank.hidden_comm_time();
   }
 }
 
@@ -292,10 +323,17 @@ dnn::Network& Trainer::network(int rank) {
   return *net;
 }
 
+runtime::ThreadPool& Trainer::inference_pool() {
+  if (!inference_pool_) {
+    inference_pool_ =
+        std::make_unique<runtime::ThreadPool>(config_.threads_per_rank);
+  }
+  return *inference_pool_;
+}
+
 std::vector<float> Trainer::predict(const Tensor& volume) {
   dnn::Network& net = network(0);
-  runtime::ThreadPool pool(config_.threads_per_rank);
-  const Tensor& out = net.forward(volume, pool);
+  const Tensor& out = net.forward(volume, inference_pool());
   return out.to_vector();
 }
 
@@ -305,7 +343,7 @@ std::vector<Prediction> Trainer::evaluate(const data::SampleSource& source) {
     throw std::logic_error(
         "Trainer::evaluate: physical-unit evaluation needs 3 outputs");
   }
-  runtime::ThreadPool pool(config_.threads_per_rank);
+  runtime::ThreadPool& pool = inference_pool();
   const auto reader = source.make_reader();
   std::vector<Prediction> predictions;
   predictions.reserve(source.size());
@@ -335,8 +373,13 @@ CategoryBreakdown Trainer::breakdown() const {
   }
   breakdown.seconds["optimizer"] = optimizer_time_.total();
   breakdown.seconds["comm"] = comm_time_.total();
+  breakdown.seconds["comm_hidden"] = hidden_comm_time_.total();
   breakdown.seconds["io_wait"] = io_wait_time_.total();
   breakdown.total = train_walltime_;
+  const double hidden = hidden_comm_time_.total();
+  const double exposed = exposed_comm_time_.total();
+  breakdown.overlap_fraction =
+      hidden + exposed > 0.0 ? hidden / (hidden + exposed) : 0.0;
   return breakdown;
 }
 

@@ -311,8 +311,16 @@ void Conv3d::set_plain_weights(const Tensor& weights, const Tensor& bias) {
   if (bias.shape() != Shape{config_.out_channels}) {
     throw std::invalid_argument("Conv3d::set_plain_weights: bad bias shape");
   }
-  weights_ = plain_input_ ? tensor::to_blocked_weights_small_ic(weights)
-                          : tensor::to_blocked_weights(weights);
+  Tensor blocked = plain_input_ ? tensor::to_blocked_weights_small_ic(weights)
+                                : tensor::to_blocked_weights(weights);
+  if (weights_.empty()) {
+    weights_ = std::move(blocked);
+  } else {
+    // Write through the existing tensor: after Network::finalize() it
+    // is a view into the parameter arena and must stay bound there.
+    std::memcpy(weights_.data(), blocked.data(),
+                blocked.size() * sizeof(float));
+  }
   std::memcpy(bias_.data(), bias.data(),
               static_cast<std::size_t>(bias.size()) * sizeof(float));
 }

@@ -33,7 +33,35 @@ void Network::finalize(const Shape& input_shape) {
     diffs_.emplace_back(shape);
   }
   output_shape_ = shape;
+  build_arena();
   finalized_ = true;
+}
+
+void Network::build_arena() {
+  segment_offsets_.assign(layers_.size(), 0);
+  segment_sizes_.assign(layers_.size(), 0);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    segment_offsets_[i] = total;
+    for (const ParamView& p : layers_[i]->params()) {
+      segment_sizes_[i] += static_cast<std::size_t>(p.value->shape().numel());
+    }
+    total += segment_sizes_[i];
+  }
+  param_arena_ = runtime::AlignedBuffer<float>(total);
+  grad_arena_ = runtime::AlignedBuffer<float>(total);
+  // Rebind every layer tensor onto its arena segment; plan() contents
+  // (zeros — init runs after finalize) are carried over by rebind.
+  std::size_t offset = 0;
+  for (auto& layer : layers_) {
+    for (ParamView& p : layer->params()) {
+      const std::size_t n =
+          static_cast<std::size_t>(p.value->shape().numel());
+      p.value->rebind({param_arena_.data() + offset, n});
+      p.grad->rebind({grad_arena_.data() + offset, n});
+      offset += n;
+    }
+  }
 }
 
 const Tensor& Network::forward(const Tensor& input,
@@ -57,7 +85,8 @@ const Tensor& Network::forward(const Tensor& input,
   return activations_.back();
 }
 
-void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool) {
+void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool,
+                       const GradReadyCallback& grad_ready) {
   if (!forward_done_) {
     throw std::logic_error("Network::backward: no preceding forward");
   }
@@ -73,14 +102,18 @@ void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool) {
     // diffs_[i - 1] is overwritten by layer i's backward; pass a dummy
     // for the first layer (its dsrc is skipped).
     Tensor& dsrc = need_dsrc ? diffs_[i - 1] : diffs_[0];
-    CF_TRACE_SCOPE(layers_[i]->span_label_bwd().c_str(),
-                   layers_[i]->kind().c_str());
-    layers_[i]->backward(src, diffs_[i], dsrc, need_dsrc, pool);
+    {
+      CF_TRACE_SCOPE(layers_[i]->span_label_bwd().c_str(),
+                     layers_[i]->kind().c_str());
+      layers_[i]->backward(src, diffs_[i], dsrc, need_dsrc, pool);
+    }
+    if (grad_ready && segment_sizes_[i] > 0) grad_ready(i);
   }
 }
 
 void Network::zero_grads() {
-  for (const ParamView& p : params()) p.grad->zero();
+  if (grad_arena_.empty()) return;
+  std::memset(grad_arena_.data(), 0, grad_arena_.size() * sizeof(float));
 }
 
 std::vector<ParamView> Network::params() {
@@ -92,6 +125,7 @@ std::vector<ParamView> Network::params() {
 }
 
 std::int64_t Network::param_count() {
+  if (finalized_) return static_cast<std::int64_t>(param_arena_.size());
   std::int64_t n = 0;
   for (const ParamView& p : params()) n += p.value->shape().numel();
   return n;
@@ -109,16 +143,8 @@ FlopCounts Network::flops(bool skip_first_bwd_data) const {
 
 namespace {
 
-template <typename CopyFn>
-void walk_flat(std::vector<ParamView> params, std::size_t expected,
-               CopyFn&& copy) {
-  std::size_t offset = 0;
-  for (const ParamView& p : params) {
-    const std::size_t n = static_cast<std::size_t>(p.value->shape().numel());
-    copy(p, offset, n);
-    offset += n;
-  }
-  if (offset != expected) {
+void check_flat_size(std::size_t got, std::size_t expected) {
+  if (got != expected) {
     throw std::invalid_argument(
         "Network flat vector: span size does not match parameter count");
   }
@@ -127,35 +153,31 @@ void walk_flat(std::vector<ParamView> params, std::size_t expected,
 }  // namespace
 
 void Network::copy_params_to(std::span<float> out) {
-  walk_flat(params(), out.size(),
-            [&](const ParamView& p, std::size_t offset, std::size_t n) {
-              std::memcpy(out.data() + offset, p.value->data(),
-                          n * sizeof(float));
-            });
+  check_flat_size(out.size(), param_arena_.size());
+  if (param_arena_.empty()) return;
+  std::memcpy(out.data(), param_arena_.data(),
+              param_arena_.size() * sizeof(float));
 }
 
 void Network::set_params_from(std::span<const float> in) {
-  walk_flat(params(), in.size(),
-            [&](const ParamView& p, std::size_t offset, std::size_t n) {
-              std::memcpy(p.value->data(), in.data() + offset,
-                          n * sizeof(float));
-            });
+  check_flat_size(in.size(), param_arena_.size());
+  if (param_arena_.empty()) return;
+  std::memcpy(param_arena_.data(), in.data(),
+              param_arena_.size() * sizeof(float));
 }
 
 void Network::copy_grads_to(std::span<float> out) {
-  walk_flat(params(), out.size(),
-            [&](const ParamView& p, std::size_t offset, std::size_t n) {
-              std::memcpy(out.data() + offset, p.grad->data(),
-                          n * sizeof(float));
-            });
+  check_flat_size(out.size(), grad_arena_.size());
+  if (grad_arena_.empty()) return;
+  std::memcpy(out.data(), grad_arena_.data(),
+              grad_arena_.size() * sizeof(float));
 }
 
 void Network::set_grads_from(std::span<const float> in) {
-  walk_flat(params(), in.size(),
-            [&](const ParamView& p, std::size_t offset, std::size_t n) {
-              std::memcpy(p.grad->data(), in.data() + offset,
-                          n * sizeof(float));
-            });
+  check_flat_size(in.size(), grad_arena_.size());
+  if (grad_arena_.empty()) return;
+  std::memcpy(grad_arena_.data(), in.data(),
+              grad_arena_.size() * sizeof(float));
 }
 
 std::vector<LayerProfile> Network::profiles() const {

@@ -1,15 +1,22 @@
 // Sequential network container: owns the layers, the inter-layer
 // activation/difference buffers, and the flat parameter/gradient
-// vector interface used by the optimizer, the gradient allreduce and
-// checkpoints.
+// *arena* — two contiguous 64-byte-aligned buffers holding every
+// parameter (resp. gradient) tensor back to back in layer order.
+// Layer tensors are rebound onto arena segments at finalize() time, so
+// the optimizer walks one contiguous region, the gradient allreduce
+// operates on grad_arena() in place with zero copies, and a layer's
+// gradient segment is directly addressable for bucketed communication
+// (grad_segment()).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "dnn/layer.hpp"
+#include "runtime/aligned_buffer.hpp"
 
 namespace cf::dnn {
 
@@ -57,11 +64,20 @@ class Network {
   const tensor::Tensor& forward(const tensor::Tensor& input,
                                 runtime::ThreadPool& pool);
 
+  /// Invoked by backward() right after layer `i`'s backward pass (its
+  /// bwd_weights included) finishes, i.e. the moment grad_segment(i)
+  /// holds this step's final local gradients. Layers are visited last
+  /// to first, so segments become ready tail-first and contiguously —
+  /// callers can coalesce them into buckets and start communicating
+  /// while earlier layers are still computing.
+  using GradReadyCallback = std::function<void(std::size_t layer_index)>;
+
   /// Runs the backward pass from the loss gradient w.r.t. the network
   /// output. Parameter gradients accumulate; the first layer's input
   /// difference signal is skipped (the input is data, §V-A workflow).
   /// Requires a preceding forward() on the same input.
-  void backward(const tensor::Tensor& dloss, runtime::ThreadPool& pool);
+  void backward(const tensor::Tensor& dloss, runtime::ThreadPool& pool,
+                const GradReadyCallback& grad_ready = {});
 
   void zero_grads();
 
@@ -69,12 +85,33 @@ class Network {
   std::int64_t param_count();
   std::size_t param_bytes() { return param_count() * sizeof(float); }
 
+  // Flat arena views (valid after finalize). Layout is layer order,
+  // parameter-tensor order — identical to the copy_*_to flat layout.
+  std::span<float> param_arena() noexcept {
+    return {param_arena_.data(), param_arena_.size()};
+  }
+  std::span<float> grad_arena() noexcept {
+    return {grad_arena_.data(), grad_arena_.size()};
+  }
+  /// Layer i's slice of the arenas (empty for parameterless layers).
+  std::span<float> param_segment(std::size_t i) {
+    return param_arena().subspan(segment_offsets_[i], segment_sizes_[i]);
+  }
+  std::span<float> grad_segment(std::size_t i) {
+    return grad_arena().subspan(segment_offsets_[i], segment_sizes_[i]);
+  }
+  std::size_t segment_offset(std::size_t i) const {
+    return segment_offsets_[i];
+  }
+
   /// Total per-sample flops; `skip_first_bwd_data` drops the unneeded
   /// first-layer data gradient (the default, matching the real
   /// workload).
   FlopCounts flops(bool skip_first_bwd_data = true) const;
 
-  // Flat vector interface. Order is layer order, value tensor order.
+  // Flat vector interface (checkpoints, tests). Order is layer order,
+  // value tensor order — a straight copy of the arena. The training
+  // step loop uses the arena spans directly instead.
   void copy_params_to(std::span<float> out);
   void set_params_from(std::span<const float> in);
   void copy_grads_to(std::span<float> out);
@@ -84,9 +121,17 @@ class Network {
   void reset_profiles();
 
  private:
+  void build_arena();
+
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<tensor::Tensor> activations_;   // output of each layer
   std::vector<tensor::Tensor> diffs_;         // d(loss)/d(activation)
+  // Contiguous parameter/gradient storage; layer tensors are views
+  // into these after finalize() (see build_arena).
+  runtime::AlignedBuffer<float> param_arena_;
+  runtime::AlignedBuffer<float> grad_arena_;
+  std::vector<std::size_t> segment_offsets_;  // per layer, in floats
+  std::vector<std::size_t> segment_sizes_;
   tensor::Tensor input_;
   tensor::Shape input_shape_;
   tensor::Shape output_shape_;

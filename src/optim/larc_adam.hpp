@@ -33,7 +33,10 @@ struct LarcConfig {
 class LarcAdam {
  public:
   /// Binds to the network's parameter tensors; the views must stay
-  /// valid for the optimizer's lifetime.
+  /// valid for the optimizer's lifetime. After Network::finalize()
+  /// these tensors are views into the network's contiguous
+  /// parameter/gradient arenas, so the step walks one flat region in
+  /// layer order.
   LarcAdam(std::vector<dnn::ParamView> params, AdamConfig adam,
            LarcConfig larc, std::shared_ptr<const LrSchedule> schedule);
 

@@ -13,6 +13,8 @@ namespace cf::optim {
 
 class SgdMomentum {
  public:
+  /// Binds to the network's parameter tensors (arena views after
+  /// Network::finalize(), like LarcAdam).
   SgdMomentum(std::vector<dnn::ParamView> params, double momentum,
               std::shared_ptr<const LrSchedule> schedule);
 

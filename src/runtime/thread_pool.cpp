@@ -51,7 +51,7 @@ void ThreadPool::run_chunk(std::size_t worker) {
   std::size_t end = 0;
   chunk_bounds(task_.total, worker, &begin, &end);
   if (begin >= end) return;
-  task_.body(begin, end, worker);
+  task_.invoke(task_.ctx, begin, end, worker);
 }
 
 void ThreadPool::worker_loop(std::size_t worker_index) {
@@ -79,17 +79,16 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
-void ThreadPool::parallel_for(
-    std::size_t total,
-    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+void ThreadPool::dispatch(std::size_t total, void* ctx, TaskInvoke invoke) {
   if (total == 0) return;
   if (num_threads_ == 1 || total == 1) {
-    body(0, total, 0);
+    invoke(ctx, 0, total, 0);
     return;
   }
   {
     std::lock_guard lock(mutex_);
-    task_.body = body;
+    task_.ctx = ctx;
+    task_.invoke = invoke;
     task_.total = total;
     pending_ = num_threads_ - 1;
     first_error_ = nullptr;
@@ -106,20 +105,13 @@ void ThreadPool::parallel_for(
 
   std::unique_lock lock(mutex_);
   work_done_.wait(lock, [&] { return pending_ == 0; });
-  task_.body = nullptr;
+  task_.ctx = nullptr;
+  task_.invoke = nullptr;
   const std::exception_ptr error =
       caller_error ? caller_error : first_error_;
   first_error_ = nullptr;
   lock.unlock();
   if (error) std::rethrow_exception(error);
-}
-
-void ThreadPool::run_on_all(
-    const std::function<void(std::size_t worker)>& body) {
-  parallel_for(num_threads_,
-               [&](std::size_t begin, std::size_t end, std::size_t) {
-                 for (std::size_t i = begin; i < end; ++i) body(i);
-               });
 }
 
 }  // namespace cf::runtime

@@ -8,9 +8,10 @@
 
 #include <condition_variable>
 #include <cstddef>
-#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 namespace cf::runtime {
@@ -33,14 +34,31 @@ class ThreadPool {
   /// Run body(begin, end, worker) over [0, total) split into
   /// num_threads contiguous chunks. Blocks until every chunk is done.
   /// Exceptions thrown by `body` are rethrown on the caller (first one
-  /// wins).
-  void parallel_for(
-      std::size_t total,
-      const std::function<void(std::size_t begin, std::size_t end,
-                               std::size_t worker)>& body);
+  /// wins). The callable is captured by reference — parallel_for
+  /// returns only after every chunk finished, so it outlives the
+  /// dispatch — which keeps the hot path free of std::function
+  /// allocation/copying (one pointer + one function pointer are stored
+  /// under the mutex instead).
+  template <typename Body>
+  void parallel_for(std::size_t total, Body&& body) {
+    using Fn = std::remove_reference_t<Body>;
+    void* ctx = const_cast<void*>(
+        static_cast<const void*>(std::addressof(body)));
+    dispatch(total, ctx,
+             [](void* c, std::size_t begin, std::size_t end,
+                std::size_t worker) {
+               (*static_cast<Fn*>(c))(begin, end, worker);
+             });
+  }
 
   /// Run body(worker) once on each of the num_threads workers.
-  void run_on_all(const std::function<void(std::size_t worker)>& body);
+  template <typename Body>
+  void run_on_all(Body&& body) {
+    parallel_for(num_threads_, [&body](std::size_t begin, std::size_t end,
+                                       std::size_t) {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
 
   /// Process-wide pool sized from the COSMOFLOW_NUM_THREADS environment
   /// variable (default: hardware_concurrency).
@@ -49,14 +67,17 @@ class ThreadPool {
   static std::size_t default_num_threads();
 
  private:
+  /// Type-erased borrowed callable: valid only while the dispatching
+  /// parallel_for is blocked, which is exactly the workers' window.
+  using TaskInvoke = void (*)(void* ctx, std::size_t begin,
+                              std::size_t end, std::size_t worker);
   struct Task {
-    std::function<void(std::size_t begin, std::size_t end,
-                       std::size_t worker)>
-        body;
+    void* ctx = nullptr;
+    TaskInvoke invoke = nullptr;
     std::size_t total = 0;
-    std::size_t generation = 0;
   };
 
+  void dispatch(std::size_t total, void* ctx, TaskInvoke invoke);
   void worker_loop(std::size_t worker_index);
   void chunk_bounds(std::size_t total, std::size_t worker,
                     std::size_t* begin, std::size_t* end) const;

@@ -22,8 +22,22 @@ Tensor::Tensor(Shape shape, std::span<const float> values) : Tensor(shape) {
 
 Tensor Tensor::clone() const {
   Tensor copy(shape_);
-  std::memcpy(copy.data_.data(), data_.data(), data_.size() * sizeof(float));
+  std::memcpy(copy.data_.data(), data(), size() * sizeof(float));
   return copy;
+}
+
+void Tensor::rebind(std::span<float> storage) {
+  if (storage.size() != size()) {
+    throw std::invalid_argument(
+        "Tensor::rebind: storage size does not match shape " +
+        shape_.to_string());
+  }
+  if (storage.data() != data()) {
+    std::memcpy(storage.data(), data(), size() * sizeof(float));
+  }
+  data_ = runtime::AlignedBuffer<float>{};  // release owned storage
+  view_ = storage.data();
+  view_size_ = storage.size();
 }
 
 std::size_t Tensor::flat_index(
@@ -45,15 +59,15 @@ std::size_t Tensor::flat_index(
 }
 
 float& Tensor::at(std::initializer_list<std::int64_t> index) {
-  return data_[flat_index(index)];
+  return data()[flat_index(index)];
 }
 
 float Tensor::at(std::initializer_list<std::int64_t> index) const {
-  return data_[flat_index(index)];
+  return data()[flat_index(index)];
 }
 
 void Tensor::fill(float value) noexcept {
-  std::fill_n(data_.data(), data_.size(), value);
+  std::fill_n(data(), size(), value);
 }
 
 void Tensor::reshape(Shape shape) {
@@ -66,7 +80,7 @@ void Tensor::reshape(Shape shape) {
 }
 
 std::vector<float> Tensor::to_vector() const {
-  return {data_.data(), data_.data() + data_.size()};
+  return {data(), data() + size()};
 }
 
 }  // namespace cf::tensor

@@ -34,19 +34,21 @@ class Tensor {
   Tensor clone() const;
 
   const Shape& shape() const noexcept { return shape_; }
-  std::size_t size() const noexcept { return data_.size(); }
-  bool empty() const noexcept { return data_.empty(); }
+  std::size_t size() const noexcept {
+    return view_ != nullptr ? view_size_ : data_.size();
+  }
+  bool empty() const noexcept { return size() == 0; }
 
-  float* data() noexcept { return data_.data(); }
-  const float* data() const noexcept { return data_.data(); }
-
-  std::span<float> values() noexcept { return {data_.data(), data_.size()}; }
-  std::span<const float> values() const noexcept {
-    return {data_.data(), data_.size()};
+  float* data() noexcept { return view_ != nullptr ? view_ : data_.data(); }
+  const float* data() const noexcept {
+    return view_ != nullptr ? view_ : data_.data();
   }
 
-  float& operator[](std::size_t i) noexcept { return data_[i]; }
-  float operator[](std::size_t i) const noexcept { return data_[i]; }
+  std::span<float> values() noexcept { return {data(), size()}; }
+  std::span<const float> values() const noexcept { return {data(), size()}; }
+
+  float& operator[](std::size_t i) noexcept { return data()[i]; }
+  float operator[](std::size_t i) const noexcept { return data()[i]; }
 
   /// Row-major multi-index access (bounds-checked); test/debug helper.
   float& at(std::initializer_list<std::int64_t> index);
@@ -58,6 +60,16 @@ class Tensor {
   /// Reinterpret the same storage with a new shape of equal numel.
   void reshape(Shape shape);
 
+  /// Rebinds this tensor onto externally owned storage (the network's
+  /// parameter/gradient arena), copying the current contents over and
+  /// releasing the owned buffer. `storage.size()` must equal numel and
+  /// must outlive the tensor. Kernels keep working unchanged — they
+  /// only ever touch data()/values().
+  void rebind(std::span<float> storage);
+
+  /// False once rebind() has pointed the tensor at an arena segment.
+  bool owns_storage() const noexcept { return view_ == nullptr; }
+
   std::vector<float> to_vector() const;
 
  private:
@@ -65,6 +77,9 @@ class Tensor {
 
   Shape shape_;
   runtime::AlignedBuffer<float> data_;
+  // Non-owning view set by rebind(); data()/size() prefer it.
+  float* view_ = nullptr;
+  std::size_t view_size_ = 0;
 };
 
 }  // namespace cf::tensor

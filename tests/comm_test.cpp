@@ -3,8 +3,10 @@
 // straggler tolerance.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -219,6 +221,149 @@ TEST(MlComm, RunPropagatesRankExceptions) {
                  // Rank 0 does no collective, so no deadlock.
                }),
                std::runtime_error);
+}
+
+// --- nonblocking bucketed allreduce (helper thread) -----------------
+
+TEST(MlCommAsync, SingleBucketAveragesAcrossRanks) {
+  for (const int nranks : {1, 4}) {
+    MlCommConfig config;
+    config.chunk_elems = 64;
+    MlComm comm(nranks, config);
+    auto data = make_rank_data(nranks, 500, 37);
+    const auto expected = expected_average(data);
+    comm.run([&](RankHandle& rank) {
+      PendingReduce pending = rank.allreduce_average_async(
+          data[static_cast<std::size_t>(rank.rank())]);
+      EXPECT_TRUE(pending.valid());
+      rank.wait(pending);
+      EXPECT_FALSE(pending.valid());
+    });
+    for (int r = 0; r < nranks; ++r) {
+      for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(data[static_cast<std::size_t>(r)][i], expected[i],
+                    1e-5f)
+            << "nranks " << nranks << " rank " << r << " element " << i;
+      }
+    }
+  }
+}
+
+TEST(MlCommAsync, BitwiseMatchesSyncRegardlessOfBucketing) {
+  // The acceptance property of the overlapped path: splitting a vector
+  // into async buckets — any split — averages bitwise identically to
+  // one synchronous allreduce over the whole vector.
+  const std::size_t n = 2048;
+  for (const int nranks : {1, 4}) {
+    auto reference = make_rank_data(nranks, n, 41);
+    {
+      MlCommConfig config;
+      config.chunk_elems = 64;
+      MlComm comm(nranks, config);
+      comm.run([&](RankHandle& rank) {
+        rank.allreduce_average(
+            reference[static_cast<std::size_t>(rank.rank())]);
+      });
+    }
+    // Uneven bucket sizes, including a 1-element and a large tail.
+    for (const std::size_t bucket : {std::size_t{1}, std::size_t{7},
+                                     std::size_t{500}, n}) {
+      auto data = make_rank_data(nranks, n, 41);
+      MlCommConfig config;
+      config.chunk_elems = 64;
+      MlComm comm(nranks, config);
+      comm.run([&](RankHandle& rank) {
+        auto& v = data[static_cast<std::size_t>(rank.rank())];
+        std::vector<PendingReduce> pending;
+        for (std::size_t begin = 0; begin < n; begin += bucket) {
+          const std::size_t len = std::min(bucket, n - begin);
+          pending.push_back(rank.allreduce_average_async(
+              std::span<float>(v).subspan(begin, len)));
+        }
+        for (PendingReduce& p : pending) rank.wait(p);
+      });
+      for (int r = 0; r < nranks; ++r) {
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(data[static_cast<std::size_t>(r)][i],
+                    reference[static_cast<std::size_t>(r)][i])
+              << "nranks " << nranks << " bucket " << bucket
+              << " rank " << r << " element " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(MlCommAsync, ToleratesStragglers) {
+  const int nranks = 4;
+  MlCommConfig config;
+  config.pre_reduce_hook = [](int rank) {
+    if (rank == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  };
+  MlComm comm(nranks, config);
+  auto data = make_rank_data(nranks, 128, 43);
+  const auto expected = expected_average(data);
+  comm.run([&](RankHandle& rank) {
+    PendingReduce pending = rank.allreduce_average_async(
+        data[static_cast<std::size_t>(rank.rank())]);
+    rank.wait(pending);
+  });
+  for (std::size_t i = 0; i < 128; ++i) {
+    ASSERT_NEAR(data[0][i], expected[i], 1e-5f);
+  }
+}
+
+TEST(MlCommAsync, RecordsHiddenExposedSplitAndBucketCount) {
+  const int nranks = 2;
+  const std::size_t n = 600;
+  const std::int64_t buckets_before =
+      obs::Registry::global().counter("comm/buckets").value();
+  MlComm comm(nranks, MlCommConfig{});
+  auto data = make_rank_data(nranks, n, 47);
+  comm.run([&](RankHandle& rank) {
+    auto& v = data[static_cast<std::size_t>(rank.rank())];
+    std::vector<PendingReduce> pending;
+    for (std::size_t begin = 0; begin < n; begin += 200) {
+      pending.push_back(rank.allreduce_average_async(
+          std::span<float>(v).subspan(begin, 200)));
+    }
+    for (PendingReduce& p : pending) rank.wait(p);
+  });
+  for (int r = 0; r < nranks; ++r) {
+    // One exposed and one hidden observation per bucket wait.
+    EXPECT_EQ(comm.handle(r).exposed_comm_time().count(), 3u);
+    EXPECT_EQ(comm.handle(r).hidden_comm_time().count(), 3u);
+    // Exposed wait time is critical-path comm time.
+    EXPECT_EQ(comm.handle(r).comm_time().count(), 3u);
+  }
+  EXPECT_EQ(obs::Registry::global().counter("comm/buckets").value() -
+                buckets_before,
+            3);
+}
+
+TEST(MlCommAsync, MismatchedBucketSizesThrow) {
+  MlComm comm(2, MlCommConfig{});
+  EXPECT_THROW(comm.run([&](RankHandle& rank) {
+                 std::vector<float> v(rank.rank() == 0 ? 10 : 20, 1.0f);
+                 PendingReduce pending = rank.allreduce_average_async(v);
+                 rank.wait(pending);
+               }),
+               std::invalid_argument);
+}
+
+TEST(MlCommAsync, WaitOnInvalidTicketThrows) {
+  MlComm comm(1, MlCommConfig{});
+  comm.run([&](RankHandle& rank) {
+    PendingReduce never_posted;
+    EXPECT_THROW(rank.wait(never_posted), std::logic_error);
+    // Waiting twice on the same ticket is also a misuse.
+    std::vector<float> v(16, 1.0f);
+    PendingReduce pending = rank.allreduce_average_async(v);
+    rank.wait(pending);
+    EXPECT_THROW(rank.wait(pending), std::logic_error);
+  });
 }
 
 }  // namespace
