@@ -14,8 +14,15 @@
 // per-chunk delay to every reduction so the comm/compute ratio of a
 // real interconnect can be dialed in on a single node.
 //
+// By default Conv3d/Dense → LeakyRelu pairs are fused into the
+// producer kernels' epilogues (the standalone "element-wise" stage
+// collapses to zero and its time melts into conv/dense); --no-fusion
+// restores the unfused graph so the old breakdown shape — and the cost
+// of the extra activation sweeps — stays measurable.
+//
 //   ./bench_fig3_breakdown [--dhw=32] [--ranks=4] [--epochs=2]
 //                          [--sim-comm-us=100] [--bucket-kb=256]
+//                          [--no-fusion]
 //                          [--trace=trace.json] [--json=BENCH_fig3.json]
 #include <chrono>
 #include <cstdio>
@@ -41,6 +48,7 @@ int main(int argc, char** argv) {
   int epochs = 2;
   long sim_comm_us = 100;
   long bucket_kb = 256;
+  bool fusion = true;
   std::string trace_path;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -57,6 +65,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--bucket-kb=", 12) == 0) {
       bucket_kb = std::atol(argv[i] + 12);
     }
+    if (std::strcmp(argv[i], "--no-fusion") == 0) fusion = false;
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     }
@@ -88,6 +97,7 @@ int main(int argc, char** argv) {
     config.bucket_bytes = static_cast<std::size_t>(bucket_kb) * 1024;
     config.comm.simulated_chunk_delay =
         std::chrono::microseconds(sim_comm_us);
+    config.fuse_eltwise = fusion;
     return config;
   };
 
@@ -107,8 +117,9 @@ int main(int argc, char** argv) {
   core::Trainer trainer(core::cosmoflow_scaled(dhw), train, val,
                         make_config(/*overlap=*/true));
   std::printf("overlapped run:      %s, %d ranks x %d epochs, "
-              "%ld KiB buckets...\n\n",
-              trainer.topology().name.c_str(), ranks, epochs, bucket_kb);
+              "%ld KiB buckets, eltwise fusion %s...\n\n",
+              trainer.topology().name.c_str(), ranks, epochs, bucket_kb,
+              fusion ? "ON" : "OFF (--no-fusion)");
 #if COSMOFLOW_TELEMETRY_ENABLED
   obs::Tracer::global().clear();
 #endif
@@ -129,7 +140,8 @@ int main(int argc, char** argv) {
   row("3D convolutions", breakdown.seconds.at("conv"));
   row("pooling", breakdown.seconds.at("pool"));
   row("dense layers", breakdown.seconds.at("dense"));
-  row("element-wise (lrelu)", breakdown.seconds.at("activation"));
+  row(fusion ? "element-wise (fused)" : "element-wise (lrelu)",
+      breakdown.seconds.at("activation"));
   row("layout reorders", breakdown.seconds.at("reorder"));
   row("optimizer (Adam+LARC)", breakdown.seconds.at("optimizer"));
   row("comm (exposed)", breakdown.seconds.at("comm"));
@@ -194,10 +206,14 @@ int main(int argc, char** argv) {
         .field("ranks", ranks)
         .field("epochs", epochs)
         .field("sim_comm_us", static_cast<std::int64_t>(sim_comm_us))
-        .field("bucket_kb", static_cast<std::int64_t>(bucket_kb));
+        .field("bucket_kb", static_cast<std::int64_t>(bucket_kb))
+        .field("fused", fusion);
     for (const auto& [category, seconds] : breakdown.seconds) {
       rec.field("sec_" + category, seconds);
     }
+    // Standalone element-wise seconds under the stable name the
+    // OBSERVABILITY.md schema uses; 0 when the epilogues absorbed it.
+    rec.field("sec_eltwise", breakdown.seconds.at("activation"));
     rec.field("sec_walltime", breakdown.total)
         .field("overlap_fraction", breakdown.overlap_fraction)
         .field("sync_sec_comm", sync_comm)

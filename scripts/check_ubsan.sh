@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# UndefinedBehaviorSanitizer gate for the pointer-arithmetic-heavy
+# paths: builds the repo with -DCOSMOFLOW_UBSAN=ON into build-ubsan/
+# and runs the suites that drive the fused conv/dense epilogue kernels,
+# the blocked optimizer sweeps, and the layout/reorder code — the
+# places where a bad offset, misaligned view, or signed overflow would
+# hide. Any UB report fails the script.
+#
+# Usage: check_ubsan.sh [repo_root]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 1
+
+build_dir="build-ubsan"
+
+cmake -B "$build_dir" -S . \
+  -DCOSMOFLOW_UBSAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build_dir" --target cosmoflow_tests -j "$(nproc)"
+
+# halt_on_error turns the first report into a failure instead of a
+# log line; print_stacktrace makes it actionable.
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1"
+
+"$build_dir/tests/cosmoflow_tests" \
+  --gtest_filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Flatten*.*'
+
+echo "UBSan: no undefined behavior detected"

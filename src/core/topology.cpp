@@ -101,11 +101,13 @@ tensor::Shape input_shape(const TopologyConfig& config) {
                        config.input_dhw};
 }
 
-dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed) {
+dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed,
+                           bool fuse_eltwise) {
   if (config.convs.empty() || config.outputs <= 0) {
     throw std::invalid_argument("build_network: malformed topology");
   }
   dnn::Network net;
+  net.set_fuse_eltwise(fuse_eltwise);
   std::int64_t channels = 1;
   std::int64_t dhw = config.input_dhw;
   int index = 1;

@@ -56,8 +56,12 @@ TopologyConfig cosmoflow_scaled(std::int64_t input_dhw);
 TopologyConfig topology_for_input(std::int64_t input_dhw);
 
 /// Builds and finalizes the network; parameters are deterministically
-/// initialized (He for convs, Xavier for dense) from `seed`.
-dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed);
+/// initialized (He for convs, Xavier for dense) from `seed`. By default
+/// the network fuses every Conv3d/Dense → LeakyRelu pair into the
+/// producer's epilogue (bitwise identical to the unfused graph);
+/// `fuse_eltwise = false` keeps the standalone activation layers.
+dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed,
+                           bool fuse_eltwise = true);
 
 /// Input tensor shape of a topology: plain {1, dhw, dhw, dhw}.
 tensor::Shape input_shape(const TopologyConfig& config);

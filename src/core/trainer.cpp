@@ -73,7 +73,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
   // Build this rank's replica; every rank uses the same init seed and
   // rank 0 broadcasts anyway (the Algorithm 2 preamble).
   auto net = std::make_unique<dnn::Network>(
-      build_network(topology_, config_.seed));
+      build_network(topology_, config_.seed, config_.fuse_eltwise));
   dnn::Network& network = *net;
   networks_[static_cast<std::size_t>(r)] = std::move(net);
 
@@ -105,9 +105,9 @@ void Trainer::rank_body(comm::RankHandle& rank,
   }
   const auto optimizer_step = [&] {
     if (larc_opt) {
-      larc_opt->step();
+      larc_opt->step(pool);
     } else {
-      sgd_opt->step();
+      sgd_opt->step(pool);
     }
   };
 
@@ -127,7 +127,14 @@ void Trainer::rank_body(comm::RankHandle& rank,
   // *deltas* of these totals, so summing a rank's records telescopes
   // back to the totals exactly.
   const auto category_totals = [&] {
-    std::map<std::string, double> totals;
+    // Seed the dnn category keys: the fusion pass removes standalone
+    // activation layers, but the key set — and so the step-log schema
+    // and breakdown() — must not depend on fusion.
+    std::map<std::string, double> totals = {{"conv", 0.0},
+                                            {"pool", 0.0},
+                                            {"dense", 0.0},
+                                            {"activation", 0.0},
+                                            {"reorder", 0.0}};
     for (const dnn::LayerProfile& profile : network.profiles()) {
       totals[profile.kind] += profile.fwd.total() +
                               profile.bwd_data.total() +
@@ -246,6 +253,10 @@ void Trainer::rank_body(comm::RankHandle& rank,
         for (const auto& [category, total] : totals) {
           rec.field("sec_" + category, total - prev_totals[category]);
         }
+        // Standalone element-wise sweep time; 0 when fused (the eltwise
+        // work then lives inside sec_conv / sec_dense).
+        rec.field("sec_eltwise",
+                  totals.at("activation") - prev_totals["activation"]);
         step_log_->write(rec);
         prev_totals = std::move(totals);
       }
@@ -299,6 +310,8 @@ void Trainer::rank_body(comm::RankHandle& rank,
         for (const auto& [category, total] : totals) {
           rec.field("sec_" + category, total - prev_totals[category]);
         }
+        rec.field("sec_eltwise",
+                  totals.at("activation") - prev_totals["activation"]);
         step_log_->write(rec);
         prev_totals = std::move(totals);
       }
@@ -365,6 +378,13 @@ std::vector<Prediction> Trainer::evaluate(const data::SampleSource& source) {
 CategoryBreakdown Trainer::breakdown() const {
   if (!ran_) throw std::logic_error("Trainer::breakdown: run() first");
   CategoryBreakdown breakdown;
+  // Same fixed dnn category keys as the per-step totals (the JSONL
+  // records must telescope to this map key-for-key, fused or not).
+  breakdown.seconds = {{"conv", 0.0},
+                       {"pool", 0.0},
+                       {"dense", 0.0},
+                       {"activation", 0.0},
+                       {"reorder", 0.0}};
   const dnn::Network& net = *networks_.front();
   for (const dnn::LayerProfile& profile : net.profiles()) {
     breakdown.seconds[profile.kind] += profile.fwd.total() +

@@ -55,6 +55,10 @@ struct TrainerConfig {
   double sgd_momentum = 0.9;  // used by kSgdMomentum only
 
   std::size_t threads_per_rank = 1;
+  /// Fuse Conv3d/Dense → LeakyRelu pairs into the producer kernels'
+  /// epilogues (MKL-DNN post-op style). Bitwise identical to the
+  /// unfused graph — false only for ablation (`--no-fusion`).
+  bool fuse_eltwise = true;
   /// Overlap gradient aggregation with backprop (default): as layer
   /// gradients become ready (last layer first) they are coalesced into
   /// ~bucket_bytes buckets and posted to the communicator's helper

@@ -7,6 +7,15 @@ namespace cf::dnn {
 using tensor::Shape;
 using tensor::Tensor;
 
+namespace {
+
+/// Below this element count the pool's dispatch overhead exceeds the
+/// sweep itself (the fc_act layers are 32-128 floats); parallel_for
+/// runs the identical body serially on the caller.
+constexpr std::size_t kSerialWorkLimit = 4096;
+
+}  // namespace
+
 LeakyRelu::LeakyRelu(std::string name, float negative_slope)
     : Layer(std::move(name)), slope_(negative_slope) {
   if (negative_slope < 0.0f || negative_slope >= 1.0f) {
@@ -41,7 +50,8 @@ void LeakyRelu::forward(const Tensor& src, Tensor& dst,
                         const float v = s[i];
                         d[i] = v > 0.0f ? v : slope * v;
                       }
-                    });
+                    },
+                    kSerialWorkLimit);
 }
 
 void LeakyRelu::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
@@ -61,7 +71,8 @@ void LeakyRelu::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
                       for (std::size_t i = begin; i < end; ++i) {
                         ds[i] = s[i] > 0.0f ? dd[i] : slope * dd[i];
                       }
-                    });
+                    },
+                    kSerialWorkLimit);
 }
 
 }  // namespace cf::dnn

@@ -177,6 +177,27 @@ inline void micro_bww_row(float* __restrict acc,
 
 #endif  // __AVX512F__
 
+/// Fused-epilogue output write: dst[i] = lrelu(acc[i]). Same float ops
+/// (compare, multiply) the standalone LeakyRelu would apply to the
+/// memcpy'd values, so the fused output is bitwise identical.
+inline void store_row_eltwise(float* __restrict dst,
+                              const float* __restrict acc, std::int64_t n,
+                              float slope) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = acc[i];
+    dst[i] = v > 0.0f ? v : slope * v;
+  }
+}
+
+/// In-place variant for kernels that write dst rows directly.
+inline void apply_eltwise_row(float* __restrict row, std::int64_t n,
+                              float slope) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = row[i];
+    row[i] = v > 0.0f ? v : slope * v;
+  }
+}
+
 /// t[ow*stride][ic] += sum_oc w[ic][oc] * ddst[ow][oc]
 /// (backward-data micro-kernel).
 inline void micro_bwd_row(float* __restrict target_row,
@@ -287,7 +308,24 @@ FlopCounts Conv3d::flops() const {
   counts.fwd = per_pass;
   counts.bwd_data = per_pass;
   counts.bwd_weights = per_pass;
+  if (fused_) {
+    // The absorbed LeakyReLU: one op per output element in the forward
+    // epilogue and one in the backward-entry mask.
+    const std::int64_t out_numel =
+        config_.out_channels * out_d_ * out_h_ * out_w_;
+    counts.fwd += out_numel;
+    counts.bwd_weights += out_numel;
+  }
   return counts;
+}
+
+bool Conv3d::fuse_leaky_relu(float slope) {
+  // The sign trick behind the fused backward mask needs slope in
+  // [0, 1); LeakyRelu's constructor enforces the same domain.
+  if (slope < 0.0f || slope >= 1.0f) return false;
+  fused_ = true;
+  slope_ = slope;
+  return true;
 }
 
 void Conv3d::init_he(runtime::Rng& rng) {
@@ -356,17 +394,43 @@ void Conv3d::forward(const Tensor& src, Tensor& dst,
 
 void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
                       bool need_dsrc, runtime::ThreadPool& pool) {
+  if (fused_) {
+    throw std::logic_error(
+        "Conv3d::backward: fused layer needs its forward output — use the "
+        "dst overload");
+  }
+  backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, pool);
+}
+
+void Conv3d::backward(const Tensor& src, const Tensor& dst,
+                      const Tensor& ddst, Tensor& dsrc, bool need_dsrc,
+                      runtime::ThreadPool& pool) {
   if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
     throw std::invalid_argument("Conv3d::backward: shape mismatch");
   }
+  const Tensor* grad = &ddst;
   {
     CF_TRACE_SCOPE(span_label_bww().c_str(), "conv");
     const runtime::ScopedTimer timer(timers_.bwd_weights);
+    if (fused_) {
+      if (dst.shape() != output_shape()) {
+        throw std::invalid_argument("Conv3d::backward: dst shape mismatch");
+      }
+      if (masked_ddst_.shape() != output_shape()) {
+        masked_ddst_ = Tensor(output_shape());
+      }
+      // One sweep masks ddst with the LeakyReLU derivative and
+      // accumulates the bias gradient from the already-masked values.
+      mask_bias_grad_pass(dst, ddst, pool);
+      grad = &masked_ddst_;
+    } else {
+      bias_grad_pass(ddst, pool);
+    }
     // The padded source copy is still valid from forward().
     if (plain_input_) {
-      backward_weights_plain_src(src, ddst, pool);
+      backward_weights_plain_src(src, *grad, pool);
     } else {
-      backward_weights_blocked(src, ddst, pool);
+      backward_weights_blocked(src, *grad, pool);
     }
   }
   if (!need_dsrc) return;
@@ -376,10 +440,63 @@ void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
     throw std::invalid_argument("Conv3d::backward: dsrc shape mismatch");
   }
   if (plain_input_) {
-    backward_data_plain_src(ddst, dsrc, pool);
+    backward_data_plain_src(*grad, dsrc, pool);
   } else {
-    backward_data_blocked(ddst, dsrc, pool);
+    backward_data_blocked(*grad, dsrc, pool);
   }
+}
+
+void Conv3d::bias_grad_pass(const Tensor& ddst, runtime::ThreadPool& pool) {
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t voxels = out_d_ * out_h_ * out_w_;
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t ocb = begin; ocb < end; ++ocb) {
+          double acc[kB] = {};
+          const float* base =
+              ddst.data() +
+              static_cast<std::int64_t>(ocb) * voxels * kB;
+          for (std::int64_t v = 0; v < voxels; ++v) {
+            for (int oc = 0; oc < kB; ++oc) acc[oc] += base[v * kB + oc];
+          }
+          float* bg = bias_grad_.data() + ocb * kB;
+          for (int oc = 0; oc < kB; ++oc) {
+            bg[oc] += static_cast<float>(acc[oc]);
+          }
+        }
+      });
+}
+
+void Conv3d::mask_bias_grad_pass(const Tensor& dst, const Tensor& ddst,
+                                 runtime::ThreadPool& pool) {
+  const std::int64_t ocb_count = config_.out_channels / kB;
+  const std::int64_t voxels = out_d_ * out_h_ * out_w_;
+  const float slope = slope_;
+  pool.parallel_for(
+      static_cast<std::size_t>(ocb_count),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t ocb = begin; ocb < end; ++ocb) {
+          const std::int64_t off =
+              static_cast<std::int64_t>(ocb) * voxels * kB;
+          const float* y = dst.data() + off;
+          const float* dd = ddst.data() + off;
+          float* md = masked_ddst_.data() + off;
+          double acc[kB] = {};
+          for (std::int64_t v = 0; v < voxels; ++v) {
+            for (int oc = 0; oc < kB; ++oc) {
+              const std::int64_t i = v * kB + oc;
+              const float m = y[i] > 0.0f ? dd[i] : slope * dd[i];
+              md[i] = m;
+              acc[oc] += m;
+            }
+          }
+          float* bg = bias_grad_.data() + ocb * kB;
+          for (int oc = 0; oc < kB; ++oc) {
+            bg[oc] += static_cast<float>(acc[oc]);
+          }
+        }
+      });
 }
 
 namespace {
@@ -501,9 +618,13 @@ void Conv3d::forward_blocked(const Tensor& src, Tensor& dst,
             float* drow = dst.data() +
                           (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) *
                               kB;
-            std::memcpy(drow, acc.data(),
-                        static_cast<std::size_t>(out_w_) * kB *
-                            sizeof(float));
+            if (fused_) {
+              store_row_eltwise(drow, acc.data(), out_w_ * kB, slope_);
+            } else {
+              std::memcpy(drow, acc.data(),
+                          static_cast<std::size_t>(out_w_) * kB *
+                              sizeof(float));
+            }
           }
         }
       });
@@ -610,6 +731,8 @@ void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
               micro_fwd_row_ic1(drow, bias_.data() + ocb * kB,
                                 splanes.data(), wtaps.data(), k * k, k,
                                 out_w_, stride);
+              // Post-op over the still-cache-hot row.
+              if (fused_) apply_eltwise_row(drow, out_w_ * kB, slope_);
             }
           }
         });
@@ -657,9 +780,13 @@ void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
             float* drow = dst.data() +
                           (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) *
                               kB;
-            std::memcpy(drow, acc.data(),
-                        static_cast<std::size_t>(out_w_) * kB *
-                            sizeof(float));
+            if (fused_) {
+              store_row_eltwise(drow, acc.data(), out_w_ * kB, slope_);
+            } else {
+              std::memcpy(drow, acc.data(),
+                          static_cast<std::size_t>(out_w_) * kB *
+                              sizeof(float));
+            }
           }
         }
       });
@@ -675,26 +802,6 @@ void Conv3d::backward_weights_blocked(const Tensor& /*src*/,
   const std::int64_t dp = padded_src_.shape()[1];
   const std::int64_t hp = padded_src_.shape()[2];
   const std::int64_t wp = padded_src_.shape()[3];
-
-  // Bias gradient: one task per output channel block.
-  pool.parallel_for(
-      static_cast<std::size_t>(ocb_count),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t ocb = begin; ocb < end; ++ocb) {
-          double acc[kB] = {};
-          const float* base = ddst.data() +
-                              static_cast<std::int64_t>(ocb) * out_d_ *
-                                  out_h_ * out_w_ * kB;
-          const std::int64_t voxels = out_d_ * out_h_ * out_w_;
-          for (std::int64_t v = 0; v < voxels; ++v) {
-            for (int oc = 0; oc < kB; ++oc) acc[oc] += base[v * kB + oc];
-          }
-          float* bg = bias_grad_.data() + ocb * kB;
-          for (int oc = 0; oc < kB; ++oc) {
-            bg[oc] += static_cast<float>(acc[oc]);
-          }
-        }
-      });
 
   // Weight gradient: teams over (ocb, icb, kd) tiles — disjoint writes,
   // no reduction needed when there are enough channel blocks (the
@@ -747,25 +854,6 @@ void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
   const std::int64_t dp = padded_src_.shape()[1];
   const std::int64_t hp = padded_src_.shape()[2];
   const std::int64_t wp = padded_src_.shape()[3];
-
-  pool.parallel_for(
-      static_cast<std::size_t>(ocb_count),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t ocb = begin; ocb < end; ++ocb) {
-          double acc[kB] = {};
-          const float* base = ddst.data() +
-                              static_cast<std::int64_t>(ocb) * out_d_ *
-                                  out_h_ * out_w_ * kB;
-          const std::int64_t voxels = out_d_ * out_h_ * out_w_;
-          for (std::int64_t v = 0; v < voxels; ++v) {
-            for (int oc = 0; oc < kB; ++oc) acc[oc] += base[v * kB + oc];
-          }
-          float* bg = bias_grad_.data() + ocb * kB;
-          for (int oc = 0; oc < kB; ++oc) {
-            bg[oc] += static_cast<float>(acc[oc]);
-          }
-        }
-      });
 
   pool.parallel_for(
       static_cast<std::size_t>(ocb_count * k),

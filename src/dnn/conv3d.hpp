@@ -57,6 +57,16 @@ class Conv3d final : public Layer {
   void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
                 tensor::Tensor& dsrc, bool need_dsrc,
                 runtime::ThreadPool& pool) override;
+  void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
+                const tensor::Tensor& ddst, tensor::Tensor& dsrc,
+                bool need_dsrc, runtime::ThreadPool& pool) override;
+
+  /// MKL-DNN-style post-op fusion: fold a trailing LeakyReLU into the
+  /// forward output write and mask ddst once on backward entry. For
+  /// slope in [0, 1) the output sign equals the pre-activation sign,
+  /// so the fused results are bitwise identical to the unfused pair.
+  bool fuse_leaky_relu(float slope) override;
+  bool fused() const noexcept { return fused_; }
 
   std::vector<ParamView> params() override;
   FlopCounts flops() const override;
@@ -85,6 +95,11 @@ class Conv3d final : public Layer {
                        runtime::ThreadPool& pool);
   void forward_plain_src(const tensor::Tensor& src, tensor::Tensor& dst,
                          runtime::ThreadPool& pool);
+  void bias_grad_pass(const tensor::Tensor& ddst,
+                      runtime::ThreadPool& pool);
+  void mask_bias_grad_pass(const tensor::Tensor& dst,
+                           const tensor::Tensor& ddst,
+                           runtime::ThreadPool& pool);
   void backward_weights_blocked(const tensor::Tensor& src,
                                 const tensor::Tensor& ddst,
                                 runtime::ThreadPool& pool);
@@ -100,6 +115,10 @@ class Conv3d final : public Layer {
 
   Conv3dConfig config_;
   bool plain_input_ = false;
+
+  // Fused LeakyReLU epilogue (see fuse_leaky_relu).
+  bool fused_ = false;
+  float slope_ = 0.0f;
 
   // Spatial geometry (set by plan).
   std::int64_t in_d_ = 0, in_h_ = 0, in_w_ = 0;
@@ -118,6 +137,9 @@ class Conv3d final : public Layer {
   // input difference signal.
   tensor::Tensor padded_src_;
   tensor::Tensor padded_dsrc_;
+  // Fused only: ddst with the LeakyReLU derivative mask applied, shared
+  // by the bww and bwd_data passes.
+  tensor::Tensor masked_ddst_;
 };
 
 // ---------------------------------------------------------------------------

@@ -46,8 +46,25 @@ FlopCounts Dense::flops() const {
   counts.fwd = 2 * in_ * out_;
   counts.bwd_data = 2 * in_ * out_;
   counts.bwd_weights = 2 * in_ * out_;
+  if (fused_) {
+    counts.fwd += out_;
+    counts.bwd_weights += out_;
+  }
   return counts;
 }
+
+bool Dense::fuse_leaky_relu(float slope) {
+  if (slope < 0.0f || slope >= 1.0f) return false;
+  fused_ = true;
+  slope_ = slope;
+  return true;
+}
+
+namespace {
+// Below this many multiply-adds the dispatch/wake cost of the pool
+// exceeds the loop itself; run on the caller (same body, same result).
+constexpr std::int64_t kSerialWorkLimit = 4096;
+}  // namespace
 
 void Dense::init_xavier(runtime::Rng& rng) {
   const float limit = std::sqrt(6.0f / static_cast<float>(in_ + out_));
@@ -72,8 +89,10 @@ void Dense::forward(const Tensor& src, Tensor& dst,
       (static_cast<std::size_t>(in_) + chunks - 1) / chunks;
   std::vector<std::vector<float>> partial(
       chunks, std::vector<float>(static_cast<std::size_t>(out_), 0.0f));
+  const std::size_t grain = in_ * out_ <= kSerialWorkLimit ? chunks : 1;
   pool.parallel_for(
-      chunks, [&](std::size_t begin, std::size_t end, std::size_t) {
+      chunks,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t chunk = begin; chunk < end; ++chunk) {
           float* acc = partial[chunk].data();
           const std::size_t lo = chunk * chunk_size;
@@ -85,7 +104,8 @@ void Dense::forward(const Tensor& src, Tensor& dst,
             for (std::int64_t o = 0; o < out_; ++o) acc[o] += wrow[o] * sv;
           }
         }
-      });
+      },
+      grain);
   std::memcpy(dst.data(), bias_.data(),
               static_cast<std::size_t>(out_) * sizeof(float));
   for (const auto& acc : partial) {
@@ -93,27 +113,64 @@ void Dense::forward(const Tensor& src, Tensor& dst,
       dst[static_cast<std::size_t>(o)] += acc[static_cast<std::size_t>(o)];
     }
   }
+  if (fused_) {
+    // Fused LeakyReLU epilogue over the just-combined output.
+    float* d = dst.data();
+    for (std::int64_t o = 0; o < out_; ++o) {
+      const float v = d[o];
+      d[o] = v > 0.0f ? v : slope_ * v;
+    }
+  }
 }
 
 void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
                      bool need_dsrc, runtime::ThreadPool& pool) {
+  if (fused_) {
+    throw std::logic_error(
+        "Dense::backward: fused layer needs its forward output — use the "
+        "dst overload");
+  }
+  backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, pool);
+}
+
+void Dense::backward(const Tensor& src, const Tensor& dst,
+                     const Tensor& ddst, Tensor& dsrc, bool need_dsrc,
+                     runtime::ThreadPool& pool) {
   if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
     throw std::invalid_argument("Dense::backward: shape mismatch");
   }
+  const std::size_t grain =
+      in_ * out_ <= kSerialWorkLimit ? static_cast<std::size_t>(in_) : 1;
+  const float* d = ddst.data();
   {
     CF_TRACE_SCOPE(span_label_bww().c_str(), "dense");
     const runtime::ScopedTimer timer(timers_.bwd_weights);
-    tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
+    if (fused_) {
+      if (dst.shape() != output_shape()) {
+        throw std::invalid_argument("Dense::backward: dst shape mismatch");
+      }
+      masked_ddst_.resize(static_cast<std::size_t>(out_));
+      const float* y = dst.data();
+      for (std::int64_t o = 0; o < out_; ++o) {
+        masked_ddst_[static_cast<std::size_t>(o)] =
+            y[o] > 0.0f ? d[o] : slope_ * d[o];
+      }
+      d = masked_ddst_.data();
+      tensor::axpy(1.0f, {d, static_cast<std::size_t>(out_)},
+                   bias_grad_.values());
+    } else {
+      tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
+    }
     pool.parallel_for(
         static_cast<std::size_t>(in_),
         [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t i = begin; i < end; ++i) {
             const float sv = src[i];
             float* grow = weight_grad_.data() + i * out_;
-            const float* d = ddst.data();
             for (std::int64_t o = 0; o < out_; ++o) grow[o] += d[o] * sv;
           }
-        });
+        },
+        grain);
   }
   if (!need_dsrc) return;
   CF_TRACE_SCOPE(span_label_bwd_data().c_str(), "dense");
@@ -126,12 +183,12 @@ void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
       [&](std::size_t begin, std::size_t end, std::size_t) {
         for (std::size_t i = begin; i < end; ++i) {
           const float* wrow = weights_.data() + i * out_;
-          const float* d = ddst.data();
           float acc = 0.0f;
           for (std::int64_t o = 0; o < out_; ++o) acc += wrow[o] * d[o];
           dsrc[i] = acc;
         }
-      });
+      },
+      grain);
 }
 
 }  // namespace cf::dnn

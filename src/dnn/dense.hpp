@@ -25,6 +25,14 @@ class Dense final : public Layer {
   void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
                 tensor::Tensor& dsrc, bool need_dsrc,
                 runtime::ThreadPool& pool) override;
+  void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
+                const tensor::Tensor& ddst, tensor::Tensor& dsrc,
+                bool need_dsrc, runtime::ThreadPool& pool) override;
+
+  /// Post-op fusion of a trailing LeakyReLU (see Conv3d::fuse_leaky_relu
+  /// for the bitwise-equivalence argument).
+  bool fuse_leaky_relu(float slope) override;
+  bool fused() const noexcept { return fused_; }
 
   std::vector<ParamView> params() override;
   FlopCounts flops() const override;
@@ -43,10 +51,14 @@ class Dense final : public Layer {
  private:
   std::int64_t in_ = 0;
   std::int64_t out_ = 0;
+  bool fused_ = false;
+  float slope_ = 0.0f;
   tensor::Tensor weights_;
   tensor::Tensor weight_grad_;
   tensor::Tensor bias_;
   tensor::Tensor bias_grad_;
+  // Fused only: ddst with the LeakyReLU derivative mask applied.
+  std::vector<float> masked_ddst_;
 };
 
 }  // namespace cf::dnn

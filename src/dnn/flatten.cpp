@@ -39,6 +39,10 @@ void Flatten::forward(const Tensor& src, Tensor& dst,
     throw std::invalid_argument("Flatten::forward: shape mismatch");
   }
   const std::int64_t spatial = d_ * h_ * w_;
+  // Strided gather of a few KiB at small spatial sizes — stay on the
+  // caller rather than paying the pool wake-up.
+  const std::size_t grain =
+      channels_ * spatial <= 4096 ? static_cast<std::size_t>(channels_) : 1;
   pool.parallel_for(
       static_cast<std::size_t>(channels_),
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -53,7 +57,8 @@ void Flatten::forward(const Tensor& src, Tensor& dst,
             d[v] = s[v * kChannelBlock];
           }
         }
-      });
+      },
+      grain);
 }
 
 void Flatten::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
@@ -67,6 +72,8 @@ void Flatten::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
   const std::int64_t spatial = d_ * h_ * w_;
   // Padded lanes (channels_ < Cb * 16) must stay zero in dsrc.
   if (channels_ % kChannelBlock != 0) dsrc.zero();
+  const std::size_t grain =
+      channels_ * spatial <= 4096 ? static_cast<std::size_t>(channels_) : 1;
   pool.parallel_for(
       static_cast<std::size_t>(channels_),
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -80,7 +87,8 @@ void Flatten::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
             t[v * kChannelBlock] = d[v];
           }
         }
-      });
+      },
+      grain);
 }
 
 }  // namespace cf::dnn

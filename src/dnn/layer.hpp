@@ -90,6 +90,28 @@ class Layer {
                         const tensor::Tensor& ddst, tensor::Tensor& dsrc,
                         bool need_dsrc, runtime::ThreadPool& pool) = 0;
 
+  /// Backward variant that also receives this layer's own forward
+  /// output `dst`. Network calls this one: layers with a fused eltwise
+  /// epilogue recover the activation-derivative mask from `dst`;
+  /// everything else ignores it and falls through to the plain
+  /// overload.
+  virtual void backward(const tensor::Tensor& src,
+                        const tensor::Tensor& dst,
+                        const tensor::Tensor& ddst, tensor::Tensor& dsrc,
+                        bool need_dsrc, runtime::ThreadPool& pool) {
+    static_cast<void>(dst);
+    backward(src, ddst, dsrc, need_dsrc, pool);
+  }
+
+  /// Ask the layer to absorb a trailing LeakyReLU (negative slope
+  /// `slope`) into its own forward epilogue and backward entry. Layers
+  /// that support MKL-DNN-style post-op fusion override this to return
+  /// true; the network then drops the standalone activation layer.
+  virtual bool fuse_leaky_relu(float slope) {
+    static_cast<void>(slope);
+    return false;
+  }
+
   /// Parameter tensors (empty for parameterless layers).
   virtual std::vector<ParamView> params() { return {}; }
 

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "dnn/activations.hpp"
+#include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 
 namespace cf::dnn {
@@ -17,11 +19,31 @@ void Network::add(std::unique_ptr<Layer> layer) {
   layers_.push_back(std::move(layer));
 }
 
+void Network::fuse_eltwise_pass() {
+  std::vector<std::unique_ptr<Layer>> kept;
+  kept.reserve(layers_.size());
+  for (auto& layer : layers_) {
+    if (!kept.empty()) {
+      if (const auto* act = dynamic_cast<const LeakyRelu*>(layer.get())) {
+        if (kept.back()->fuse_leaky_relu(act->negative_slope())) {
+          ++fused_pairs_;
+          continue;  // drop the standalone activation layer
+        }
+      }
+    }
+    kept.push_back(std::move(layer));
+  }
+  layers_ = std::move(kept);
+  obs::Registry::global().gauge("dnn/fused_pairs").set(
+      static_cast<double>(fused_pairs_));
+}
+
 void Network::finalize(const Shape& input_shape) {
   if (finalized_) throw std::logic_error("Network::finalize: called twice");
   if (layers_.empty()) {
     throw std::logic_error("Network::finalize: no layers");
   }
+  if (fuse_eltwise_) fuse_eltwise_pass();
   input_shape_ = input_shape;
   input_ = Tensor(input_shape);
   Shape shape = input_shape;
@@ -105,7 +127,10 @@ void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool,
     {
       CF_TRACE_SCOPE(layers_[i]->span_label_bwd().c_str(),
                      layers_[i]->kind().c_str());
-      layers_[i]->backward(src, diffs_[i], dsrc, need_dsrc, pool);
+      // The dst overload: fused layers recover their activation mask
+      // from their own forward output.
+      layers_[i]->backward(src, activations_[i], diffs_[i], dsrc,
+                           need_dsrc, pool);
     }
     if (grad_ready && segment_sizes_[i] > 0) grad_ready(i);
   }

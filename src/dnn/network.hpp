@@ -45,6 +45,18 @@ class Network {
 
   void add(std::unique_ptr<Layer> layer);
 
+  /// When enabled (before finalize), finalize() runs an MKL-DNN-style
+  /// post-op fusion pass: every Conv3d→LeakyRelu / Dense→LeakyRelu pair
+  /// is collapsed into the producer layer (forward epilogue + backward
+  /// mask) and the standalone activation layer — its two buffers and
+  /// its two full-tensor sweeps — disappears. Off by default so
+  /// hand-built test networks keep their literal layer list;
+  /// build_network() turns it on.
+  void set_fuse_eltwise(bool enabled) noexcept { fuse_eltwise_ = enabled; }
+  bool fuse_eltwise() const noexcept { return fuse_eltwise_; }
+  /// Number of activation layers absorbed by the fusion pass.
+  std::size_t fused_pairs() const noexcept { return fused_pairs_; }
+
   /// Plans every layer, allocating parameters and activation buffers.
   /// Must be called exactly once, after all layers are added.
   void finalize(const tensor::Shape& input_shape);
@@ -122,6 +134,7 @@ class Network {
 
  private:
   void build_arena();
+  void fuse_eltwise_pass();
 
   std::vector<std::unique_ptr<Layer>> layers_;
   std::vector<tensor::Tensor> activations_;   // output of each layer
@@ -137,6 +150,8 @@ class Network {
   tensor::Shape output_shape_;
   bool finalized_ = false;
   bool forward_done_ = false;
+  bool fuse_eltwise_ = false;
+  std::size_t fused_pairs_ = 0;
 };
 
 }  // namespace cf::dnn

@@ -1,16 +1,49 @@
 #include "optim/larc_adam.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
-#include "tensor/tensor_ops.hpp"
-
 namespace cf::optim {
+
+namespace {
+
+/// Block granularity for the norm reduction and the update sweep. The
+/// block table — not the thread partition — fixes the reduction order,
+/// so any thread count produces the same bits.
+constexpr std::size_t kBlockElems = 4096;
+
+constexpr std::size_t kLanes = 8;
+
+/// Sum of squares with a fixed 8-lane accumulator split: lane j owns
+/// elements j, j + 8, j + 16, ... so the combine order depends only on
+/// n. The independent lanes break the serial double-add latency chain
+/// (the old per-tensor l2_norm was latency-bound) and vectorize.
+inline double sumsq_lanes(const float* __restrict x, std::size_t n) {
+  double lane[kLanes] = {};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t j = 0; j < kLanes; ++j) {
+      const double v = static_cast<double>(x[i + j]);
+      lane[j] += v * v;
+    }
+  }
+  double total = 0.0;
+  for (std::size_t j = 0; j < kLanes; ++j) total += lane[j];
+  for (; i < n; ++i) {
+    const double v = static_cast<double>(x[i]);
+    total += v * v;
+  }
+  return total;
+}
+
+}  // namespace
 
 LarcAdam::LarcAdam(std::vector<dnn::ParamView> params, AdamConfig adam,
                    LarcConfig larc,
                    std::shared_ptr<const LrSchedule> schedule)
     : params_(std::move(params)),
+      adam_(adam),
       larc_(larc),
       schedule_(std::move(schedule)) {
   if (params_.empty()) {
@@ -22,45 +55,130 @@ LarcAdam::LarcAdam(std::vector<dnn::ParamView> params, AdamConfig adam,
   if (larc_.trust_coefficient <= 0.0 || larc_.fallback_ratio <= 0.0) {
     throw std::invalid_argument("LarcAdam: bad LARC constants");
   }
-  std::size_t max_size = 0;
-  states_.reserve(params_.size());
-  for (const dnn::ParamView& p : params_) {
+  if (adam_.beta1 < 0.0 || adam_.beta1 >= 1.0 || adam_.beta2 < 0.0 ||
+      adam_.beta2 >= 1.0 || adam_.epsilon <= 0.0) {
+    throw std::invalid_argument("LarcAdam: bad Adam hyper-parameters");
+  }
+  std::size_t total = 0;
+  moment_offset_.reserve(params_.size());
+  for (std::size_t group = 0; group < params_.size(); ++group) {
+    const dnn::ParamView& p = params_[group];
     if (p.value == nullptr || p.grad == nullptr ||
         p.value->shape() != p.grad->shape()) {
       throw std::invalid_argument("LarcAdam: malformed parameter view");
     }
-    states_.emplace_back(p.value->size(), adam);
-    max_size = std::max(max_size, p.value->size());
+    moment_offset_.push_back(total);
+    const std::size_t n = p.value->size();
+    total += n;
+    for (std::size_t lo = 0; lo < n; lo += kBlockElems) {
+      blocks_.push_back({static_cast<std::uint32_t>(group),
+                         static_cast<std::uint32_t>(lo),
+                         static_cast<std::uint32_t>(
+                             std::min(n, lo + kBlockElems))});
+    }
   }
-  scaled_grad_.resize(max_size);
-  last_local_rates_.resize(params_.size(), 0.0);
+  m_.assign(total, 0.0f);
+  v_.assign(total, 0.0f);
+  weight_sumsq_.assign(blocks_.size(), 0.0);
+  grad_sumsq_.assign(blocks_.size(), 0.0);
+  group_scale_.assign(params_.size(), 0.0f);
+  last_local_rates_.assign(params_.size(), 0.0);
 }
 
-void LarcAdam::step() {
+void LarcAdam::step() { step_impl(nullptr); }
+
+void LarcAdam::step(runtime::ThreadPool& pool) { step_impl(&pool); }
+
+void LarcAdam::norm_blocks(std::size_t begin, std::size_t end) {
+  for (std::size_t b = begin; b < end; ++b) {
+    const Block& blk = blocks_[b];
+    const dnn::ParamView& p = params_[blk.group];
+    const std::size_t n = blk.hi - blk.lo;
+    weight_sumsq_[b] = sumsq_lanes(p.value->data() + blk.lo, n);
+    grad_sumsq_[b] = sumsq_lanes(p.grad->data() + blk.lo, n);
+  }
+}
+
+void LarcAdam::update_blocks(std::size_t begin, std::size_t end, float rate,
+                             float inv_bias1, float inv_bias2) {
+  const float beta1 = static_cast<float>(adam_.beta1);
+  const float beta2 = static_cast<float>(adam_.beta2);
+  const float eps = static_cast<float>(adam_.epsilon);
+  for (std::size_t b = begin; b < end; ++b) {
+    const Block& blk = blocks_[b];
+    const dnn::ParamView& p = params_[blk.group];
+    const std::size_t n = blk.hi - blk.lo;
+    float* __restrict w = p.value->data() + blk.lo;
+    const float* __restrict grad = p.grad->data() + blk.lo;
+    float* __restrict m = m_.data() + moment_offset_[blk.group] + blk.lo;
+    float* __restrict v = v_.data() + moment_offset_[blk.group] + blk.lo;
+    const float scale = group_scale_[blk.group];
+    for (std::size_t i = 0; i < n; ++i) {
+      // Identical expressions (and therefore bits) to AdamState::step
+      // fed the materialized scale * g — the scratch pass is fused
+      // into the gradient read.
+      const float g = scale * grad[i];
+      m[i] = beta1 * m[i] + (1.0f - beta1) * g;
+      v[i] = beta2 * v[i] + (1.0f - beta2) * g * g;
+      const float m_hat = m[i] * inv_bias1;
+      const float v_hat = v[i] * inv_bias2;
+      w[i] -= rate * m_hat / (std::sqrt(v_hat) + eps);
+    }
+  }
+}
+
+void LarcAdam::step_impl(runtime::ThreadPool* pool) {
   const double eta_t = schedule_->lr(step_);
   ++step_;
   last_lr_ = eta_t;
 
-  for (std::size_t group = 0; group < params_.size(); ++group) {
-    const dnn::ParamView& p = params_[group];
-    const std::size_t n = p.value->size();
-    const double weight_norm = tensor::l2_norm(p.value->values());
-    const double grad_norm = tensor::l2_norm(p.grad->values());
+  // Phase 1: per-block partial sums of squares over weights + grads.
+  if (pool != nullptr) {
+    pool->parallel_for(blocks_.size(),
+                       [this](std::size_t begin, std::size_t end,
+                              std::size_t) { norm_blocks(begin, end); });
+  } else {
+    norm_blocks(0, blocks_.size());
+  }
 
+  // Serial in-order combine per tensor: one partial pair per ~4096
+  // elements, the canonical reduction order for every thread count.
+  std::size_t b = 0;
+  for (std::size_t group = 0; group < params_.size(); ++group) {
+    double wsum = 0.0;
+    double gsum = 0.0;
+    for (; b < blocks_.size() && blocks_[b].group == group; ++b) {
+      wsum += weight_sumsq_[b];
+      gsum += grad_sumsq_[b];
+    }
+    const double weight_norm = std::sqrt(wsum);
+    const double grad_norm = std::sqrt(gsum);
     double local_rate = larc_.fallback_ratio;
     if (weight_norm != 0.0 && grad_norm != 0.0) {
       local_rate = larc_.trust_coefficient * weight_norm / grad_norm;
     }
     if (larc_.clip) local_rate = std::min(local_rate, 1.0);
     last_local_rates_[group] = local_rate;
+    group_scale_[group] = static_cast<float>(local_rate);
+  }
 
-    const float scale = static_cast<float>(local_rate);
-    const float* g = p.grad->data();
-    for (std::size_t i = 0; i < n; ++i) scaled_grad_[i] = scale * g[i];
-
-    states_[group].step(p.value->values(),
-                        std::span<const float>(scaled_grad_.data(), n),
-                        eta_t);
+  // Phase 2: the fused update. Bias correction uses the shared step
+  // counter — every tensor has taken every step, so this matches the
+  // old per-tensor AdamState counters exactly.
+  const double bias1 = 1.0 - std::pow(adam_.beta1, step_);
+  const double bias2 = 1.0 - std::pow(adam_.beta2, step_);
+  const float inv_bias1 = static_cast<float>(1.0 / bias1);
+  const float inv_bias2 = static_cast<float>(1.0 / bias2);
+  const float rate = static_cast<float>(eta_t);
+  if (pool != nullptr) {
+    pool->parallel_for(
+        blocks_.size(),
+        [this, rate, inv_bias1, inv_bias2](
+            std::size_t begin, std::size_t end, std::size_t) {
+          update_blocks(begin, end, rate, inv_bias1, inv_bias2);
+        });
+  } else {
+    update_blocks(0, blocks_.size(), rate, inv_bias1, inv_bias2);
   }
 }
 

@@ -13,14 +13,31 @@
 // never exceeds the nominal Adam rate. The paper applies the rule "for
 // each layer"; as in the reference LARS/LARC implementations we apply
 // it per parameter tensor (weights and biases separately).
+//
+// The step is a fused two-phase pass over the network's flat
+// parameter/gradient arenas (the bound tensors are arena views after
+// Network::finalize()), chopped into fixed ~4096-element blocks:
+//
+//   phase 1  per-block partial sums of squares for ||v|| and ||g||,
+//            then a serial in-order combine per tensor -> eta†
+//   phase 2  the Adam update with eta† folded into the gradient read
+//            (g* never materializes; the old scaled-gradient scratch
+//            pass is gone)
+//
+// Both phases parallelize over blocks, and the block decomposition —
+// not the thread partition — fixes every reduction order, so the
+// result is bitwise identical for any thread count including the
+// serial step() path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "dnn/layer.hpp"
 #include "optim/adam.hpp"
 #include "optim/lr_schedule.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace cf::optim {
 
@@ -44,6 +61,10 @@ class LarcAdam {
   /// in the bound gradient tensors.
   void step();
 
+  /// Same update, thread-parallel over the block table. Bitwise
+  /// identical to the serial step() for any pool size.
+  void step(runtime::ThreadPool& pool);
+
   std::int64_t steps_taken() const noexcept { return step_; }
   double last_lr() const noexcept { return last_lr_; }
 
@@ -54,17 +75,37 @@ class LarcAdam {
   }
 
   std::size_t group_count() const noexcept { return params_.size(); }
-  AdamState& adam_state(std::size_t group) { return states_[group]; }
   const dnn::ParamView& param(std::size_t group) const {
     return params_[group];
   }
 
  private:
+  /// One fixed-size slice of one parameter tensor; the unit of both
+  /// the norm reduction and the update sweep.
+  struct Block {
+    std::uint32_t group = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+
+  void step_impl(runtime::ThreadPool* pool);
+  void norm_blocks(std::size_t begin, std::size_t end);
+  void update_blocks(std::size_t begin, std::size_t end, float rate,
+                     float inv_bias1, float inv_bias2);
+
   std::vector<dnn::ParamView> params_;
-  std::vector<AdamState> states_;
+  AdamConfig adam_;
   LarcConfig larc_;
   std::shared_ptr<const LrSchedule> schedule_;
-  std::vector<float> scaled_grad_;  // scratch
+
+  std::vector<Block> blocks_;
+  std::vector<double> weight_sumsq_;  // per-block partials, phase 1
+  std::vector<double> grad_sumsq_;
+  std::vector<float> group_scale_;  // eta† per tensor, phase 1 -> 2
+  std::vector<float> m_;            // flat first/second moments,
+  std::vector<float> v_;            // group-major like the arena
+  std::vector<std::size_t> moment_offset_;
+
   std::vector<double> last_local_rates_;
   std::int64_t step_ = 0;
   double last_lr_ = 0.0;

@@ -1,8 +1,15 @@
 #include "optim/sgd.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cf::optim {
+
+namespace {
+
+constexpr std::size_t kBlockElems = 4096;
+
+}  // namespace
 
 SgdMomentum::SgdMomentum(std::vector<dnn::ParamView> params, double momentum,
                          std::shared_ptr<const LrSchedule> schedule)
@@ -14,28 +21,60 @@ SgdMomentum::SgdMomentum(std::vector<dnn::ParamView> params, double momentum,
   if (momentum < 0.0 || momentum >= 1.0) {
     throw std::invalid_argument("SgdMomentum: momentum must be in [0, 1)");
   }
-  velocity_.reserve(params_.size());
-  for (const dnn::ParamView& p : params_) {
+  std::size_t total = 0;
+  velocity_offset_.reserve(params_.size());
+  for (std::size_t group = 0; group < params_.size(); ++group) {
+    const dnn::ParamView& p = params_[group];
     if (p.value == nullptr || p.grad == nullptr) {
       throw std::invalid_argument("SgdMomentum: malformed parameter view");
     }
-    velocity_.emplace_back(p.value->size(), 0.0f);
+    velocity_offset_.push_back(total);
+    const std::size_t n = p.value->size();
+    total += n;
+    for (std::size_t lo = 0; lo < n; lo += kBlockElems) {
+      blocks_.push_back({static_cast<std::uint32_t>(group),
+                         static_cast<std::uint32_t>(lo),
+                         static_cast<std::uint32_t>(
+                             std::min(n, lo + kBlockElems))});
+    }
   }
+  velocity_.assign(total, 0.0f);
 }
 
-void SgdMomentum::step() {
-  const double lr = schedule_->lr(step_);
-  ++step_;
-  const float rate = static_cast<float>(lr);
+void SgdMomentum::step() { step_impl(nullptr); }
+
+void SgdMomentum::step(runtime::ThreadPool& pool) { step_impl(&pool); }
+
+void SgdMomentum::update_blocks(std::size_t begin, std::size_t end,
+                                float rate) {
   const float mu = static_cast<float>(momentum_);
-  for (std::size_t group = 0; group < params_.size(); ++group) {
-    float* w = params_[group].value->data();
-    const float* g = params_[group].grad->data();
-    std::vector<float>& vel = velocity_[group];
-    for (std::size_t i = 0; i < vel.size(); ++i) {
+  for (std::size_t b = begin; b < end; ++b) {
+    const Block& blk = blocks_[b];
+    const dnn::ParamView& p = params_[blk.group];
+    const std::size_t n = blk.hi - blk.lo;
+    float* __restrict w = p.value->data() + blk.lo;
+    const float* __restrict g = p.grad->data() + blk.lo;
+    float* __restrict vel =
+        velocity_.data() + velocity_offset_[blk.group] + blk.lo;
+    for (std::size_t i = 0; i < n; ++i) {
       vel[i] = mu * vel[i] + g[i];
       w[i] -= rate * vel[i];
     }
+  }
+}
+
+void SgdMomentum::step_impl(runtime::ThreadPool* pool) {
+  const double lr = schedule_->lr(step_);
+  ++step_;
+  const float rate = static_cast<float>(lr);
+  if (pool != nullptr) {
+    pool->parallel_for(blocks_.size(),
+                       [this, rate](std::size_t begin, std::size_t end,
+                                    std::size_t) {
+                         update_blocks(begin, end, rate);
+                       });
+  } else {
+    update_blocks(0, blocks_.size(), rate);
   }
 }
 

@@ -1,13 +1,19 @@
 // Plain SGD with momentum — the ablation baseline against Adam+LARC
 // (the paper motivates LARC by the instability of plain large-batch
 // SGD; bench/bench_ablation compares the two).
+//
+// Like LarcAdam, the step is a single fused sweep over the parameter
+// arenas in fixed ~4096-element blocks; the update is purely
+// elementwise, so any block partition produces the same bits.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "dnn/layer.hpp"
 #include "optim/lr_schedule.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace cf::optim {
 
@@ -20,11 +26,25 @@ class SgdMomentum {
 
   void step();
 
+  /// Thread-parallel step; bitwise identical to the serial step().
+  void step(runtime::ThreadPool& pool);
+
   std::int64_t steps_taken() const noexcept { return step_; }
 
  private:
+  struct Block {
+    std::uint32_t group = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+  };
+
+  void step_impl(runtime::ThreadPool* pool);
+  void update_blocks(std::size_t begin, std::size_t end, float rate);
+
   std::vector<dnn::ParamView> params_;
-  std::vector<std::vector<float>> velocity_;
+  std::vector<float> velocity_;  // flat, group-major like the arena
+  std::vector<std::size_t> velocity_offset_;
+  std::vector<Block> blocks_;
   double momentum_;
   std::shared_ptr<const LrSchedule> schedule_;
   std::int64_t step_ = 0;

@@ -79,9 +79,10 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
   }
 }
 
-void ThreadPool::dispatch(std::size_t total, void* ctx, TaskInvoke invoke) {
+void ThreadPool::dispatch(std::size_t total, void* ctx, TaskInvoke invoke,
+                          std::size_t grain_threshold) {
   if (total == 0) return;
-  if (num_threads_ == 1 || total == 1) {
+  if (num_threads_ == 1 || total <= std::max<std::size_t>(1, grain_threshold)) {
     invoke(ctx, 0, total, 0);
     return;
   }

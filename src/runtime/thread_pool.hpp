@@ -39,8 +39,15 @@ class ThreadPool {
   /// dispatch — which keeps the hot path free of std::function
   /// allocation/copying (one pointer + one function pointer are stored
   /// under the mutex instead).
+  ///
+  /// When `total <= grain_threshold` the body runs serially on the
+  /// caller over the whole range — the dispatch/wake machinery costs
+  /// more than a tiny elementwise loop saves. The serial path executes
+  /// the identical body over [0, total), so results cannot depend on
+  /// which path was taken.
   template <typename Body>
-  void parallel_for(std::size_t total, Body&& body) {
+  void parallel_for(std::size_t total, Body&& body,
+                    std::size_t grain_threshold = 1) {
     using Fn = std::remove_reference_t<Body>;
     void* ctx = const_cast<void*>(
         static_cast<const void*>(std::addressof(body)));
@@ -48,7 +55,8 @@ class ThreadPool {
              [](void* c, std::size_t begin, std::size_t end,
                 std::size_t worker) {
                (*static_cast<Fn*>(c))(begin, end, worker);
-             });
+             },
+             grain_threshold);
   }
 
   /// Run body(worker) once on each of the num_threads workers.
@@ -77,7 +85,8 @@ class ThreadPool {
     std::size_t total = 0;
   };
 
-  void dispatch(std::size_t total, void* ctx, TaskInvoke invoke);
+  void dispatch(std::size_t total, void* ctx, TaskInvoke invoke,
+                std::size_t grain_threshold);
   void worker_loop(std::size_t worker_index);
   void chunk_bounds(std::size_t total, std::size_t worker,
                     std::size_t* begin, std::size_t* end) const;
