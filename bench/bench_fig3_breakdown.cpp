@@ -22,7 +22,7 @@
 //
 //   ./bench_fig3_breakdown [--dhw=32] [--ranks=4] [--epochs=2]
 //                          [--sim-comm-us=100] [--bucket-kb=256]
-//                          [--no-fusion]
+//                          [--no-fusion] [--no-memplan]
 //                          [--trace=trace.json] [--json=BENCH_fig3.json]
 #include <chrono>
 #include <cstdio>
@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
   long sim_comm_us = 100;
   long bucket_kb = 256;
   bool fusion = true;
+  bool memplan = true;
   std::string trace_path;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
@@ -66,6 +67,7 @@ int main(int argc, char** argv) {
       bucket_kb = std::atol(argv[i] + 12);
     }
     if (std::strcmp(argv[i], "--no-fusion") == 0) fusion = false;
+    if (std::strcmp(argv[i], "--no-memplan") == 0) memplan = false;
     if (std::strncmp(argv[i], "--trace=", 8) == 0) {
       trace_path = argv[i] + 8;
     }
@@ -98,6 +100,7 @@ int main(int argc, char** argv) {
     config.comm.simulated_chunk_delay =
         std::chrono::microseconds(sim_comm_us);
     config.fuse_eltwise = fusion;
+    config.memplan = memplan;
     return config;
   };
 
@@ -117,9 +120,10 @@ int main(int argc, char** argv) {
   core::Trainer trainer(core::cosmoflow_scaled(dhw), train, val,
                         make_config(/*overlap=*/true));
   std::printf("overlapped run:      %s, %d ranks x %d epochs, "
-              "%ld KiB buckets, eltwise fusion %s...\n\n",
+              "%ld KiB buckets, eltwise fusion %s, memory plan %s...\n\n",
               trainer.topology().name.c_str(), ranks, epochs, bucket_kb,
-              fusion ? "ON" : "OFF (--no-fusion)");
+              fusion ? "ON" : "OFF (--no-fusion)",
+              memplan ? "ON" : "OFF (--no-memplan)");
 #if COSMOFLOW_TELEMETRY_ENABLED
   obs::Tracer::global().clear();
 #endif
@@ -207,7 +211,11 @@ int main(int argc, char** argv) {
         .field("epochs", epochs)
         .field("sim_comm_us", static_cast<std::int64_t>(sim_comm_us))
         .field("bucket_kb", static_cast<std::int64_t>(bucket_kb))
-        .field("fused", fusion);
+        .field("fused", fusion)
+        .field("memplan", memplan)
+        .field("peak_tensor_bytes",
+               static_cast<std::int64_t>(
+                   trainer.network(0).peak_tensor_bytes()));
     for (const auto& [category, seconds] : breakdown.seconds) {
       rec.field("sec_" + category, seconds);
     }

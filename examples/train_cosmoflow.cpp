@@ -6,7 +6,7 @@
 //       [--ranks=4] [--epochs=8] [--base-lr=2e-3] [--min-lr=1e-4]
 //       [--checkpoint=/tmp/cosmoflow.ckpt] [--optimizer=adamlarc|adam|sgd]
 //       [--trace=trace.json] [--step-log=steps.jsonl]
-//       [--no-overlap] [--bucket-kb=4096]
+//       [--no-overlap] [--no-memplan] [--bucket-kb=4096]
 //
 // --trace writes a chrome://tracing/Perfetto-loadable span trace,
 // --step-log a JSONL record per training step (see OBSERVABILITY.md).
@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
       "usage: train_cosmoflow --data=DIR [--ranks=N] [--epochs=N] "
       "[--base-lr=F] [--min-lr=F] [--checkpoint=PATH] "
       "[--optimizer=adamlarc|adam|sgd] [--trace=PATH] "
-      "[--step-log=PATH] [--no-overlap] [--bucket-kb=N]");
+      "[--step-log=PATH] [--no-overlap] [--no-memplan] [--bucket-kb=N]");
 
   const std::string dir = flags.get_string("data", "/tmp/cosmoflow_data");
   const auto train_shards = find_shards(dir, "train");
@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
   config.min_lr = flags.get_double("min-lr", 1e-4);
   config.pipeline.io_threads = 2;
   config.overlap_comm = flags.get_int("no-overlap", 0) == 0;
+  // Liveness-planned diff/scratch arenas; --no-memplan is the ablation
+  // (bitwise identical, per-layer buffers).
+  config.memplan = flags.get_int("no-memplan", 0) == 0;
   config.bucket_bytes =
       static_cast<std::size_t>(flags.get_int("bucket-kb", 4096)) * 1024;
   config.step_log_path = flags.get_string("step-log", "");

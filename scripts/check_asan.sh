@@ -1,0 +1,30 @@
+#!/usr/bin/env sh
+# AddressSanitizer gate for the memory-planner era: builds the repo
+# with -DCOSMOFLOW_ASAN=ON into build-asan/ and runs the suites that
+# drive tensors rebound onto shared arenas — the diff ping-pong
+# buffers, the shared backward scratch, and the zero-free conv gather /
+# pool direct-write kernels whose correctness now depends on exact
+# in-bounds full-coverage writes. Any out-of-bounds access or
+# use-after-free fails the script.
+#
+# Usage: check_asan.sh [repo_root]
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+cd "$root" || exit 1
+
+build_dir="build-asan"
+
+cmake -B "$build_dir" -S . \
+  -DCOSMOFLOW_ASAN=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build "$build_dir" --target cosmoflow_tests -j "$(nproc)"
+
+# halt_on_error stops at the first bad access; detect_stack_use_after_return
+# widens coverage to the kernels' stack-local accumulator rows.
+export ASAN_OPTIONS="halt_on_error=1 detect_stack_use_after_return=1"
+
+"$build_dir/tests/cosmoflow_tests" \
+  --gtest_filter='Memplan*.*:Network*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*'
+
+echo "ASan: no memory errors detected"

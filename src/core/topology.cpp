@@ -102,12 +102,13 @@ tensor::Shape input_shape(const TopologyConfig& config) {
 }
 
 dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed,
-                           bool fuse_eltwise) {
+                           bool fuse_eltwise, bool memplan) {
   if (config.convs.empty() || config.outputs <= 0) {
     throw std::invalid_argument("build_network: malformed topology");
   }
   dnn::Network net;
   net.set_fuse_eltwise(fuse_eltwise);
+  net.set_memory_planning(memplan);
   std::int64_t channels = 1;
   std::int64_t dhw = config.input_dhw;
   int index = 1;

@@ -60,8 +60,11 @@ TopologyConfig topology_for_input(std::int64_t input_dhw);
 /// the network fuses every Conv3d/Dense → LeakyRelu pair into the
 /// producer's epilogue (bitwise identical to the unfused graph);
 /// `fuse_eltwise = false` keeps the standalone activation layers.
+/// `memplan` likewise defaults to the liveness-planned diff/scratch
+/// arenas (placement-only, bitwise identical; DESIGN.md §2.2);
+/// `memplan = false` keeps per-layer buffers.
 dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed,
-                           bool fuse_eltwise = true);
+                           bool fuse_eltwise = true, bool memplan = true);
 
 /// Input tensor shape of a topology: plain {1, dhw, dhw, dhw}.
 tensor::Shape input_shape(const TopologyConfig& config);

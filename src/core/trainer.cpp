@@ -73,7 +73,8 @@ void Trainer::rank_body(comm::RankHandle& rank,
   // Build this rank's replica; every rank uses the same init seed and
   // rank 0 broadcasts anyway (the Algorithm 2 preamble).
   auto net = std::make_unique<dnn::Network>(
-      build_network(topology_, config_.seed, config_.fuse_eltwise));
+      build_network(topology_, config_.seed, config_.fuse_eltwise,
+                    config_.memplan));
   dnn::Network& network = *net;
   networks_[static_cast<std::size_t>(r)] = std::move(net);
 
@@ -257,6 +258,12 @@ void Trainer::rank_body(comm::RankHandle& rank,
         // work then lives inside sec_conv / sec_dense).
         rec.field("sec_eltwise",
                   totals.at("activation") - prev_totals["activation"]);
+        rec.field("activation_bytes",
+                  static_cast<std::int64_t>(network.activation_bytes()))
+            .field("diff_arena_bytes",
+                   static_cast<std::int64_t>(network.diff_arena_bytes()))
+            .field("scratch_bytes",
+                   static_cast<std::int64_t>(network.scratch_bytes()));
         step_log_->write(rec);
         prev_totals = std::move(totals);
       }

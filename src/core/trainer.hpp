@@ -59,6 +59,10 @@ struct TrainerConfig {
   /// epilogues (MKL-DNN post-op style). Bitwise identical to the
   /// unfused graph — false only for ablation (`--no-fusion`).
   bool fuse_eltwise = true;
+  /// Liveness-planned diff ping-pong + shared backward scratch arenas
+  /// (DESIGN.md §2.2). Placement-only, bitwise identical to per-layer
+  /// buffers — false only for ablation (`--no-memplan`).
+  bool memplan = true;
   /// Overlap gradient aggregation with backprop (default): as layer
   /// gradients become ready (last layer first) they are coalesced into
   /// ~bucket_bytes buckets and posted to the communicator's helper

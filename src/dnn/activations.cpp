@@ -54,7 +54,7 @@ void LeakyRelu::forward(const Tensor& src, Tensor& dst,
                     kSerialWorkLimit);
 }
 
-void LeakyRelu::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+void LeakyRelu::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
                          bool need_dsrc, runtime::ThreadPool& pool) {
   if (!need_dsrc) return;
   const runtime::ScopedTimer timer(timers_.bwd_data);

@@ -22,7 +22,7 @@ class LeakyRelu final : public Layer {
 
   void forward(const tensor::Tensor& src, tensor::Tensor& dst,
                runtime::ThreadPool& pool) override;
-  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+  void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
                 tensor::Tensor& dsrc, bool need_dsrc,
                 runtime::ThreadPool& pool) override;
 

@@ -1,5 +1,6 @@
 #include "dnn/avgpool3d.hpp"
 
+#include <cstring>
 #include <stdexcept>
 
 #include "tensor/layout.hpp"
@@ -91,9 +92,8 @@ void AvgPool3d::forward(const Tensor& src, Tensor& dst,
       });
 }
 
-void AvgPool3d::backward(const Tensor& src, const Tensor& ddst,
-                         Tensor& dsrc, bool need_dsrc,
-                         runtime::ThreadPool& pool) {
+void AvgPool3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
+                         bool need_dsrc, runtime::ThreadPool& pool) {
   (void)src;
   if (!need_dsrc) return;
   const runtime::ScopedTimer timer(timers_.bwd_data);
@@ -104,10 +104,78 @@ void AvgPool3d::backward(const Tensor& src, const Tensor& ddst,
   const std::int64_t s = config_.stride;
   const float inv = 1.0f / static_cast<float>(k * k * k);
 
+  if (s >= k) {
+    // Non-overlapping windows (the CosmoFlow case, k == s == 2): every
+    // dsrc element belongs to at most one window, so broadcast
+    // ddst * inv straight into it with *assignments* — no zero() pass,
+    // one write stream instead of two. Elements outside every window
+    // (the s > k gaps and the in % s tails) are zeroed explicitly, so
+    // the pass fully overwrites dsrc and is safe on reused (dirty)
+    // planner buffers. Each (cb, od) job owns the disjoint depth slice
+    // [od*s, (od+1)*s) — plus the depth tail for the last od — which
+    // both widens the parallel decomposition from cb_ to cb_ * out_d_
+    // jobs and keeps writes race-free.
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(in_w_) * kB * sizeof(float);
+    pool.parallel_for(
+        static_cast<std::size_t>(cb_ * out_d_),
+        [&](std::size_t begin, std::size_t end, std::size_t) {
+          for (std::size_t job = begin; job < end; ++job) {
+            const std::int64_t cb = static_cast<std::int64_t>(job) / out_d_;
+            const std::int64_t od = static_cast<std::int64_t>(job) % out_d_;
+            const std::int64_t id_end =
+                od + 1 == out_d_ ? in_d_ : (od + 1) * s;
+            for (std::int64_t id = od * s; id < id_end; ++id) {
+              float* plane =
+                  dsrc.data() + ((cb * in_d_ + id) * in_h_) * in_w_ * kB;
+              if (id - od * s >= k) {  // gap/tail plane: no window hits it
+                std::memset(plane, 0,
+                            static_cast<std::size_t>(in_h_) * row_bytes);
+                continue;
+              }
+              for (std::int64_t ih = 0; ih < in_h_; ++ih) {
+                float* trow = plane + ih * in_w_ * kB;
+                const std::int64_t oh = ih / s;
+                if (oh >= out_h_ || ih - oh * s >= k) {  // gap/tail row
+                  std::memset(trow, 0, row_bytes);
+                  continue;
+                }
+                const float* drow =
+                    ddst.data() +
+                    (((cb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
+                for (std::int64_t ow = 0; ow < out_w_; ++ow) {
+                  const float* d = drow + ow * kB;
+                  float* t = trow + ow * s * kB;
+                  for (std::int64_t kw = 0; kw < k; ++kw) {
+                    for (int c = 0; c < kB; ++c) {
+                      t[kw * kB + c] = d[c] * inv;
+                    }
+                  }
+                  // Gap between this window and the next; the stretch
+                  // after the last window belongs to the tail memset
+                  // below (the gap's end (ow+1)*s may exceed in_w_).
+                  if (s > k && ow + 1 < out_w_) {
+                    std::memset(t + k * kB, 0,
+                                static_cast<std::size_t>(s - k) * kB *
+                                    sizeof(float));
+                  }
+                }
+                const std::int64_t tail = (out_w_ - 1) * s + k;
+                if (tail < in_w_) {
+                  std::memset(trow + tail * kB, 0,
+                              static_cast<std::size_t>(in_w_ - tail) * kB *
+                                  sizeof(float));
+                }
+              }
+            }
+          }
+        });
+    return;
+  }
+
+  // Overlapping windows (stride < kernel): contributions accumulate, so
+  // zero first; the per-cb decomposition keeps the += writes race-free.
   dsrc.zero();
-  // Windows with stride >= kernel never overlap; with stride < kernel
-  // they do, but the per-cb decomposition keeps writes race-free either
-  // way.
   pool.parallel_for(
       static_cast<std::size_t>(cb_),
       [&](std::size_t begin, std::size_t end, std::size_t) {

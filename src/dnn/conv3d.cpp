@@ -10,12 +10,17 @@
 // so every inner loop is branch-free; the innermost (ow, ic, oc) loops
 // operate on 16-float channel blocks that the compiler lowers to
 // AVX-512 FMAs. Threading decomposes the output voxel space in the
-// forward/backward-data passes and (ocb, icb, kd) channel-block tiles
-// in the backward-weights pass, as described in §III-C.
+// forward pass, the *input* voxel space in the backward-data pass
+// (gather form over transposed weight tiles — each dsrc row is
+// produced whole, with no zero-fill or scatter traffic), and
+// (ocb, icb, kd) channel-block tiles in the backward-weights pass, as
+// described in §III-C.
 #include "dnn/conv3d.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
@@ -198,23 +203,105 @@ inline void apply_eltwise_row(float* __restrict row, std::int64_t n,
   }
 }
 
-/// t[ow*stride][ic] += sum_oc w[ic][oc] * ddst[ow][oc]
-/// (backward-data micro-kernel).
-inline void micro_bwd_row(float* __restrict target_row,
-                          const float* __restrict ddst_row,
-                          const float* __restrict w, std::int64_t count,
-                          std::int64_t stride) {
-  for (std::int64_t ow = 0; ow < count; ++ow) {
-    float* t = target_row + ow * stride * kB;
+/// acc[ow*astride][ic] += sum_oc wt[oc][ic] * ddst[ow][oc] — the
+/// backward-data micro-kernel in *gather* form: micro_fwd_row with the
+/// src/dst roles swapped. `wt` is one transposed 16oc x 16ic weight
+/// tile, ddst is read at unit (16-float) stride and the accumulator row
+/// — a local, zero-initialized copy of one unpadded dsrc row — is
+/// addressed at `astride` = conv stride. Because each dsrc row is
+/// produced whole by a single task, there is no zero-fill pass over a
+/// padded volume, no scatter read-modify-write traffic, and no
+/// interior copy-out.
+#if defined(__AVX512F__)
+
+inline void micro_bwd_gather_row(float* __restrict acc,
+                                 const float* __restrict ddst_row,
+                                 const float* __restrict wt,
+                                 std::int64_t count, std::int64_t astride) {
+  std::int64_t ow = 0;
+  const std::int64_t astep = astride * kB;
+  for (; ow + kOwBlock <= count; ow += kOwBlock) {
+    float* a = acc + ow * astep;
     const float* d = ddst_row + ow * kB;
-    for (int ic = 0; ic < kB; ++ic) {
-      const float* wrow = w + ic * kB;
-      float acc = 0.0f;
-      for (int oc = 0; oc < kB; ++oc) acc += wrow[oc] * d[oc];
-      t[ic] += acc;
+    __m512 a0 = _mm512_loadu_ps(a + 0 * astep);
+    __m512 a1 = _mm512_loadu_ps(a + 1 * astep);
+    __m512 a2 = _mm512_loadu_ps(a + 2 * astep);
+    __m512 a3 = _mm512_loadu_ps(a + 3 * astep);
+    __m512 a4 = _mm512_loadu_ps(a + 4 * astep);
+    __m512 a5 = _mm512_loadu_ps(a + 5 * astep);
+    __m512 a6 = _mm512_loadu_ps(a + 6 * astep);
+    __m512 a7 = _mm512_loadu_ps(a + 7 * astep);
+    for (int oc = 0; oc < kB; ++oc) {
+      const __m512 wv = _mm512_loadu_ps(wt + oc * kB);
+      a0 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[0 * kB + oc]), a0);
+      a1 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[1 * kB + oc]), a1);
+      a2 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[2 * kB + oc]), a2);
+      a3 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[3 * kB + oc]), a3);
+      a4 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[4 * kB + oc]), a4);
+      a5 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[5 * kB + oc]), a5);
+      a6 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[6 * kB + oc]), a6);
+      a7 = _mm512_fmadd_ps(wv, _mm512_set1_ps(d[7 * kB + oc]), a7);
     }
+    _mm512_storeu_ps(a + 0 * astep, a0);
+    _mm512_storeu_ps(a + 1 * astep, a1);
+    _mm512_storeu_ps(a + 2 * astep, a2);
+    _mm512_storeu_ps(a + 3 * astep, a3);
+    _mm512_storeu_ps(a + 4 * astep, a4);
+    _mm512_storeu_ps(a + 5 * astep, a5);
+    _mm512_storeu_ps(a + 6 * astep, a6);
+    _mm512_storeu_ps(a + 7 * astep, a7);
+  }
+  for (; ow < count; ++ow) {
+    const float* d = ddst_row + ow * kB;
+    float* a = acc + ow * astep;
+    __m512 av = _mm512_loadu_ps(a);
+    for (int oc = 0; oc < kB; ++oc) {
+      av = _mm512_fmadd_ps(_mm512_loadu_ps(wt + oc * kB),
+                           _mm512_set1_ps(d[oc]), av);
+    }
+    _mm512_storeu_ps(a, av);
   }
 }
+
+#else  // portable fallback
+
+inline void micro_bwd_gather_row(float* __restrict acc,
+                                 const float* __restrict ddst_row,
+                                 const float* __restrict wt,
+                                 std::int64_t count, std::int64_t astride) {
+  const std::int64_t astep = astride * kB;
+  std::int64_t ow = 0;
+  for (; ow + kOwBlock <= count; ow += kOwBlock) {
+    float a[kOwBlock][kB];
+    for (int j = 0; j < kOwBlock; ++j) {
+      for (int ic = 0; ic < kB; ++ic) a[j][ic] = acc[(ow + j) * astep + ic];
+    }
+    const float* d = ddst_row + ow * kB;
+    for (int oc = 0; oc < kB; ++oc) {
+      const float* wrow = wt + oc * kB;
+      for (int j = 0; j < kOwBlock; ++j) {
+        const float dv = d[j * kB + oc];
+        for (int ic = 0; ic < kB; ++ic) a[j][ic] += wrow[ic] * dv;
+      }
+    }
+    for (int j = 0; j < kOwBlock; ++j) {
+      for (int ic = 0; ic < kB; ++ic) acc[(ow + j) * astep + ic] = a[j][ic];
+    }
+  }
+  for (; ow < count; ++ow) {
+    const float* d = ddst_row + ow * kB;
+    float a[kB];
+    for (int ic = 0; ic < kB; ++ic) a[ic] = acc[ow * astep + ic];
+    for (int oc = 0; oc < kB; ++oc) {
+      const float dv = d[oc];
+      const float* wrow = wt + oc * kB;
+      for (int ic = 0; ic < kB; ++ic) a[ic] += wrow[ic] * dv;
+    }
+    for (int ic = 0; ic < kB; ++ic) acc[ow * astep + ic] = a[ic];
+  }
+}
+
+#endif  // __AVX512F__
 
 }  // namespace
 
@@ -285,7 +372,6 @@ Shape Conv3d::plan(const Shape& input) {
     padded_src_ = Tensor(Shape{config_.in_channels, dp, hp, wp});
   } else {
     padded_src_ = Tensor(Shape{config_.in_channels / kB, dp, hp, wp, kB});
-    padded_dsrc_ = Tensor(padded_src_.shape());
   }
 
   const Shape out{ocb, out_d_, out_h_, out_w_, kB};
@@ -392,7 +478,7 @@ void Conv3d::forward(const Tensor& src, Tensor& dst,
   }
 }
 
-void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+void Conv3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
                       bool need_dsrc, runtime::ThreadPool& pool) {
   if (fused_) {
     throw std::logic_error(
@@ -402,13 +488,12 @@ void Conv3d::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
   backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, pool);
 }
 
-void Conv3d::backward(const Tensor& src, const Tensor& dst,
-                      const Tensor& ddst, Tensor& dsrc, bool need_dsrc,
+void Conv3d::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
+                      Tensor& dsrc, bool need_dsrc,
                       runtime::ThreadPool& pool) {
   if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
     throw std::invalid_argument("Conv3d::backward: shape mismatch");
   }
-  const Tensor* grad = &ddst;
   {
     CF_TRACE_SCOPE(span_label_bww().c_str(), "conv");
     const runtime::ScopedTimer timer(timers_.bwd_weights);
@@ -416,21 +501,18 @@ void Conv3d::backward(const Tensor& src, const Tensor& dst,
       if (dst.shape() != output_shape()) {
         throw std::invalid_argument("Conv3d::backward: dst shape mismatch");
       }
-      if (masked_ddst_.shape() != output_shape()) {
-        masked_ddst_ = Tensor(output_shape());
-      }
-      // One sweep masks ddst with the LeakyReLU derivative and
-      // accumulates the bias gradient from the already-masked values.
+      // One sweep masks ddst with the LeakyReLU derivative *in place*
+      // (ddst is consumed — Layer contract) and accumulates the bias
+      // gradient from the already-masked values.
       mask_bias_grad_pass(dst, ddst, pool);
-      grad = &masked_ddst_;
     } else {
       bias_grad_pass(ddst, pool);
     }
     // The padded source copy is still valid from forward().
     if (plain_input_) {
-      backward_weights_plain_src(src, *grad, pool);
+      backward_weights_plain_src(src, ddst, pool);
     } else {
-      backward_weights_blocked(src, *grad, pool);
+      backward_weights_blocked(src, ddst, pool);
     }
   }
   if (!need_dsrc) return;
@@ -440,10 +522,20 @@ void Conv3d::backward(const Tensor& src, const Tensor& dst,
     throw std::invalid_argument("Conv3d::backward: dsrc shape mismatch");
   }
   if (plain_input_) {
-    backward_data_plain_src(*grad, dsrc, pool);
+    backward_data_plain_src(ddst, dsrc, pool);
   } else {
-    backward_data_blocked(*grad, dsrc, pool);
+    backward_data_blocked(ddst, dsrc, pool);
   }
+}
+
+std::size_t Conv3d::backward_scratch_floats() const {
+  // The blocked gather path transposes every weight tile; the plain
+  // first-layer path uses the reference kernel and needs none.
+  return plain_input_ ? 0 : weights_.size();
+}
+
+void Conv3d::bind_backward_scratch(std::span<float> scratch) {
+  bwd_scratch_ = scratch;
 }
 
 void Conv3d::bias_grad_pass(const Tensor& ddst, runtime::ThreadPool& pool) {
@@ -468,7 +560,7 @@ void Conv3d::bias_grad_pass(const Tensor& ddst, runtime::ThreadPool& pool) {
       });
 }
 
-void Conv3d::mask_bias_grad_pass(const Tensor& dst, const Tensor& ddst,
+void Conv3d::mask_bias_grad_pass(const Tensor& dst, Tensor& ddst,
                                  runtime::ThreadPool& pool) {
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t voxels = out_d_ * out_h_ * out_w_;
@@ -480,13 +572,12 @@ void Conv3d::mask_bias_grad_pass(const Tensor& dst, const Tensor& ddst,
           const std::int64_t off =
               static_cast<std::int64_t>(ocb) * voxels * kB;
           const float* y = dst.data() + off;
-          const float* dd = ddst.data() + off;
-          float* md = masked_ddst_.data() + off;
+          float* md = ddst.data() + off;
           double acc[kB] = {};
           for (std::int64_t v = 0; v < voxels; ++v) {
             for (int oc = 0; oc < kB; ++oc) {
               const std::int64_t i = v * kB + oc;
-              const float m = y[i] > 0.0f ? dd[i] : slope * dd[i];
+              const float m = y[i] > 0.0f ? md[i] : slope * md[i];
               md[i] = m;
               acc[oc] += m;
             }
@@ -976,74 +1067,106 @@ void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
   const std::int64_t stride = config_.stride;
-  const std::int64_t dp = padded_dsrc_.shape()[1];
-  const std::int64_t hp = padded_dsrc_.shape()[2];
-  const std::int64_t wp = padded_dsrc_.shape()[3];
 
-  padded_dsrc_.zero();
-
-  // Each icb slab of the padded difference volume is written by exactly
-  // one task, so the scatter is race-free.
+  // Transpose every 16ic x 16oc weight tile into 16oc x 16ic once per
+  // step so the gather kernel broadcasts ddst lanes against contiguous
+  // ic rows — the exact mirror of the forward kernel's access pattern.
+  std::span<float> scratch = bwd_scratch_;
+  if (scratch.size() < weights_.size()) {
+    own_scratch_.resize(weights_.size());
+    scratch = own_scratch_;
+  }
+  float* const wt_base = scratch.data();
+  const std::int64_t tiles = ocb_count * icb_count * k * k * k;
+  const std::size_t transpose_grain =
+      weights_.size() <= 4096 ? static_cast<std::size_t>(tiles) : 1;
   pool.parallel_for(
-      static_cast<std::size_t>(icb_count),
+      static_cast<std::size_t>(tiles),
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t icb = begin; icb < end; ++icb) {
-          for (std::int64_t ocb = 0; ocb < ocb_count; ++ocb) {
-            for (std::int64_t od = 0; od < out_d_; ++od) {
-              for (std::int64_t oh = 0; oh < out_h_; ++oh) {
-                const float* drow =
-                    ddst.data() +
-                    (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
-                for (std::int64_t kd = 0; kd < k; ++kd) {
-                  const std::int64_t id = od * stride + kd;
-                  for (std::int64_t kh = 0; kh < k; ++kh) {
-                    const std::int64_t ih = oh * stride + kh;
-                    float* trow =
-                        padded_dsrc_.data() +
-                        (((static_cast<std::int64_t>(icb) * dp + id) * hp +
-                          ih) *
-                         wp) *
-                            kB;
-                    const float* wtile =
-                        weights_.data() +
-                        ((((ocb * icb_count +
-                            static_cast<std::int64_t>(icb)) *
-                               k +
-                           kd) *
-                              k +
-                          kh) *
-                         k) *
-                            kB * kB;
-                    for (std::int64_t kw = 0; kw < k; ++kw) {
-                      micro_bwd_row(trow + kw * kB, drow,
-                                    wtile + kw * kB * kB, out_w_, stride);
-                    }
+        for (std::size_t t = begin; t < end; ++t) {
+          const float* w =
+              weights_.data() + static_cast<std::int64_t>(t) * kB * kB;
+          float* o = wt_base + static_cast<std::int64_t>(t) * kB * kB;
+          for (int ic = 0; ic < kB; ++ic) {
+            for (int oc = 0; oc < kB; ++oc) o[oc * kB + ic] = w[ic * kB + oc];
+          }
+        }
+      },
+      transpose_grain);
+
+  // Gather form: each (icb, id) task produces its unpadded dsrc rows
+  // whole — accumulate into a local zeroed row, then store once. Every
+  // dsrc element is written exactly once (rows no output tap reaches
+  // store the zeroed accumulator), so there is no volume-wide zero
+  // fill, no scatter read-modify-write, no copy-out, and the pass
+  // fully overwrites dsrc — safe on reused planner buffers. The
+  // ocb -> kd -> kh -> kw summation order is fixed per row and
+  // independent of the thread count.
+  pool.parallel_for(
+      static_cast<std::size_t>(icb_count * in_d_),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<float> acc(static_cast<std::size_t>(in_w_) * kB);
+        std::vector<std::int64_t> kd_tap(static_cast<std::size_t>(k));
+        std::vector<std::int64_t> od_tap(static_cast<std::size_t>(k));
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t icb = static_cast<std::int64_t>(job) / in_d_;
+          const std::int64_t id = static_cast<std::int64_t>(job) % in_d_;
+          // Depth taps reaching this input plane: kd with
+          // od = (id + pad_d.lo - kd) / stride integral and in range.
+          std::int64_t taps = 0;
+          for (std::int64_t kd = 0; kd < k; ++kd) {
+            const std::int64_t num = id + pad_d_.lo - kd;
+            if (num < 0 || num % stride != 0) continue;
+            const std::int64_t od = num / stride;
+            if (od >= out_d_) continue;
+            kd_tap[static_cast<std::size_t>(taps)] = kd;
+            od_tap[static_cast<std::size_t>(taps)] = od;
+            ++taps;
+          }
+          for (std::int64_t ih = 0; ih < in_h_; ++ih) {
+            std::fill(acc.begin(), acc.end(), 0.0f);
+            for (std::int64_t ocb = 0; ocb < ocb_count; ++ocb) {
+              for (std::int64_t tap = 0; tap < taps; ++tap) {
+                const std::int64_t kd = kd_tap[static_cast<std::size_t>(tap)];
+                const std::int64_t od = od_tap[static_cast<std::size_t>(tap)];
+                for (std::int64_t kh = 0; kh < k; ++kh) {
+                  const std::int64_t hnum = ih + pad_h_.lo - kh;
+                  if (hnum < 0 || hnum % stride != 0) continue;
+                  const std::int64_t oh = hnum / stride;
+                  if (oh >= out_h_) continue;
+                  const float* drow =
+                      ddst.data() +
+                      (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
+                  const float* wt_tap =
+                      wt_base +
+                      ((((ocb * icb_count + icb) * k + kd) * k + kh) * k) *
+                          kB * kB;
+                  for (std::int64_t kw = 0; kw < k; ++kw) {
+                    // Edge-trimmed output window keeping
+                    // iw = ow * stride + kw - pad_w.lo inside [0, in_w).
+                    const std::int64_t lo_num = pad_w_.lo - kw;
+                    const std::int64_t ow_lo =
+                        lo_num > 0 ? (lo_num + stride - 1) / stride : 0;
+                    const std::int64_t hi_num = in_w_ - 1 + pad_w_.lo - kw;
+                    if (hi_num < 0) continue;
+                    const std::int64_t ow_hi =
+                        std::min(out_w_, hi_num / stride + 1);
+                    const std::int64_t count = ow_hi - ow_lo;
+                    if (count <= 0) continue;
+                    micro_bwd_gather_row(
+                        acc.data() +
+                            (ow_lo * stride + kw - pad_w_.lo) * kB,
+                        drow + ow_lo * kB, wt_tap + kw * kB * kB, count,
+                        stride);
                   }
                 }
               }
             }
-          }
-        }
-      });
-
-  // Un-pad: copy the interior back into dsrc.
-  pool.parallel_for(
-      static_cast<std::size_t>(icb_count * in_d_),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t job = begin; job < end; ++job) {
-          const std::int64_t icb = static_cast<std::int64_t>(job) / in_d_;
-          const std::int64_t dd = static_cast<std::int64_t>(job) % in_d_;
-          for (std::int64_t hh = 0; hh < in_h_; ++hh) {
-            const float* s = padded_dsrc_.data() +
-                             (((icb * dp + dd + pad_d_.lo) * hp + hh +
-                               pad_h_.lo) *
-                                  wp +
-                              pad_w_.lo) *
-                                 kB;
-            float* t = dsrc.data() +
-                       (((icb * in_d_ + dd) * in_h_ + hh) * in_w_) * kB;
-            std::memcpy(t, s, static_cast<std::size_t>(in_w_) * kB *
-                                  sizeof(float));
+            float* trow = dsrc.data() +
+                          (((icb * in_d_ + id) * in_h_ + ih) * in_w_) * kB;
+            std::memcpy(trow, acc.data(),
+                        static_cast<std::size_t>(in_w_) * kB *
+                            sizeof(float));
           }
         }
       });

@@ -17,6 +17,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "dnn/layer.hpp"
 #include "runtime/rng.hpp"
@@ -54,12 +56,19 @@ class Conv3d final : public Layer {
 
   void forward(const tensor::Tensor& src, tensor::Tensor& dst,
                runtime::ThreadPool& pool) override;
-  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+  void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
                 tensor::Tensor& dsrc, bool need_dsrc,
                 runtime::ThreadPool& pool) override;
   void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
-                const tensor::Tensor& ddst, tensor::Tensor& dsrc,
+                tensor::Tensor& ddst, tensor::Tensor& dsrc,
                 bool need_dsrc, runtime::ThreadPool& pool) override;
+
+  /// Backward-data reads the weights transposed ({..., 16oc, 16ic});
+  /// the transposed copy lives in a scratch arena the network memory
+  /// planner shares across layers (DESIGN.md §2.2). Standalone use
+  /// (tests) falls back to a lazily allocated private buffer.
+  std::size_t backward_scratch_floats() const override;
+  void bind_backward_scratch(std::span<float> scratch) override;
 
   /// MKL-DNN-style post-op fusion: fold a trailing LeakyReLU into the
   /// forward output write and mask ddst once on backward entry. For
@@ -97,8 +106,7 @@ class Conv3d final : public Layer {
                          runtime::ThreadPool& pool);
   void bias_grad_pass(const tensor::Tensor& ddst,
                       runtime::ThreadPool& pool);
-  void mask_bias_grad_pass(const tensor::Tensor& dst,
-                           const tensor::Tensor& ddst,
+  void mask_bias_grad_pass(const tensor::Tensor& dst, tensor::Tensor& ddst,
                            runtime::ThreadPool& pool);
   void backward_weights_blocked(const tensor::Tensor& src,
                                 const tensor::Tensor& ddst,
@@ -133,13 +141,13 @@ class Conv3d final : public Layer {
   tensor::Tensor bias_;
   tensor::Tensor bias_grad_;
 
-  // Scratch reused across steps: zero-padded source copy and padded
-  // input difference signal.
+  // Scratch reused across steps: zero-padded source copy (written by
+  // forward, read by backward-weights).
   tensor::Tensor padded_src_;
-  tensor::Tensor padded_dsrc_;
-  // Fused only: ddst with the LeakyReLU derivative mask applied, shared
-  // by the bww and bwd_data passes.
-  tensor::Tensor masked_ddst_;
+  // Transposed-weight scratch for backward-data: a span into the
+  // network-shared arena when planned, else the private fallback.
+  std::span<float> bwd_scratch_{};
+  std::vector<float> own_scratch_;
 };
 
 // ---------------------------------------------------------------------------

@@ -123,7 +123,7 @@ void Dense::forward(const Tensor& src, Tensor& dst,
   }
 }
 
-void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+void Dense::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
                      bool need_dsrc, runtime::ThreadPool& pool) {
   if (fused_) {
     throw std::logic_error(
@@ -133,8 +133,8 @@ void Dense::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
   backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, pool);
 }
 
-void Dense::backward(const Tensor& src, const Tensor& dst,
-                     const Tensor& ddst, Tensor& dsrc, bool need_dsrc,
+void Dense::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
+                     Tensor& dsrc, bool need_dsrc,
                      runtime::ThreadPool& pool) {
   if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
     throw std::invalid_argument("Dense::backward: shape mismatch");
@@ -149,18 +149,15 @@ void Dense::backward(const Tensor& src, const Tensor& dst,
       if (dst.shape() != output_shape()) {
         throw std::invalid_argument("Dense::backward: dst shape mismatch");
       }
-      masked_ddst_.resize(static_cast<std::size_t>(out_));
+      // Mask ddst in place — it is consumed by this layer's backward
+      // (the Layer contract), so no side buffer is needed.
+      float* md = ddst.data();
       const float* y = dst.data();
       for (std::int64_t o = 0; o < out_; ++o) {
-        masked_ddst_[static_cast<std::size_t>(o)] =
-            y[o] > 0.0f ? d[o] : slope_ * d[o];
+        md[o] = y[o] > 0.0f ? md[o] : slope_ * md[o];
       }
-      d = masked_ddst_.data();
-      tensor::axpy(1.0f, {d, static_cast<std::size_t>(out_)},
-                   bias_grad_.values());
-    } else {
-      tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
     }
+    tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
     pool.parallel_for(
         static_cast<std::size_t>(in_),
         [&](std::size_t begin, std::size_t end, std::size_t) {

@@ -22,11 +22,11 @@ class Dense final : public Layer {
 
   void forward(const tensor::Tensor& src, tensor::Tensor& dst,
                runtime::ThreadPool& pool) override;
-  void backward(const tensor::Tensor& src, const tensor::Tensor& ddst,
+  void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
                 tensor::Tensor& dsrc, bool need_dsrc,
                 runtime::ThreadPool& pool) override;
   void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
-                const tensor::Tensor& ddst, tensor::Tensor& dsrc,
+                tensor::Tensor& ddst, tensor::Tensor& dsrc,
                 bool need_dsrc, runtime::ThreadPool& pool) override;
 
   /// Post-op fusion of a trailing LeakyReLU (see Conv3d::fuse_leaky_relu
@@ -57,8 +57,6 @@ class Dense final : public Layer {
   tensor::Tensor weight_grad_;
   tensor::Tensor bias_;
   tensor::Tensor bias_grad_;
-  // Fused only: ddst with the LeakyReLU derivative mask applied.
-  std::vector<float> masked_ddst_;
 };
 
 }  // namespace cf::dnn

@@ -61,7 +61,7 @@ void Flatten::forward(const Tensor& src, Tensor& dst,
       grain);
 }
 
-void Flatten::backward(const Tensor& src, const Tensor& ddst, Tensor& dsrc,
+void Flatten::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
                        bool need_dsrc, runtime::ThreadPool& pool) {
   (void)src;
   if (!need_dsrc) return;

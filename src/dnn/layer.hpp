@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -86,9 +87,12 @@ class Layer {
   /// Computes parameter gradients (accumulated into the grad tensors —
   /// callers zero them per step) and, when `need_dsrc`, the input
   /// difference signal. `src` is the forward input of this layer.
-  virtual void backward(const tensor::Tensor& src,
-                        const tensor::Tensor& ddst, tensor::Tensor& dsrc,
-                        bool need_dsrc, runtime::ThreadPool& pool) = 0;
+  /// `ddst` is *consumed*: fused layers mask it with the activation
+  /// derivative in place (it is dead after this call — the network's
+  /// backward sweep never re-reads a layer's ddst, so no copy is owed).
+  virtual void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
+                        tensor::Tensor& dsrc, bool need_dsrc,
+                        runtime::ThreadPool& pool) = 0;
 
   /// Backward variant that also receives this layer's own forward
   /// output `dst`. Network calls this one: layers with a fused eltwise
@@ -96,11 +100,26 @@ class Layer {
   /// everything else ignores it and falls through to the plain
   /// overload.
   virtual void backward(const tensor::Tensor& src,
-                        const tensor::Tensor& dst,
-                        const tensor::Tensor& ddst, tensor::Tensor& dsrc,
-                        bool need_dsrc, runtime::ThreadPool& pool) {
+                        const tensor::Tensor& dst, tensor::Tensor& ddst,
+                        tensor::Tensor& dsrc, bool need_dsrc,
+                        runtime::ThreadPool& pool) {
     static_cast<void>(dst);
     backward(src, ddst, dsrc, need_dsrc, pool);
+  }
+
+  /// Floats of backward scratch this layer wants. Layer backwards run
+  /// strictly one at a time, so the network sizes ONE shared arena to
+  /// the max across layers and hands each layer a view of it via
+  /// bind_backward_scratch (the memory planner; see DESIGN.md §2.2).
+  /// Layers driven outside a planned network (unit tests, benches)
+  /// lazily allocate their own scratch of the same size instead.
+  virtual std::size_t backward_scratch_floats() const { return 0; }
+
+  /// Points the layer at its slice of the network-owned scratch arena
+  /// (size >= backward_scratch_floats(); contents are step-transient —
+  /// nothing may be carried across backward calls).
+  virtual void bind_backward_scratch(std::span<float> scratch) {
+    static_cast<void>(scratch);
   }
 
   /// Ask the layer to absorb a trailing LeakyReLU (negative slope

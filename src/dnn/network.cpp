@@ -1,5 +1,6 @@
 #include "dnn/network.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 
@@ -56,7 +57,66 @@ void Network::finalize(const Shape& input_shape) {
   }
   output_shape_ = shape;
   build_arena();
+  if (memplan_) plan_memory();
+  obs::Registry::global().gauge("dnn/activation_bytes").set(
+      static_cast<double>(activation_bytes()));
+  obs::Registry::global().gauge("dnn/diff_arena_bytes").set(
+      static_cast<double>(diff_arena_bytes()));
+  obs::Registry::global().gauge("dnn/scratch_bytes").set(
+      static_cast<double>(scratch_bytes()));
   finalized_ = true;
+}
+
+void Network::plan_memory() {
+  // Liveness: backward visits layers last to first; at layer i only
+  // diffs_[i] (its ddst, consumed) and diffs_[i-1] (its dsrc, fully
+  // overwritten) exist. Since i and i-1 have opposite parity, two
+  // buffers — each sized for the largest tensor of its parity class —
+  // back every difference tensor without aliasing a live pair.
+  std::size_t max_even = 0;
+  std::size_t max_odd = 0;
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    std::size_t& slot = i % 2 == 0 ? max_even : max_odd;
+    slot = std::max(slot, diffs_[i].size());
+  }
+  diff_arena_ = runtime::AlignedBuffer<float>(max_even + max_odd);
+  for (std::size_t i = 0; i < diffs_.size(); ++i) {
+    float* base = diff_arena_.data() + (i % 2 == 0 ? 0 : max_even);
+    diffs_[i].rebind({base, diffs_[i].size()});
+  }
+
+  // One shared backward scratch arena sized to the largest request;
+  // backward runs one layer at a time, so layers can all be handed the
+  // same storage (each repopulates it on entry).
+  std::size_t max_scratch = 0;
+  for (const auto& layer : layers_) {
+    max_scratch = std::max(max_scratch, layer->backward_scratch_floats());
+  }
+  scratch_arena_ = runtime::AlignedBuffer<float>(max_scratch);
+  for (auto& layer : layers_) {
+    const std::size_t n = layer->backward_scratch_floats();
+    if (n > 0) layer->bind_backward_scratch({scratch_arena_.data(), n});
+  }
+}
+
+std::size_t Network::activation_bytes() const noexcept {
+  std::size_t n = 0;
+  for (const auto& t : activations_) n += t.size();
+  return n * sizeof(float);
+}
+
+std::size_t Network::diff_arena_bytes() const noexcept {
+  if (memplan_) return diff_arena_.size() * sizeof(float);
+  std::size_t n = 0;
+  for (const auto& t : diffs_) n += t.size();
+  return n * sizeof(float);
+}
+
+std::size_t Network::scratch_bytes() const noexcept {
+  if (memplan_) return scratch_arena_.size() * sizeof(float);
+  std::size_t n = 0;
+  for (const auto& layer : layers_) n += layer->backward_scratch_floats();
+  return n * sizeof(float);
 }
 
 void Network::build_arena() {

@@ -57,6 +57,18 @@ class Network {
   /// Number of activation layers absorbed by the fusion pass.
   std::size_t fused_pairs() const noexcept { return fused_pairs_; }
 
+  /// When enabled (before finalize), finalize() runs the liveness-based
+  /// memory planner (DESIGN.md §2.2): during backward only diffs_[i]
+  /// (read) and diffs_[i-1] (written) are live, so all difference
+  /// tensors are rebound onto two alternating max-sized buffers keyed
+  /// by layer-index parity, and every layer's backward scratch is
+  /// served from one shared arena sized to the largest request.
+  /// Placement-only: the planned step is bitwise identical to the
+  /// unplanned one. Off by default so hand-built test networks keep
+  /// per-layer buffers; build_network() turns it on.
+  void set_memory_planning(bool enabled) noexcept { memplan_ = enabled; }
+  bool memory_planning() const noexcept { return memplan_; }
+
   /// Plans every layer, allocating parameters and activation buffers.
   /// Must be called exactly once, after all layers are added.
   void finalize(const tensor::Shape& input_shape);
@@ -132,8 +144,23 @@ class Network {
   std::vector<LayerProfile> profiles() const;
   void reset_profiles();
 
+  // Memory accounting (valid after finalize). Activations always keep
+  // per-layer storage; diff/scratch bytes reflect the planner when it
+  // is on and the per-layer totals when it is off.
+  std::size_t activation_bytes() const noexcept;
+  std::size_t diff_arena_bytes() const noexcept;
+  std::size_t scratch_bytes() const noexcept;
+  std::size_t peak_tensor_bytes() const noexcept {
+    return activation_bytes() + diff_arena_bytes() + scratch_bytes();
+  }
+
+  /// The difference tensor written by layer i's producer (test hook for
+  /// planner aliasing checks).
+  const tensor::Tensor& diff(std::size_t i) const { return diffs_[i]; }
+
  private:
   void build_arena();
+  void plan_memory();
   void fuse_eltwise_pass();
 
   std::vector<std::unique_ptr<Layer>> layers_;
@@ -143,6 +170,10 @@ class Network {
   // into these after finalize() (see build_arena).
   runtime::AlignedBuffer<float> param_arena_;
   runtime::AlignedBuffer<float> grad_arena_;
+  // Memory-planner storage: the two parity diff buffers (back to back
+  // in one allocation) and the shared backward scratch arena.
+  runtime::AlignedBuffer<float> diff_arena_;
+  runtime::AlignedBuffer<float> scratch_arena_;
   std::vector<std::size_t> segment_offsets_;  // per layer, in floats
   std::vector<std::size_t> segment_sizes_;
   tensor::Tensor input_;
@@ -151,6 +182,7 @@ class Network {
   bool finalized_ = false;
   bool forward_done_ = false;
   bool fuse_eltwise_ = false;
+  bool memplan_ = false;
   std::size_t fused_pairs_ = 0;
 };
 

@@ -99,7 +99,7 @@ TEST_P(BlockedConvVsReference, BackwardWeightsMatches) {
   conv3d_backward_weights_reference(plain_src_, plain_ddst, c.stride, pd_,
                                     pd_, pd_, ref_dw, ref_db);
 
-  const Tensor ddst = tensor::to_blocked_activation(plain_ddst);
+  Tensor ddst = tensor::to_blocked_activation(plain_ddst);
   Tensor dsrc(conv_->input_shape());
   conv_->backward(src_, ddst, dsrc, /*need_dsrc=*/false, pool_);
 
@@ -123,7 +123,7 @@ TEST_P(BlockedConvVsReference, BackwardDataMatches) {
   conv3d_backward_data_reference(plain_ddst, plain_weights_, c.stride, pd_,
                                  pd_, pd_, ref_dsrc);
 
-  const Tensor ddst = tensor::to_blocked_activation(plain_ddst);
+  Tensor ddst = tensor::to_blocked_activation(plain_ddst);
   Tensor dsrc(conv_->input_shape());
   conv_->backward(src_, ddst, dsrc, /*need_dsrc=*/true, pool_);
 
