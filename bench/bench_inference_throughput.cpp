@@ -1,0 +1,177 @@
+// Concurrent inference throughput over one shared Network — the
+// payoff of the model/stream split (DESIGN.md §2.3).
+//
+// One immutable Network holds the weights; S streams each own an
+// inference-mode ExecContext (ping-pong activations + staging
+// workspace, no backward state) and a private worker pool, and hammer
+// forward passes concurrently. Because the replica is shared, the
+// weight arena is read by every stream and copied by none — aggregate
+// throughput should scale with the stream count until the cores run
+// out, and the per-stream memory cost is the lean inference footprint
+// rather than a full training replica.
+//
+// The sweep runs 1..--streams streams (powers of two) and reports
+// aggregate samples/s plus the speedup over the single-stream run;
+// every stream's outputs are checked bitwise against a serial
+// reference, so a hidden shared mutable buffer fails loudly rather
+// than quietly corrupting the numbers.
+//
+//   ./bench_inference_throughput [--dhw=32] [--streams=4]
+//       [--threads-per-stream=1] [--reps=16]
+//       [--json=BENCH_inference.json]
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "obs/jsonl.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+#ifndef COSMOFLOW_GIT_SHA
+#define COSMOFLOW_GIT_SHA "unknown"
+#endif
+
+int main(int argc, char** argv) {
+  using namespace cf;
+  std::int64_t dhw = 32;
+  int max_streams = 4;
+  int threads_per_stream = 1;
+  int reps = 16;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dhw=", 6) == 0) dhw = std::atoll(argv[i] + 6);
+    if (std::strncmp(argv[i], "--streams=", 10) == 0) {
+      max_streams = std::atoi(argv[i] + 10);
+    }
+    if (std::strncmp(argv[i], "--threads-per-stream=", 21) == 0) {
+      threads_per_stream = std::atoi(argv[i] + 21);
+    }
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::atoi(argv[i] + 7);
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+
+  std::printf("=== bench_inference_throughput: concurrent streams over "
+              "one shared Network ===\n");
+  std::printf("(cosmoflow_scaled(%lld), %d reps/stream, %d worker "
+              "thread(s) per stream, %u hardware threads)\n\n",
+              static_cast<long long>(dhw), reps, threads_per_stream,
+              std::thread::hardware_concurrency());
+
+  dnn::Network net = core::build_network(core::cosmoflow_scaled(dhw), 7);
+  {
+    dnn::ExecContext probe = net.make_context(dnn::ExecMode::kInference);
+    std::printf("per-stream context: %.2f MB total (%.2f MB planned "
+                "training footprint)\n\n",
+                static_cast<double>(probe.total_bytes()) / 1e6,
+                static_cast<double>(net.peak_tensor_bytes()) / 1e6);
+  }
+
+  // One distinct input per stream; the serial reference fixes the
+  // expected bits for each.
+  std::vector<tensor::Tensor> inputs;
+  std::vector<std::vector<float>> expected;
+  {
+    dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference);
+    runtime::ThreadPool pool(
+        static_cast<std::size_t>(threads_per_stream));
+    for (int s = 0; s < max_streams; ++s) {
+      runtime::Rng rng(41, static_cast<std::uint64_t>(s));
+      tensor::Tensor input(net.input_shape());
+      tensor::fill_normal(input, rng, 0.0f, 1.0f);
+      expected.push_back(ctx.forward(input, pool).to_vector());
+      inputs.push_back(std::move(input));
+    }
+  }
+
+  // Timed sweep: S streams, each forwards its input `reps` times.
+  // Contexts and worker pools are built before the clock starts — the
+  // steady-state sample rate is the quantity of interest, not the
+  // one-time arena setup.
+  const auto run_streams = [&](int streams) {
+    std::atomic<int> mismatches{0};
+    std::vector<dnn::ExecContext> ctxs;
+    std::vector<std::unique_ptr<runtime::ThreadPool>> pools;
+    ctxs.reserve(static_cast<std::size_t>(streams));
+    for (int s = 0; s < streams; ++s) {
+      ctxs.push_back(net.make_context(dnn::ExecMode::kInference));
+      pools.push_back(std::make_unique<runtime::ThreadPool>(
+          static_cast<std::size_t>(threads_per_stream)));
+    }
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(streams));
+    const runtime::Stopwatch watch;
+    for (int s = 0; s < streams; ++s) {
+      threads.emplace_back([&, s] {
+        for (int r = 0; r < reps; ++r) {
+          const auto out =
+              ctxs[s].forward(inputs[s], *pools[s]).to_vector();
+          if (tensor::max_abs_diff(out, expected[s]) != 0.0f) {
+            mismatches.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double seconds = watch.elapsed_seconds();
+    if (mismatches.load() != 0) {
+      throw std::runtime_error(
+          "concurrent stream output diverged from serial reference");
+    }
+    return static_cast<double>(streams) * reps / seconds;
+  };
+
+  run_streams(1);  // warm-up: pages in weights and code
+  std::printf("%8s | %14s | %8s\n", "streams", "samples/s", "speedup");
+  std::vector<std::pair<int, double>> results;
+  double base_sps = 0.0;
+  for (int streams = 1; streams <= max_streams; streams *= 2) {
+    const double sps = run_streams(streams);
+    if (streams == 1) base_sps = sps;
+    results.emplace_back(streams, sps);
+    std::printf("%8d | %14.2f | %7.2fx\n", streams, sps,
+                base_sps > 0.0 ? sps / base_sps : 0.0);
+  }
+
+  if (!json_path.empty()) {
+    obs::JsonObject rec;
+    rec.field("bench", "inference_throughput")
+        .field("commit", COSMOFLOW_GIT_SHA)
+        .field("dhw", static_cast<std::int64_t>(dhw))
+        .field("reps", reps)
+        .field("threads_per_stream", threads_per_stream)
+        .field("hardware_threads",
+               static_cast<std::int64_t>(
+                   std::thread::hardware_concurrency()));
+    for (const auto& [streams, sps] : results) {
+      rec.field("sps_streams_" + std::to_string(streams), sps);
+    }
+    rec.field("speedup_max_streams",
+              base_sps > 0.0 ? results.back().second / base_sps : 0.0);
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::printf("FAILED to write json to %s\n", json_path.c_str());
+      return 1;
+    }
+    const std::string line = rec.str() + "\n";
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+
+  std::printf("\nshape target: aggregate samples/s grows with the stream "
+              "count (shared weights, zero per-stream copies) until the "
+              "machine runs out of cores; on a single-core machine the "
+              "target degrades to ~flat (time-sliced streams, no "
+              "concurrency overhead).\n");
+  return 0;
+}

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
               iters);
 
   dnn::Network net = core::build_network(core::cosmoflow_128(), 7);
+  dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kTraining);
   runtime::ThreadPool pool;
   tensor::Tensor input(net.input_shape());
   runtime::Rng rng(7);
@@ -47,19 +48,19 @@ int main(int argc, char** argv) {
   dloss.fill(1.0f);
 
   // Warm-up (also pages in all buffers).
-  net.forward(input, pool);
-  net.zero_grads();
-  net.backward(dloss, pool);
-  net.reset_profiles();
+  ctx.forward(input, pool);
+  ctx.zero_grads();
+  ctx.backward(dloss, pool);
+  ctx.reset_profiles();
 #if COSMOFLOW_TELEMETRY_ENABLED
   obs::Tracer::global().clear();
 #endif
 
   const runtime::Stopwatch watch;
   for (int it = 0; it < iters; ++it) {
-    net.forward(input, pool);
-    net.zero_grads();
-    net.backward(dloss, pool);
+    ctx.forward(input, pool);
+    ctx.zero_grads();
+    ctx.backward(dloss, pool);
   }
   const double step = watch.elapsed_seconds() / iters;
 
@@ -87,7 +88,7 @@ int main(int argc, char** argv) {
   std::printf("%-8s | %8s %8s %8s | %8s %8s %8s\n", "Layer", "Fwd ms",
               "Bww ms", "Bwd ms", "Fwd GF/s", "Bww GF/s", "Bwd GF/s");
   double conv_total_ms = 0.0;
-  for (const dnn::LayerProfile& profile : net.profiles()) {
+  for (const dnn::LayerProfile& profile : ctx.profiles()) {
     if (profile.kind != "conv") continue;
 #if COSMOFLOW_TELEMETRY_ENABLED
     const double fwd_ms = span_mean_ms(profile.name + "/fwd");

@@ -4,6 +4,7 @@
 //
 //   ./examples/predict_params --data=/tmp/cosmoflow_data
 //       --checkpoint=/tmp/cosmoflow.ckpt
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -59,6 +60,15 @@ int main(int argc, char** argv) {
               topology.name.c_str(),
               static_cast<long long>(net.param_count()), ckpt.c_str());
 
+  // Forward-only stream: no diff/scratch/grad arenas, activations
+  // collapsed onto the ping-pong arena.
+  dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference);
+  std::printf("inference context: %.2f MB peak tensors (%.2f MB total) "
+              "vs %.2f MB planned for training\n",
+              static_cast<double>(ctx.peak_tensor_bytes()) / 1e6,
+              static_cast<double>(ctx.total_bytes()) / 1e6,
+              static_cast<double>(net.peak_tensor_bytes()) / 1e6);
+
   runtime::ThreadPool pool;
   const auto reader = test.make_reader();
   std::vector<core::Prediction> predictions;
@@ -68,7 +78,7 @@ int main(int argc, char** argv) {
               "OmegaM", "sigma8", "ns");
   for (std::size_t i = 0; i < test.size(); ++i) {
     const data::Sample sample = reader->get(i);
-    const tensor::Tensor& out = net.forward(sample.volume, pool);
+    const tensor::Tensor& out = ctx.forward(sample.volume, pool);
     const cosmo::CosmoParams pred =
         cosmo::denormalize_params({out[0], out[1], out[2]});
     const cosmo::CosmoParams truth = cosmo::denormalize_params(

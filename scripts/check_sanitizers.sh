@@ -1,0 +1,87 @@
+#!/usr/bin/env sh
+# Sanitizer gates, unified: builds the repo with the requested
+# sanitizer into build-<san>/ and runs the test suites that exercise
+# the code that sanitizer is good at catching.
+#
+#   asan  — arena rebinding and the zero-free backward kernels: diff
+#           ping-pong buffers, shared backward scratch, per-context
+#           grad arenas, and the conv gather / pool direct-write
+#           kernels whose correctness depends on exact in-bounds
+#           full-coverage writes.
+#   tsan  — cross-thread hand-offs: the MlComm collectives and helper
+#           thread (sync + async bucketed allreduce), ThreadPool
+#           dispatch, the overlapped trainer step loop, and the
+#           Context suite's concurrent inference streams sharing one
+#           immutable Network.
+#   ubsan — pointer-arithmetic-heavy paths: fused conv/dense epilogue
+#           kernels, blocked optimizer sweeps, layout/reorder code.
+#
+# Usage: check_sanitizers.sh [asan|tsan|ubsan|all] [repo_root]
+set -eu
+
+which="${1:-all}"
+root="${2:-$(dirname "$0")/..}"
+cd "$root" || exit 1
+
+run_one() {
+  san="$1"
+  build_dir="build-$san"
+
+  case "$san" in
+    asan)
+      cmake_flag="-DCOSMOFLOW_ASAN=ON"
+      # halt_on_error stops at the first bad access;
+      # detect_stack_use_after_return widens coverage to the kernels'
+      # stack-local accumulator rows.
+      env_name="ASAN_OPTIONS"
+      env_value="halt_on_error=1 detect_stack_use_after_return=1"
+      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*'
+      ;;
+    tsan)
+      cmake_flag="-DCOSMOFLOW_TSAN=ON"
+      # halt_on_error makes the run fail on the first race instead of
+      # only logging it; second_deadlock_stack improves lock-order
+      # reports.
+      env_name="TSAN_OPTIONS"
+      env_value="halt_on_error=1 second_deadlock_stack=1"
+      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining'
+      ;;
+    ubsan)
+      cmake_flag="-DCOSMOFLOW_UBSAN=ON"
+      # halt_on_error turns the first report into a failure instead of
+      # a log line; print_stacktrace makes it actionable.
+      env_name="UBSAN_OPTIONS"
+      env_value="halt_on_error=1 print_stacktrace=1"
+      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*'
+      ;;
+    *)
+      echo "unknown sanitizer '$san' (expected asan, tsan or ubsan)" >&2
+      return 2
+      ;;
+  esac
+
+  cmake -B "$build_dir" -S . \
+    "$cmake_flag" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$build_dir" --target cosmoflow_tests -j "$(nproc)"
+
+  env "$env_name=$env_value" \
+    "$build_dir/tests/cosmoflow_tests" --gtest_filter="$filter"
+
+  echo "$san: clean"
+}
+
+case "$which" in
+  all)
+    for san in asan tsan ubsan; do
+      run_one "$san"
+    done
+    ;;
+  asan|tsan|ubsan)
+    run_one "$which"
+    ;;
+  *)
+    echo "usage: check_sanitizers.sh [asan|tsan|ubsan|all] [repo_root]" >&2
+    exit 2
+    ;;
+esac

@@ -35,6 +35,7 @@ Trainer::Trainer(TopologyConfig topology, const data::SampleSource& train,
         "training needs substantially more samples than ranks, §VII-B)");
   }
   networks_.resize(static_cast<std::size_t>(config_.nranks));
+  contexts_.resize(static_cast<std::size_t>(config_.nranks));
 }
 
 std::vector<EpochStats> Trainer::run() {
@@ -77,6 +78,13 @@ void Trainer::rank_body(comm::RankHandle& rank,
                     config_.memplan));
   dnn::Network& network = *net;
   networks_[static_cast<std::size_t>(r)] = std::move(net);
+  // This rank's execution stream: all per-step mutable state
+  // (activations, diffs, scratch, gradients) lives here; the network
+  // stays immutable except for the optimizer's weight writes.
+  auto ctx_ptr = std::make_unique<dnn::ExecContext>(
+      network.make_context(dnn::ExecMode::kTraining));
+  dnn::ExecContext& ctx = *ctx_ptr;
+  contexts_[static_cast<std::size_t>(r)] = std::move(ctx_ptr);
 
   const std::int64_t decay_epochs =
       config_.decay_epochs > 0 ? config_.decay_epochs : config_.epochs;
@@ -88,7 +96,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
   switch (config_.optimizer) {
     case OptimizerKind::kAdamLarc:
       larc_opt = std::make_unique<optim::LarcAdam>(
-          network.params(), config_.adam, config_.larc, schedule);
+          ctx.params(), config_.adam, config_.larc, schedule);
       break;
     case OptimizerKind::kAdam: {
       optim::LarcConfig pass_through;
@@ -96,12 +104,12 @@ void Trainer::rank_body(comm::RankHandle& rank,
       pass_through.trust_coefficient = 1e12;
       pass_through.clip = true;
       larc_opt = std::make_unique<optim::LarcAdam>(
-          network.params(), config_.adam, pass_through, schedule);
+          ctx.params(), config_.adam, pass_through, schedule);
       break;
     }
     case OptimizerKind::kSgdMomentum:
       sgd_opt = std::make_unique<optim::SgdMomentum>(
-          network.params(), config_.sgd_momentum, schedule);
+          ctx.params(), config_.sgd_momentum, schedule);
       break;
   }
   const auto optimizer_step = [&] {
@@ -136,7 +144,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
                                             {"dense", 0.0},
                                             {"activation", 0.0},
                                             {"reorder", 0.0}};
-    for (const dnn::LayerProfile& profile : network.profiles()) {
+    for (const dnn::LayerProfile& profile : ctx.profiles()) {
       totals[profile.kind] += profile.fwd.total() +
                               profile.bwd_data.total() +
                               profile.bwd_weights.total();
@@ -160,7 +168,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
   // bucket_end) downward (backward visits layers last to first and the
   // arena is laid out in layer order); a bucket is posted once the
   // region reaches bucket_elems.
-  const std::span<float> grads = network.grad_arena();
+  const std::span<float> grads = ctx.grad_arena();
   const std::size_t bucket_elems =
       std::max<std::size_t>(1, config_.bucket_bytes / sizeof(float));
   std::vector<comm::PendingReduce> pending;
@@ -194,7 +202,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
                 augment_rng.uniform_index(data::kOrientationCount)));
       }
       // Local gradients (Algorithm 2, line 3).
-      const Tensor& output = network.forward(sample.volume, pool);
+      const Tensor& output = ctx.forward(sample.volume, pool);
       for (std::int64_t i = 0; i < n_outputs; ++i) {
         target[static_cast<std::size_t>(i)] =
             sample.target[static_cast<std::size_t>(i)];
@@ -202,7 +210,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
       const double loss = dnn::mse_loss(output.values(), target);
       loss_sum += loss;
       dnn::mse_loss_grad(output.values(), target, dloss.values());
-      network.zero_grads();
+      ctx.zero_grads();
 
       // Global gradient averaging (line 4) — either launched in
       // buckets during backward (grad_ready fires tail-first as each
@@ -213,7 +221,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
         pending.clear();
         std::size_t bucket_begin = grads.size();
         std::size_t bucket_end = grads.size();
-        network.backward(dloss, pool, [&](std::size_t layer) {
+        ctx.backward(dloss, pool, [&](std::size_t layer) {
           bucket_begin = network.segment_offset(layer);
           if (bucket_end - bucket_begin >= bucket_elems) {
             pending.push_back(rank.allreduce_average_async(grads.subspan(
@@ -227,7 +235,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
         }
         for (comm::PendingReduce& p : pending) rank.wait(p);
       } else {
-        network.backward(dloss, pool);
+        ctx.backward(dloss, pool);
         rank.allreduce_average(grads);
       }
 
@@ -281,7 +289,7 @@ void Trainer::rank_body(comm::RankHandle& rank,
           val.size(), config_.nranks, r, /*epoch_seed=*/0,
           /*shuffle=*/false));
       while (val_pipeline.next(sample)) {
-        const Tensor& output = network.forward(sample.volume, pool);
+        const Tensor& output = ctx.forward(sample.volume, pool);
         for (std::int64_t i = 0; i < n_outputs; ++i) {
           target[static_cast<std::size_t>(i)] =
               sample.target[static_cast<std::size_t>(i)];
@@ -343,6 +351,13 @@ dnn::Network& Trainer::network(int rank) {
   return *net;
 }
 
+dnn::ExecContext& Trainer::context(int rank) {
+  if (!ran_) throw std::logic_error("Trainer::context: run() first");
+  auto& ctx = contexts_.at(static_cast<std::size_t>(rank));
+  if (!ctx) throw std::logic_error("Trainer::context: rank not trained");
+  return *ctx;
+}
+
 runtime::ThreadPool& Trainer::inference_pool() {
   if (!inference_pool_) {
     inference_pool_ =
@@ -351,9 +366,16 @@ runtime::ThreadPool& Trainer::inference_pool() {
   return *inference_pool_;
 }
 
+dnn::ExecContext& Trainer::inference_context() {
+  if (!inference_ctx_) {
+    inference_ctx_ = std::make_unique<dnn::ExecContext>(
+        network(0).make_context(dnn::ExecMode::kInference));
+  }
+  return *inference_ctx_;
+}
+
 std::vector<float> Trainer::predict(const Tensor& volume) {
-  dnn::Network& net = network(0);
-  const Tensor& out = net.forward(volume, inference_pool());
+  const Tensor& out = inference_context().forward(volume, inference_pool());
   return out.to_vector();
 }
 
@@ -364,12 +386,13 @@ std::vector<Prediction> Trainer::evaluate(const data::SampleSource& source) {
         "Trainer::evaluate: physical-unit evaluation needs 3 outputs");
   }
   runtime::ThreadPool& pool = inference_pool();
+  dnn::ExecContext& ctx = inference_context();
   const auto reader = source.make_reader();
   std::vector<Prediction> predictions;
   predictions.reserve(source.size());
   for (std::size_t i = 0; i < source.size(); ++i) {
     const data::Sample sample = reader->get(i);
-    const Tensor& out = net.forward(sample.volume, pool);
+    const Tensor& out = ctx.forward(sample.volume, pool);
     const cosmo::CosmoParams pred = cosmo::denormalize_params(
         {out[0], out[1], out[2]});
     const cosmo::CosmoParams truth = cosmo::denormalize_params(
@@ -392,8 +415,8 @@ CategoryBreakdown Trainer::breakdown() const {
                        {"dense", 0.0},
                        {"activation", 0.0},
                        {"reorder", 0.0}};
-  const dnn::Network& net = *networks_.front();
-  for (const dnn::LayerProfile& profile : net.profiles()) {
+  const dnn::ExecContext& ctx = *contexts_.front();
+  for (const dnn::LayerProfile& profile : ctx.profiles()) {
     breakdown.seconds[profile.kind] += profile.fwd.total() +
                                        profile.bwd_data.total() +
                                        profile.bwd_weights.total();

@@ -125,6 +125,10 @@ class Trainer {
   /// Rank r's replica (valid after run()); replicas are identical.
   dnn::Network& network(int rank = 0);
 
+  /// Rank r's training execution stream (valid after run()); carries
+  /// the per-layer timers behind breakdown().
+  dnn::ExecContext& context(int rank = 0);
+
   /// Forward pass through the rank-0 replica; returns the raw
   /// (normalized) outputs.
   std::vector<float> predict(const tensor::Tensor& volume);
@@ -146,6 +150,10 @@ class Trainer {
   /// Shared pool for predict()/evaluate(), built on first use (the
   /// training pools are per-rank and die with rank_body).
   runtime::ThreadPool& inference_pool();
+  /// Forward-only stream over the rank-0 replica for predict()/
+  /// evaluate(), built on first use. Deterministic reductions make its
+  /// outputs bitwise identical to a training context's forward.
+  dnn::ExecContext& inference_context();
 
   TopologyConfig topology_;
   TrainerConfig config_;
@@ -154,6 +162,10 @@ class Trainer {
   std::int64_t steps_per_epoch_ = 0;
 
   std::vector<std::unique_ptr<dnn::Network>> networks_;
+  // One training stream per rank (owned separately from the replica so
+  // both survive rank_body for breakdown()/network() readers).
+  std::vector<std::unique_ptr<dnn::ExecContext>> contexts_;
+  std::unique_ptr<dnn::ExecContext> inference_ctx_;
   std::vector<EpochStats> stats_;
   std::unique_ptr<obs::JsonlSink> step_log_;
   std::unique_ptr<runtime::ThreadPool> inference_pool_;

@@ -36,8 +36,9 @@ FlopCounts LeakyRelu::flops() const {
 }
 
 void LeakyRelu::forward(const Tensor& src, Tensor& dst,
-                        runtime::ThreadPool& pool) {
-  const runtime::ScopedTimer timer(timers_.fwd);
+                        LayerExecState& exec,
+                        runtime::ThreadPool& pool) const {
+  const runtime::ScopedTimer timer(exec.timers.fwd);
   if (src.shape() != input_shape() || dst.shape() != output_shape()) {
     throw std::invalid_argument("LeakyRelu::forward: shape mismatch");
   }
@@ -55,9 +56,10 @@ void LeakyRelu::forward(const Tensor& src, Tensor& dst,
 }
 
 void LeakyRelu::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
-                         bool need_dsrc, runtime::ThreadPool& pool) {
+                         bool need_dsrc, LayerExecState& exec,
+                         runtime::ThreadPool& pool) const {
   if (!need_dsrc) return;
-  const runtime::ScopedTimer timer(timers_.bwd_data);
+  const runtime::ScopedTimer timer(exec.timers.bwd_data);
   if (src.shape() != input_shape() || ddst.shape() != output_shape() ||
       dsrc.shape() != input_shape()) {
     throw std::invalid_argument("LeakyRelu::backward: shape mismatch");

@@ -20,11 +20,15 @@ class LeakyRelu final : public Layer {
 
   tensor::Shape plan(const tensor::Shape& input) override;
 
+  using Layer::backward;
+  using Layer::forward;
+
   void forward(const tensor::Tensor& src, tensor::Tensor& dst,
-               runtime::ThreadPool& pool) override;
+               LayerExecState& exec,
+               runtime::ThreadPool& pool) const override;
   void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
-                tensor::Tensor& dsrc, bool need_dsrc,
-                runtime::ThreadPool& pool) override;
+                tensor::Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
+                runtime::ThreadPool& pool) const override;
 
   FlopCounts flops() const override;
 

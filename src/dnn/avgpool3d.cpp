@@ -49,8 +49,9 @@ FlopCounts AvgPool3d::flops() const {
 }
 
 void AvgPool3d::forward(const Tensor& src, Tensor& dst,
-                        runtime::ThreadPool& pool) {
-  const runtime::ScopedTimer timer(timers_.fwd);
+                        LayerExecState& exec,
+                        runtime::ThreadPool& pool) const {
+  const runtime::ScopedTimer timer(exec.timers.fwd);
   if (src.shape() != input_shape() || dst.shape() != output_shape()) {
     throw std::invalid_argument("AvgPool3d::forward: shape mismatch");
   }
@@ -93,10 +94,11 @@ void AvgPool3d::forward(const Tensor& src, Tensor& dst,
 }
 
 void AvgPool3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
-                         bool need_dsrc, runtime::ThreadPool& pool) {
+                         bool need_dsrc, LayerExecState& exec,
+                         runtime::ThreadPool& pool) const {
   (void)src;
   if (!need_dsrc) return;
-  const runtime::ScopedTimer timer(timers_.bwd_data);
+  const runtime::ScopedTimer timer(exec.timers.bwd_data);
   if (ddst.shape() != output_shape() || dsrc.shape() != input_shape()) {
     throw std::invalid_argument("AvgPool3d::backward: shape mismatch");
   }

@@ -6,15 +6,15 @@
 //   weights  {OCb, ICb, K, K, K, 16ic, 16oc}
 //            ({OCb, K, K, K, IC, 16oc} for the plain-source case)
 //
-// The source is copied once per step into a zero-padded scratch volume
-// so every inner loop is branch-free; the innermost (ow, ic, oc) loops
-// operate on 16-float channel blocks that the compiler lowers to
-// AVX-512 FMAs. Threading decomposes the output voxel space in the
-// forward pass, the *input* voxel space in the backward-data pass
-// (gather form over transposed weight tiles — each dsrc row is
-// produced whole, with no zero-fill or scatter traffic), and
-// (ocb, icb, kd) channel-block tiles in the backward-weights pass, as
-// described in §III-C.
+// The source is copied once per step into a zero-padded staging
+// workspace (owned by the stream's LayerExecState) so every inner loop
+// is branch-free; the innermost (ow, ic, oc) loops operate on 16-float
+// channel blocks that the compiler lowers to AVX-512 FMAs. Threading
+// decomposes the output voxel space in the forward pass, the *input*
+// voxel space in the backward-data pass (gather form over transposed
+// weight tiles — each dsrc row is produced whole, with no zero-fill or
+// scatter traffic), and (ocb, icb, kd) channel-block tiles in the
+// backward-weights pass, as described in §III-C.
 #include "dnn/conv3d.hpp"
 
 #include <algorithm>
@@ -353,6 +353,9 @@ Shape Conv3d::plan(const Shape& input) {
   out_d_ = tensor::conv_out_dim(in_d_, k, config_.stride, pad_d_.total());
   out_h_ = tensor::conv_out_dim(in_h_, k, config_.stride, pad_h_.total());
   out_w_ = tensor::conv_out_dim(in_w_, k, config_.stride, pad_w_.total());
+  pd_ = in_d_ + pad_d_.total();
+  ph_ = in_h_ + pad_h_.total();
+  pw_ = in_w_ + pad_w_.total();
 
   const std::int64_t ocb = config_.out_channels / kB;
   if (plain_input_) {
@@ -361,27 +364,16 @@ Shape Conv3d::plan(const Shape& input) {
     weights_ =
         Tensor(Shape{ocb, config_.in_channels / kB, k, k, k, kB, kB});
   }
-  weight_grad_ = Tensor(weights_.shape());
   bias_ = Tensor(Shape{config_.out_channels});
-  bias_grad_ = Tensor(Shape{config_.out_channels});
-
-  const std::int64_t dp = in_d_ + pad_d_.total();
-  const std::int64_t hp = in_h_ + pad_h_.total();
-  const std::int64_t wp = in_w_ + pad_w_.total();
-  if (plain_input_) {
-    padded_src_ = Tensor(Shape{config_.in_channels, dp, hp, wp});
-  } else {
-    padded_src_ = Tensor(Shape{config_.in_channels / kB, dp, hp, wp, kB});
-  }
 
   const Shape out{ocb, out_d_, out_h_, out_w_, kB};
   set_shapes(input, out);
   return out;
 }
 
-std::vector<ParamView> Conv3d::params() {
-  return {{name() + ".weights", &weights_, &weight_grad_},
-          {name() + ".bias", &bias_, &bias_grad_}};
+std::vector<ParamSpec> Conv3d::param_specs() {
+  return {{name() + ".weights", &weights_},
+          {name() + ".bias", &bias_}};
 }
 
 FlopCounts Conv3d::flops() const {
@@ -457,75 +449,20 @@ Tensor Conv3d::plain_weights() const {
                                             config_.in_channels);
 }
 
-Tensor Conv3d::plain_weight_grads() const {
+Tensor Conv3d::plain_weight_grads() {
+  const Tensor& wg = standalone_state().grads[0];
   return plain_input_
              ? tensor::from_blocked_weights_small_ic(
-                   weight_grad_, config_.out_channels, config_.in_channels)
-             : tensor::from_blocked_weights(
-                   weight_grad_, config_.out_channels, config_.in_channels);
+                   wg, config_.out_channels, config_.in_channels)
+             : tensor::from_blocked_weights(wg, config_.out_channels,
+                                            config_.in_channels);
 }
 
-void Conv3d::forward(const Tensor& src, Tensor& dst,
-                     runtime::ThreadPool& pool) {
-  const runtime::ScopedTimer timer(timers_.fwd);
-  if (src.shape() != input_shape() || dst.shape() != output_shape()) {
-    throw std::invalid_argument("Conv3d::forward: shape mismatch");
-  }
-  if (plain_input_) {
-    forward_plain_src(src, dst, pool);
-  } else {
-    forward_blocked(src, dst, pool);
-  }
-}
-
-void Conv3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
-                      bool need_dsrc, runtime::ThreadPool& pool) {
-  if (fused_) {
-    throw std::logic_error(
-        "Conv3d::backward: fused layer needs its forward output — use the "
-        "dst overload");
-  }
-  backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, pool);
-}
-
-void Conv3d::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
-                      Tensor& dsrc, bool need_dsrc,
-                      runtime::ThreadPool& pool) {
-  if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
-    throw std::invalid_argument("Conv3d::backward: shape mismatch");
-  }
-  {
-    CF_TRACE_SCOPE(span_label_bww().c_str(), "conv");
-    const runtime::ScopedTimer timer(timers_.bwd_weights);
-    if (fused_) {
-      if (dst.shape() != output_shape()) {
-        throw std::invalid_argument("Conv3d::backward: dst shape mismatch");
-      }
-      // One sweep masks ddst with the LeakyReLU derivative *in place*
-      // (ddst is consumed — Layer contract) and accumulates the bias
-      // gradient from the already-masked values.
-      mask_bias_grad_pass(dst, ddst, pool);
-    } else {
-      bias_grad_pass(ddst, pool);
-    }
-    // The padded source copy is still valid from forward().
-    if (plain_input_) {
-      backward_weights_plain_src(src, ddst, pool);
-    } else {
-      backward_weights_blocked(src, ddst, pool);
-    }
-  }
-  if (!need_dsrc) return;
-  CF_TRACE_SCOPE(span_label_bwd_data().c_str(), "conv");
-  const runtime::ScopedTimer timer(timers_.bwd_data);
-  if (dsrc.shape() != input_shape()) {
-    throw std::invalid_argument("Conv3d::backward: dsrc shape mismatch");
-  }
-  if (plain_input_) {
-    backward_data_plain_src(ddst, dsrc, pool);
-  } else {
-    backward_data_blocked(ddst, dsrc, pool);
-  }
+std::size_t Conv3d::forward_workspace_floats() const {
+  const std::int64_t planes = plain_input_
+                                  ? config_.in_channels
+                                  : (config_.in_channels / kB) * kB;
+  return static_cast<std::size_t>(planes * pd_ * ph_ * pw_);
 }
 
 std::size_t Conv3d::backward_scratch_floats() const {
@@ -534,11 +471,170 @@ std::size_t Conv3d::backward_scratch_floats() const {
   return plain_input_ ? 0 : weights_.size();
 }
 
-void Conv3d::bind_backward_scratch(std::span<float> scratch) {
-  bwd_scratch_ = scratch;
+namespace {
+
+/// Copies a blocked activation into its zero-padded staging workspace.
+/// The border is assumed zero on entry (see Conv3d::stage_padded_src)
+/// and interior rows are fully overwritten each call.
+void copy_padded_blocked(const Tensor& src, float* padded, const PadSpec& pd,
+                         const PadSpec& ph, const PadSpec& pw,
+                         std::int64_t hp, std::int64_t wp,
+                         runtime::ThreadPool& pool) {
+  const std::int64_t cb = src.shape()[0];
+  const std::int64_t d = src.shape()[1];
+  const std::int64_t h = src.shape()[2];
+  const std::int64_t w = src.shape()[3];
+
+  pool.parallel_for(
+      static_cast<std::size_t>(cb * d),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t c = static_cast<std::int64_t>(job) / d;
+          const std::int64_t dd = static_cast<std::int64_t>(job) % d;
+          for (std::int64_t hh = 0; hh < h; ++hh) {
+            const float* s =
+                src.data() + (((c * d + dd) * h + hh) * w) * kB;
+            float* t = padded +
+                       (((c * (d + pd.total()) + dd + pd.lo) * hp + hh +
+                         ph.lo) *
+                            wp +
+                        pw.lo) *
+                           kB;
+            std::memcpy(t, s, static_cast<std::size_t>(w) * kB *
+                                  sizeof(float));
+          }
+        }
+      });
 }
 
-void Conv3d::bias_grad_pass(const Tensor& ddst, runtime::ThreadPool& pool) {
+/// Plain-layout variant for the first layer.
+void copy_padded_plain(const Tensor& src, float* padded, const PadSpec& pd,
+                       const PadSpec& ph, const PadSpec& pw, std::int64_t hp,
+                       std::int64_t wp, runtime::ThreadPool& pool) {
+  const std::int64_t c = src.shape()[0];
+  const std::int64_t d = src.shape()[1];
+  const std::int64_t h = src.shape()[2];
+  const std::int64_t w = src.shape()[3];
+
+  pool.parallel_for(
+      static_cast<std::size_t>(c * d),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t job = begin; job < end; ++job) {
+          const std::int64_t cc = static_cast<std::int64_t>(job) / d;
+          const std::int64_t dd = static_cast<std::int64_t>(job) % d;
+          for (std::int64_t hh = 0; hh < h; ++hh) {
+            const float* s = src.data() + ((cc * d + dd) * h + hh) * w;
+            float* t = padded +
+                       ((cc * (d + pd.total()) + dd + pd.lo) * hp + hh +
+                        ph.lo) *
+                           wp +
+                       pw.lo;
+            std::memcpy(t, s,
+                        static_cast<std::size_t>(w) * sizeof(float));
+          }
+        }
+      });
+}
+
+}  // namespace
+
+void Conv3d::stage_padded_src(const Tensor& src, LayerExecState& exec,
+                              runtime::ThreadPool& pool) const {
+  const std::size_t need = forward_workspace_floats();
+  if (exec.workspace.size() < need) {
+    throw std::logic_error("Conv3d: workspace smaller than "
+                           "forward_workspace_floats()");
+  }
+  if (exec.workspace_shared) {
+    // Another layer may have scribbled over this region since the last
+    // call; re-establish the zero border. A private region was zeroed
+    // once at context creation and only ever rewritten in the interior,
+    // so it skips this (the padding values are zeros either way — the
+    // kernels see identical bits).
+    std::memset(exec.workspace.data(), 0, need * sizeof(float));
+  }
+  if (plain_input_) {
+    copy_padded_plain(src, exec.workspace.data(), pad_d_, pad_h_, pad_w_,
+                      ph_, pw_, pool);
+  } else {
+    copy_padded_blocked(src, exec.workspace.data(), pad_d_, pad_h_, pad_w_,
+                        ph_, pw_, pool);
+  }
+}
+
+void Conv3d::forward(const Tensor& src, Tensor& dst, LayerExecState& exec,
+                     runtime::ThreadPool& pool) const {
+  const runtime::ScopedTimer timer(exec.timers.fwd);
+  if (src.shape() != input_shape() || dst.shape() != output_shape()) {
+    throw std::invalid_argument("Conv3d::forward: shape mismatch");
+  }
+  stage_padded_src(src, exec, pool);
+  if (plain_input_) {
+    forward_plain_src(src, dst, exec.workspace.data(), pool);
+  } else {
+    forward_blocked(src, dst, exec.workspace.data(), pool);
+  }
+}
+
+void Conv3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
+                      bool need_dsrc, LayerExecState& exec,
+                      runtime::ThreadPool& pool) const {
+  if (fused_) {
+    throw std::logic_error(
+        "Conv3d::backward: fused layer needs its forward output — use the "
+        "dst overload");
+  }
+  backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, exec, pool);
+}
+
+void Conv3d::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
+                      Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
+                      runtime::ThreadPool& pool) const {
+  if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
+    throw std::invalid_argument("Conv3d::backward: shape mismatch");
+  }
+  if (exec.grads.size() != 2) {
+    throw std::logic_error("Conv3d::backward: exec state has no grads");
+  }
+  {
+    CF_TRACE_SCOPE(span_label_bww().c_str(), "conv");
+    const runtime::ScopedTimer timer(exec.timers.bwd_weights);
+    if (fused_) {
+      if (dst.shape() != output_shape()) {
+        throw std::invalid_argument("Conv3d::backward: dst shape mismatch");
+      }
+      // One sweep masks ddst with the LeakyReLU derivative *in place*
+      // (ddst is consumed — Layer contract) and accumulates the bias
+      // gradient from the already-masked values.
+      mask_bias_grad_pass(dst, ddst, exec.grads[1], pool);
+    } else {
+      bias_grad_pass(ddst, exec.grads[1], pool);
+    }
+    // The padded source copy in the stream's workspace is still valid
+    // from this stream's forward().
+    if (plain_input_) {
+      backward_weights_plain_src(ddst, exec.workspace.data(),
+                                 exec.grads[0], pool);
+    } else {
+      backward_weights_blocked(ddst, exec.workspace.data(), exec.grads[0],
+                               pool);
+    }
+  }
+  if (!need_dsrc) return;
+  CF_TRACE_SCOPE(span_label_bwd_data().c_str(), "conv");
+  const runtime::ScopedTimer timer(exec.timers.bwd_data);
+  if (dsrc.shape() != input_shape()) {
+    throw std::invalid_argument("Conv3d::backward: dsrc shape mismatch");
+  }
+  if (plain_input_) {
+    backward_data_plain_src(ddst, dsrc, pool);
+  } else {
+    backward_data_blocked(ddst, dsrc, exec.scratch, pool);
+  }
+}
+
+void Conv3d::bias_grad_pass(const Tensor& ddst, Tensor& bias_grad,
+                            runtime::ThreadPool& pool) const {
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t voxels = out_d_ * out_h_ * out_w_;
   pool.parallel_for(
@@ -552,7 +648,7 @@ void Conv3d::bias_grad_pass(const Tensor& ddst, runtime::ThreadPool& pool) {
           for (std::int64_t v = 0; v < voxels; ++v) {
             for (int oc = 0; oc < kB; ++oc) acc[oc] += base[v * kB + oc];
           }
-          float* bg = bias_grad_.data() + ocb * kB;
+          float* bg = bias_grad.data() + ocb * kB;
           for (int oc = 0; oc < kB; ++oc) {
             bg[oc] += static_cast<float>(acc[oc]);
           }
@@ -561,7 +657,8 @@ void Conv3d::bias_grad_pass(const Tensor& ddst, runtime::ThreadPool& pool) {
 }
 
 void Conv3d::mask_bias_grad_pass(const Tensor& dst, Tensor& ddst,
-                                 runtime::ThreadPool& pool) {
+                                 Tensor& bias_grad,
+                                 runtime::ThreadPool& pool) const {
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t voxels = out_d_ * out_h_ * out_w_;
   const float slope = slope_;
@@ -582,7 +679,7 @@ void Conv3d::mask_bias_grad_pass(const Tensor& dst, Tensor& ddst,
               acc[oc] += m;
             }
           }
-          float* bg = bias_grad_.data() + ocb * kB;
+          float* bg = bias_grad.data() + ocb * kB;
           for (int oc = 0; oc < kB; ++oc) {
             bg[oc] += static_cast<float>(acc[oc]);
           }
@@ -590,87 +687,16 @@ void Conv3d::mask_bias_grad_pass(const Tensor& dst, Tensor& ddst,
       });
 }
 
-namespace {
-
-/// Copies a blocked activation into its zero-padded scratch volume.
-/// The border was zeroed at construction and interior rows are fully
-/// overwritten each call, so no re-zeroing is needed.
-void copy_padded_blocked(const Tensor& src, Tensor& padded,
-                         const PadSpec& pd, const PadSpec& ph,
-                         const PadSpec& pw, runtime::ThreadPool& pool) {
-  const std::int64_t cb = src.shape()[0];
-  const std::int64_t d = src.shape()[1];
-  const std::int64_t h = src.shape()[2];
-  const std::int64_t w = src.shape()[3];
-  const std::int64_t hp = padded.shape()[2];
-  const std::int64_t wp = padded.shape()[3];
-
-  pool.parallel_for(
-      static_cast<std::size_t>(cb * d),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t job = begin; job < end; ++job) {
-          const std::int64_t c = static_cast<std::int64_t>(job) / d;
-          const std::int64_t dd = static_cast<std::int64_t>(job) % d;
-          for (std::int64_t hh = 0; hh < h; ++hh) {
-            const float* s =
-                src.data() + (((c * d + dd) * h + hh) * w) * kB;
-            float* t = padded.data() +
-                       (((c * (d + pd.total()) + dd + pd.lo) * hp + hh +
-                         ph.lo) *
-                            wp +
-                        pw.lo) *
-                           kB;
-            std::memcpy(t, s, static_cast<std::size_t>(w) * kB *
-                                  sizeof(float));
-          }
-        }
-      });
-}
-
-/// Plain-layout variant for the first layer.
-void copy_padded_plain(const Tensor& src, Tensor& padded, const PadSpec& pd,
-                       const PadSpec& ph, const PadSpec& pw,
-                       runtime::ThreadPool& pool) {
-  const std::int64_t c = src.shape()[0];
-  const std::int64_t d = src.shape()[1];
-  const std::int64_t h = src.shape()[2];
-  const std::int64_t w = src.shape()[3];
-  const std::int64_t hp = padded.shape()[2];
-  const std::int64_t wp = padded.shape()[3];
-
-  pool.parallel_for(
-      static_cast<std::size_t>(c * d),
-      [&](std::size_t begin, std::size_t end, std::size_t) {
-        for (std::size_t job = begin; job < end; ++job) {
-          const std::int64_t cc = static_cast<std::int64_t>(job) / d;
-          const std::int64_t dd = static_cast<std::int64_t>(job) % d;
-          for (std::int64_t hh = 0; hh < h; ++hh) {
-            const float* s = src.data() + ((cc * d + dd) * h + hh) * w;
-            float* t = padded.data() +
-                       ((cc * (d + pd.total()) + dd + pd.lo) * hp + hh +
-                        ph.lo) *
-                           wp +
-                       pw.lo;
-            std::memcpy(t, s,
-                        static_cast<std::size_t>(w) * sizeof(float));
-          }
-        }
-      });
-}
-
-}  // namespace
-
-void Conv3d::forward_blocked(const Tensor& src, Tensor& dst,
-                             runtime::ThreadPool& pool) {
-  copy_padded_blocked(src, padded_src_, pad_d_, pad_h_, pad_w_, pool);
-
+void Conv3d::forward_blocked(const Tensor& /*src*/, Tensor& dst,
+                             const float* padded,
+                             runtime::ThreadPool& pool) const {
   const std::int64_t icb_count = config_.in_channels / kB;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
   const std::int64_t stride = config_.stride;
-  const std::int64_t dp = padded_src_.shape()[1];
-  const std::int64_t hp = padded_src_.shape()[2];
-  const std::int64_t wp = padded_src_.shape()[3];
+  const std::int64_t dp = pd_;
+  const std::int64_t hp = ph_;
+  const std::int64_t wp = pw_;
 
   // Thread decomposition over the output voxel space: one task per
   // (ocb, od) slab.
@@ -693,8 +719,7 @@ void Conv3d::forward_blocked(const Tensor& src, Tensor& dst,
                 for (std::int64_t kh = 0; kh < k; ++kh) {
                   const std::int64_t ih = oh * stride + kh;
                   const float* srow =
-                      padded_src_.data() +
-                      (((icb * dp + id) * hp + ih) * wp) * kB;
+                      padded + (((icb * dp + id) * hp + ih) * wp) * kB;
                   const float* wtile =
                       weights_.data() +
                       ((((ocb * icb_count + icb) * k + kd) * k + kh) * k) *
@@ -778,17 +803,16 @@ inline void micro_fwd_row_ic1(float* __restrict dst_row,
 
 #endif  // __AVX512F__
 
-void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
-                               runtime::ThreadPool& pool) {
-  copy_padded_plain(src, padded_src_, pad_d_, pad_h_, pad_w_, pool);
-
+void Conv3d::forward_plain_src(const Tensor& /*src*/, Tensor& dst,
+                               const float* padded,
+                               runtime::ThreadPool& pool) const {
   const std::int64_t ic_count = config_.in_channels;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
   const std::int64_t stride = config_.stride;
-  const std::int64_t dp = padded_src_.shape()[1];
-  const std::int64_t hp = padded_src_.shape()[2];
-  const std::int64_t wp = padded_src_.shape()[3];
+  const std::int64_t dp = pd_;
+  const std::int64_t hp = ph_;
+  const std::int64_t wp = pw_;
 
 #if defined(__AVX512F__)
   if (ic_count == 1) {
@@ -810,7 +834,7 @@ void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
                 for (std::int64_t kh = 0; kh < k; ++kh, ++tap) {
                   const std::int64_t ih = oh * stride + kh;
                   splanes[static_cast<std::size_t>(tap)] =
-                      padded_src_.data() + (id * hp + ih) * wp;
+                      padded + (id * hp + ih) * wp;
                   wtaps[static_cast<std::size_t>(tap)] =
                       weights_.data() +
                       (((ocb * k + kd) * k + kh) * k) * kB;
@@ -854,8 +878,7 @@ void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
                           kB;
                   for (std::int64_t ic = 0; ic < ic_count; ++ic) {
                     const float* splane =
-                        padded_src_.data() +
-                        ((ic * dp + id) * hp + ih) * wp + kw;
+                        padded + ((ic * dp + id) * hp + ih) * wp + kw;
                     const float* wrow = wtile + ic * kB;
                     for (std::int64_t ow = 0; ow < out_w_; ++ow) {
                       const float sv = splane[ow * stride];
@@ -883,16 +906,17 @@ void Conv3d::forward_plain_src(const Tensor& src, Tensor& dst,
       });
 }
 
-void Conv3d::backward_weights_blocked(const Tensor& /*src*/,
-                                      const Tensor& ddst,
-                                      runtime::ThreadPool& pool) {
+void Conv3d::backward_weights_blocked(const Tensor& ddst,
+                                      const float* padded,
+                                      Tensor& weight_grad,
+                                      runtime::ThreadPool& pool) const {
   const std::int64_t icb_count = config_.in_channels / kB;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
   const std::int64_t stride = config_.stride;
-  const std::int64_t dp = padded_src_.shape()[1];
-  const std::int64_t hp = padded_src_.shape()[2];
-  const std::int64_t wp = padded_src_.shape()[3];
+  const std::int64_t dp = pd_;
+  const std::int64_t hp = ph_;
+  const std::int64_t wp = pw_;
 
   // Weight gradient: teams over (ocb, icb, kd) tiles — disjoint writes,
   // no reduction needed when there are enough channel blocks (the
@@ -917,13 +941,12 @@ void Conv3d::backward_weights_blocked(const Tensor& /*src*/,
                       ddst.data() +
                       (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
                   const float* srow =
-                      padded_src_.data() +
-                      (((icb * dp + id) * hp + ih) * wp + kw) * kB;
+                      padded + (((icb * dp + id) * hp + ih) * wp + kw) * kB;
                   micro_bww_row(acc.data(), srow, drow, out_w_, stride);
                 }
               }
               float* wtile =
-                  weight_grad_.data() +
+                  weight_grad.data() +
                   ((((ocb * icb_count + icb) * k + kd) * k + kh) * k + kw) *
                       kB * kB;
               for (std::int64_t i = 0; i < kB * kB; ++i) {
@@ -935,16 +958,17 @@ void Conv3d::backward_weights_blocked(const Tensor& /*src*/,
       });
 }
 
-void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
-                                        const Tensor& ddst,
-                                        runtime::ThreadPool& pool) {
+void Conv3d::backward_weights_plain_src(const Tensor& ddst,
+                                        const float* padded,
+                                        Tensor& weight_grad,
+                                        runtime::ThreadPool& pool) const {
   const std::int64_t ic_count = config_.in_channels;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
   const std::int64_t stride = config_.stride;
-  const std::int64_t dp = padded_src_.shape()[1];
-  const std::int64_t hp = padded_src_.shape()[2];
-  const std::int64_t wp = padded_src_.shape()[3];
+  const std::int64_t dp = pd_;
+  const std::int64_t hp = ph_;
+  const std::int64_t wp = pw_;
 
   pool.parallel_for(
       static_cast<std::size_t>(ocb_count * k),
@@ -975,8 +999,7 @@ void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
                         ddst.data() +
                         (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) *
                             kB;
-                    const float* splane = padded_src_.data() +
-                                          (id * hp + ih) * wp + kw;
+                    const float* splane = padded + (id * hp + ih) * wp + kw;
                     std::int64_t ow = 0;
                     for (; ow + 8 <= out_w_; ow += 8) {
                       const float* d = drow + ow * kB;
@@ -1019,7 +1042,7 @@ void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
                     _mm512_add_ps(_mm512_add_ps(a4, a5),
                                   _mm512_add_ps(a6, a7)));
                 float* wtile =
-                    weight_grad_.data() +
+                    weight_grad.data() +
                     (((ocb * k + kd) * k + kh) * k + kw) * kB;
                 _mm512_storeu_ps(
                     wtile, _mm512_add_ps(_mm512_loadu_ps(wtile), total));
@@ -1035,9 +1058,8 @@ void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
                       ddst.data() +
                       (((ocb * out_d_ + od) * out_h_ + oh) * out_w_) * kB;
                   for (std::int64_t ic = 0; ic < ic_count; ++ic) {
-                    const float* splane = padded_src_.data() +
-                                          ((ic * dp + id) * hp + ih) * wp +
-                                          kw;
+                    const float* splane =
+                        padded + ((ic * dp + id) * hp + ih) * wp + kw;
                     float* arow = acc.data() + ic * kB;
                     for (std::int64_t ow = 0; ow < out_w_; ++ow) {
                       const float sv = splane[ow * stride];
@@ -1050,7 +1072,7 @@ void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
                 }
               }
               float* wtile =
-                  weight_grad_.data() +
+                  weight_grad.data() +
                   (((ocb * k + kd) * k + kh) * k + kw) * ic_count * kB;
               for (std::int64_t i = 0; i < ic_count * kB; ++i) {
                 wtile[i] += acc[static_cast<std::size_t>(i)];
@@ -1062,20 +1084,21 @@ void Conv3d::backward_weights_plain_src(const Tensor& /*src*/,
 }
 
 void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
-                                   runtime::ThreadPool& pool) {
+                                   std::span<float> scratch,
+                                   runtime::ThreadPool& pool) const {
   const std::int64_t icb_count = config_.in_channels / kB;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
   const std::int64_t stride = config_.stride;
 
+  if (scratch.size() < weights_.size()) {
+    throw std::logic_error("Conv3d: backward scratch smaller than "
+                           "backward_scratch_floats()");
+  }
+
   // Transpose every 16ic x 16oc weight tile into 16oc x 16ic once per
   // step so the gather kernel broadcasts ddst lanes against contiguous
   // ic rows — the exact mirror of the forward kernel's access pattern.
-  std::span<float> scratch = bwd_scratch_;
-  if (scratch.size() < weights_.size()) {
-    own_scratch_.resize(weights_.size());
-    scratch = own_scratch_;
-  }
   float* const wt_base = scratch.data();
   const std::int64_t tiles = ocb_count * icb_count * k * k * k;
   const std::size_t transpose_grain =
@@ -1173,7 +1196,7 @@ void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
 }
 
 void Conv3d::backward_data_plain_src(const Tensor& ddst, Tensor& dsrc,
-                                     runtime::ThreadPool& pool) {
+                                     runtime::ThreadPool& pool) const {
   // Cold path: the first layer's input difference signal is only
   // needed when a Conv3d with IC < 16 sits mid-network, which the
   // CosmoFlow topology never does. Use the reference kernel on plain

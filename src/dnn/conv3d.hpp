@@ -14,6 +14,11 @@
 // TensorFlow). The first layer of the network has a single input
 // channel; it uses a dedicated plain-source kernel instead of blowing
 // the 128^3 input up to 16 channels.
+//
+// The layer object is immutable per stream: all per-step staging (the
+// zero-padded source copy, the transposed-weight scratch, the weight
+// and bias gradients) lives in the LayerExecState the caller passes in,
+// so concurrent streams can share one Conv3d.
 #pragma once
 
 #include <memory>
@@ -54,21 +59,28 @@ class Conv3d final : public Layer {
   /// {OCb, OD, OH, OW, 16}. out_channels must be a multiple of 16.
   tensor::Shape plan(const tensor::Shape& input) override;
 
+  using Layer::backward;
+  using Layer::forward;
+
   void forward(const tensor::Tensor& src, tensor::Tensor& dst,
-               runtime::ThreadPool& pool) override;
+               LayerExecState& exec,
+               runtime::ThreadPool& pool) const override;
   void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
-                tensor::Tensor& dsrc, bool need_dsrc,
-                runtime::ThreadPool& pool) override;
+                tensor::Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
+                runtime::ThreadPool& pool) const override;
   void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
-                tensor::Tensor& ddst, tensor::Tensor& dsrc,
-                bool need_dsrc, runtime::ThreadPool& pool) override;
+                tensor::Tensor& ddst, tensor::Tensor& dsrc, bool need_dsrc,
+                LayerExecState& exec,
+                runtime::ThreadPool& pool) const override;
+
+  /// Forward stages the source into a zero-padded workspace (written by
+  /// forward, re-read by backward-weights of the same stream).
+  std::size_t forward_workspace_floats() const override;
 
   /// Backward-data reads the weights transposed ({..., 16oc, 16ic});
-  /// the transposed copy lives in a scratch arena the network memory
-  /// planner shares across layers (DESIGN.md §2.2). Standalone use
-  /// (tests) falls back to a lazily allocated private buffer.
+  /// the transposed copy lives in the stream's scratch span, which a
+  /// planned context shares across layers (DESIGN.md §2.2).
   std::size_t backward_scratch_floats() const override;
-  void bind_backward_scratch(std::span<float> scratch) override;
 
   /// MKL-DNN-style post-op fusion: fold a trailing LeakyReLU into the
   /// forward output write and mask ddst once on backward entry. For
@@ -77,7 +89,7 @@ class Conv3d final : public Layer {
   bool fuse_leaky_relu(float slope) override;
   bool fused() const noexcept { return fused_; }
 
-  std::vector<ParamView> params() override;
+  std::vector<ParamSpec> param_specs() override;
   FlopCounts flops() const override;
 
   const Conv3dConfig& config() const noexcept { return config_; }
@@ -90,10 +102,14 @@ class Conv3d final : public Layer {
   void set_plain_weights(const tensor::Tensor& weights,
                          const tensor::Tensor& bias);
   tensor::Tensor plain_weights() const;
-  tensor::Tensor plain_weight_grads() const;
+
+  /// Standalone-drive gradient views (the layer-owned LayerExecState
+  /// behind the convenience forward/backward overloads). Context-driven
+  /// gradients live in the context instead.
+  tensor::Tensor plain_weight_grads();
+  const tensor::Tensor& bias_grad() { return standalone_state().grads[1]; }
 
   const tensor::Tensor& bias() const noexcept { return bias_; }
-  const tensor::Tensor& bias_grad() const noexcept { return bias_grad_; }
 
   /// When false (default for the first network layer via Network),
   /// backward skips the input difference signal.
@@ -101,25 +117,38 @@ class Conv3d final : public Layer {
 
  private:
   void forward_blocked(const tensor::Tensor& src, tensor::Tensor& dst,
-                       runtime::ThreadPool& pool);
+                       const float* padded,
+                       runtime::ThreadPool& pool) const;
   void forward_plain_src(const tensor::Tensor& src, tensor::Tensor& dst,
-                         runtime::ThreadPool& pool);
-  void bias_grad_pass(const tensor::Tensor& ddst,
-                      runtime::ThreadPool& pool);
+                         const float* padded,
+                         runtime::ThreadPool& pool) const;
+  void bias_grad_pass(const tensor::Tensor& ddst, tensor::Tensor& bias_grad,
+                      runtime::ThreadPool& pool) const;
   void mask_bias_grad_pass(const tensor::Tensor& dst, tensor::Tensor& ddst,
-                           runtime::ThreadPool& pool);
-  void backward_weights_blocked(const tensor::Tensor& src,
-                                const tensor::Tensor& ddst,
-                                runtime::ThreadPool& pool);
-  void backward_weights_plain_src(const tensor::Tensor& src,
-                                  const tensor::Tensor& ddst,
-                                  runtime::ThreadPool& pool);
+                           tensor::Tensor& bias_grad,
+                           runtime::ThreadPool& pool) const;
+  void backward_weights_blocked(const tensor::Tensor& ddst,
+                                const float* padded,
+                                tensor::Tensor& weight_grad,
+                                runtime::ThreadPool& pool) const;
+  void backward_weights_plain_src(const tensor::Tensor& ddst,
+                                  const float* padded,
+                                  tensor::Tensor& weight_grad,
+                                  runtime::ThreadPool& pool) const;
   void backward_data_blocked(const tensor::Tensor& ddst,
-                             tensor::Tensor& dsrc,
-                             runtime::ThreadPool& pool);
+                             tensor::Tensor& dsrc, std::span<float> scratch,
+                             runtime::ThreadPool& pool) const;
   void backward_data_plain_src(const tensor::Tensor& ddst,
                                tensor::Tensor& dsrc,
-                               runtime::ThreadPool& pool);
+                               runtime::ThreadPool& pool) const;
+
+  /// Stages `src` into the stream's padded workspace. When the
+  /// workspace is shared between layers the zero border may have been
+  /// clobbered since the context was created, so it is re-zeroed here;
+  /// a private (per-layer) region keeps its construction-time zeros and
+  /// only the interior rows are rewritten.
+  void stage_padded_src(const tensor::Tensor& src, LayerExecState& exec,
+                        runtime::ThreadPool& pool) const;
 
   Conv3dConfig config_;
   bool plain_input_ = false;
@@ -128,26 +157,18 @@ class Conv3d final : public Layer {
   bool fused_ = false;
   float slope_ = 0.0f;
 
-  // Spatial geometry (set by plan).
+  // Spatial geometry (set by plan). pd_/ph_/pw_ are the padded extents
+  // in_x_ + pad_x_.total() of the staging workspace.
   std::int64_t in_d_ = 0, in_h_ = 0, in_w_ = 0;
   std::int64_t out_d_ = 0, out_h_ = 0, out_w_ = 0;
+  std::int64_t pd_ = 0, ph_ = 0, pw_ = 0;
   PadSpec pad_d_, pad_h_, pad_w_;
 
   // Parameters. Weights live permanently in the blocked layout
   // ({OCb, ICb, K, K, K, 16ic, 16oc}, or {OCb, K, K, K, IC, 16oc} for
   // the plain-input case).
   tensor::Tensor weights_;
-  tensor::Tensor weight_grad_;
   tensor::Tensor bias_;
-  tensor::Tensor bias_grad_;
-
-  // Scratch reused across steps: zero-padded source copy (written by
-  // forward, read by backward-weights).
-  tensor::Tensor padded_src_;
-  // Transposed-weight scratch for backward-data: a span into the
-  // network-shared arena when planned, else the private fallback.
-  std::span<float> bwd_scratch_{};
-  std::vector<float> own_scratch_;
 };
 
 // ---------------------------------------------------------------------------

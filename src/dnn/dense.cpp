@@ -28,17 +28,15 @@ Shape Dense::plan(const Shape& input) {
                                 input.to_string());
   }
   weights_ = Tensor(Shape{in_, out_});
-  weight_grad_ = Tensor(Shape{in_, out_});
   bias_ = Tensor(Shape{out_});
-  bias_grad_ = Tensor(Shape{out_});
   const Shape out{out_};
   set_shapes(input, out);
   return out;
 }
 
-std::vector<ParamView> Dense::params() {
-  return {{name() + ".weights", &weights_, &weight_grad_},
-          {name() + ".bias", &bias_, &bias_grad_}};
+std::vector<ParamSpec> Dense::param_specs() {
+  return {{name() + ".weights", &weights_},
+          {name() + ".bias", &bias_}};
 }
 
 FlopCounts Dense::flops() const {
@@ -72,9 +70,9 @@ void Dense::init_xavier(runtime::Rng& rng) {
   bias_.zero();
 }
 
-void Dense::forward(const Tensor& src, Tensor& dst,
-                    runtime::ThreadPool& pool) {
-  const runtime::ScopedTimer timer(timers_.fwd);
+void Dense::forward(const Tensor& src, Tensor& dst, LayerExecState& exec,
+                    runtime::ThreadPool& pool) const {
+  const runtime::ScopedTimer timer(exec.timers.fwd);
   if (src.shape() != input_shape() || dst.shape() != output_shape()) {
     throw std::invalid_argument("Dense::forward: shape mismatch");
   }
@@ -124,27 +122,33 @@ void Dense::forward(const Tensor& src, Tensor& dst,
 }
 
 void Dense::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
-                     bool need_dsrc, runtime::ThreadPool& pool) {
+                     bool need_dsrc, LayerExecState& exec,
+                     runtime::ThreadPool& pool) const {
   if (fused_) {
     throw std::logic_error(
         "Dense::backward: fused layer needs its forward output — use the "
         "dst overload");
   }
-  backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, pool);
+  backward(src, /*dst=*/ddst, ddst, dsrc, need_dsrc, exec, pool);
 }
 
 void Dense::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
-                     Tensor& dsrc, bool need_dsrc,
-                     runtime::ThreadPool& pool) {
+                     Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
+                     runtime::ThreadPool& pool) const {
   if (src.shape() != input_shape() || ddst.shape() != output_shape()) {
     throw std::invalid_argument("Dense::backward: shape mismatch");
   }
+  if (exec.grads.size() != 2) {
+    throw std::logic_error("Dense::backward: exec state has no grads");
+  }
+  Tensor& weight_grad = exec.grads[0];
+  Tensor& bias_grad = exec.grads[1];
   const std::size_t grain =
       in_ * out_ <= kSerialWorkLimit ? static_cast<std::size_t>(in_) : 1;
   const float* d = ddst.data();
   {
     CF_TRACE_SCOPE(span_label_bww().c_str(), "dense");
-    const runtime::ScopedTimer timer(timers_.bwd_weights);
+    const runtime::ScopedTimer timer(exec.timers.bwd_weights);
     if (fused_) {
       if (dst.shape() != output_shape()) {
         throw std::invalid_argument("Dense::backward: dst shape mismatch");
@@ -157,13 +161,13 @@ void Dense::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
         md[o] = y[o] > 0.0f ? md[o] : slope_ * md[o];
       }
     }
-    tensor::axpy(1.0f, ddst.values(), bias_grad_.values());
+    tensor::axpy(1.0f, ddst.values(), bias_grad.values());
     pool.parallel_for(
         static_cast<std::size_t>(in_),
         [&](std::size_t begin, std::size_t end, std::size_t) {
           for (std::size_t i = begin; i < end; ++i) {
             const float sv = src[i];
-            float* grow = weight_grad_.data() + i * out_;
+            float* grow = weight_grad.data() + i * out_;
             for (std::int64_t o = 0; o < out_; ++o) grow[o] += d[o] * sv;
           }
         },
@@ -171,7 +175,7 @@ void Dense::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
   }
   if (!need_dsrc) return;
   CF_TRACE_SCOPE(span_label_bwd_data().c_str(), "dense");
-  const runtime::ScopedTimer timer(timers_.bwd_data);
+  const runtime::ScopedTimer timer(exec.timers.bwd_data);
   if (dsrc.shape() != input_shape()) {
     throw std::invalid_argument("Dense::backward: dsrc shape mismatch");
   }

@@ -20,21 +20,26 @@ class Dense final : public Layer {
   /// Input: plain {in_features}. Output: plain {out_features}.
   tensor::Shape plan(const tensor::Shape& input) override;
 
+  using Layer::backward;
+  using Layer::forward;
+
   void forward(const tensor::Tensor& src, tensor::Tensor& dst,
-               runtime::ThreadPool& pool) override;
+               LayerExecState& exec,
+               runtime::ThreadPool& pool) const override;
   void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
-                tensor::Tensor& dsrc, bool need_dsrc,
-                runtime::ThreadPool& pool) override;
+                tensor::Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
+                runtime::ThreadPool& pool) const override;
   void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
-                tensor::Tensor& ddst, tensor::Tensor& dsrc,
-                bool need_dsrc, runtime::ThreadPool& pool) override;
+                tensor::Tensor& ddst, tensor::Tensor& dsrc, bool need_dsrc,
+                LayerExecState& exec,
+                runtime::ThreadPool& pool) const override;
 
   /// Post-op fusion of a trailing LeakyReLU (see Conv3d::fuse_leaky_relu
   /// for the bitwise-equivalence argument).
   bool fuse_leaky_relu(float slope) override;
   bool fused() const noexcept { return fused_; }
 
-  std::vector<ParamView> params() override;
+  std::vector<ParamSpec> param_specs() override;
   FlopCounts flops() const override;
 
   /// Deterministic Xavier/Glorot initialization.
@@ -54,9 +59,7 @@ class Dense final : public Layer {
   bool fused_ = false;
   float slope_ = 0.0f;
   tensor::Tensor weights_;
-  tensor::Tensor weight_grad_;
   tensor::Tensor bias_;
-  tensor::Tensor bias_grad_;
 };
 
 }  // namespace cf::dnn

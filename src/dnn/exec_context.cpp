@@ -1,0 +1,284 @@
+#include "dnn/exec_context.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "dnn/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+
+namespace cf::dnn {
+
+using tensor::Tensor;
+
+ExecContext::ExecContext(Network& net, ExecMode mode)
+    : net_(&net), mode_(mode) {
+  input_ = Tensor(net.input_shape());
+  exec_.resize(net.layer_count());
+  if (mode_ == ExecMode::kTraining) {
+    build_training_buffers();
+  } else {
+    build_inference_buffers();
+  }
+  auto& reg = obs::Registry::global();
+  reg.gauge("dnn/ctx/mode").set(mode_ == ExecMode::kInference ? 1.0 : 0.0);
+  reg.gauge("dnn/ctx/activation_bytes")
+      .set(static_cast<double>(activation_bytes()));
+  reg.gauge("dnn/ctx/total_bytes").set(static_cast<double>(total_bytes()));
+}
+
+void ExecContext::build_training_buffers() {
+  const Network::MemPlan& plan = net_->mem_plan();
+  const bool planned = net_->memory_planning();
+  const std::size_t n_layers = net_->layer_count();
+
+  // Activations: per-layer storage — backward re-reads every one of
+  // them (layer i's backward takes its own forward output *and* its
+  // input), so nothing can be collapsed here.
+  activations_.reserve(n_layers);
+  diffs_.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    activations_.emplace_back(net_->layer(i).output_shape());
+    diffs_.emplace_back(net_->layer(i).output_shape());
+  }
+  act_bytes_ = plan.act_sum * sizeof(float);
+
+  // Diffs: the parity ping-pong arena when the network was finalized
+  // with memory planning (layer i reads parity i%2, writes parity
+  // (i-1)%2 — never a live pair on one buffer), per-layer storage
+  // otherwise.
+  if (planned) {
+    diff_arena_ =
+        runtime::AlignedBuffer<float>(plan.diff_even + plan.diff_odd);
+    for (std::size_t i = 0; i < n_layers; ++i) {
+      float* base = diff_arena_.data() + (i % 2 == 0 ? 0 : plan.diff_even);
+      diffs_[i].rebind({base, diffs_[i].size()});
+    }
+    diff_bytes_ = diff_arena_.size() * sizeof(float);
+  } else {
+    diff_bytes_ = plan.diff_sum * sizeof(float);
+  }
+
+  // Backward scratch: one layer's backward runs at a time within a
+  // stream, so the planner hands every layer the same max-sized arena;
+  // unplanned contexts keep disjoint per-layer regions.
+  if (planned) {
+    scratch_arena_ = runtime::AlignedBuffer<float>(plan.scratch_max);
+    for (std::size_t i = 0; i < n_layers; ++i) {
+      const std::size_t sc = net_->layer(i).backward_scratch_floats();
+      if (sc > 0) exec_[i].scratch = {scratch_arena_.data(), sc};
+    }
+  } else {
+    scratch_arena_ = runtime::AlignedBuffer<float>(plan.scratch_sum);
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < n_layers; ++i) {
+      const std::size_t sc = net_->layer(i).backward_scratch_floats();
+      if (sc > 0) exec_[i].scratch = {scratch_arena_.data() + off, sc};
+      off += sc;
+    }
+  }
+
+  // Forward staging: disjoint per-layer regions, zeroed once — each
+  // layer's region keeps its zero borders between calls (nothing else
+  // touches it), so conv staging skips the per-call border memset.
+  workspace_arena_ = runtime::AlignedBuffer<float>(plan.workspace_sum);
+  if (!workspace_arena_.empty()) {
+    std::memset(workspace_arena_.data(), 0,
+                workspace_arena_.size() * sizeof(float));
+  }
+  {
+    std::size_t off = 0;
+    for (std::size_t i = 0; i < n_layers; ++i) {
+      const std::size_t ws = net_->layer(i).forward_workspace_floats();
+      if (ws > 0) exec_[i].workspace = {workspace_arena_.data() + off, ws};
+      off += ws;
+    }
+  }
+
+  // Gradients: one flat arena with the exact layout of the network's
+  // param arena, each layer's gradient tensors rebound onto its
+  // segment (the allreduce operates on grad_arena() in place).
+  grad_arena_ = runtime::AlignedBuffer<float>(net_->param_arena().size());
+  zero_grads();
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    std::vector<ParamSpec> specs = net_->layer(i).param_specs();
+    exec_[i].grads.reserve(specs.size());
+    for (const ParamSpec& spec : specs) {
+      const std::size_t n =
+          static_cast<std::size_t>(spec.value->shape().numel());
+      Tensor grad(spec.value->shape());
+      grad.rebind({grad_arena_.data() + off, n});
+      exec_[i].grads.push_back(std::move(grad));
+      off += n;
+    }
+  }
+}
+
+void ExecContext::build_inference_buffers() {
+  const Network::MemPlan& plan = net_->mem_plan();
+  const std::size_t n_layers = net_->layer_count();
+
+  // Forward-only liveness: layer i reads activation i-1 and writes
+  // activation i, then i-1 is dead — the parity ping-pong trick the
+  // planner applies to diffs works on the activations themselves. Only
+  // the two largest per-parity tensors are ever resident.
+  act_arena_ = runtime::AlignedBuffer<float>(plan.act_even + plan.act_odd);
+  activations_.reserve(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    Tensor act(net_->layer(i).output_shape());
+    float* base = act_arena_.data() + (i % 2 == 0 ? 0 : plan.act_even);
+    act.rebind({base, act.size()});
+    activations_.push_back(std::move(act));
+  }
+  act_bytes_ = act_arena_.size() * sizeof(float);
+
+  // One shared staging workspace sized to the largest request. When
+  // more than one layer uses it, each conv re-establishes its zero
+  // border on entry (LayerExecState::workspace_shared).
+  workspace_arena_ = runtime::AlignedBuffer<float>(plan.workspace_max);
+  if (!workspace_arena_.empty()) {
+    std::memset(workspace_arena_.data(), 0,
+                workspace_arena_.size() * sizeof(float));
+  }
+  std::size_t users = 0;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    if (net_->layer(i).forward_workspace_floats() > 0) ++users;
+  }
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const std::size_t ws = net_->layer(i).forward_workspace_floats();
+    if (ws == 0) continue;
+    exec_[i].workspace = {workspace_arena_.data(), ws};
+    exec_[i].workspace_shared = users > 1;
+  }
+  // No diffs, no backward scratch, no gradients: backward() and
+  // params() throw in this mode.
+}
+
+const Tensor& ExecContext::forward(const Tensor& input,
+                                   runtime::ThreadPool& pool) {
+  if (input.shape() != net_->input_shape()) {
+    throw std::invalid_argument("ExecContext::forward: input shape " +
+                                input.shape().to_string() + ", expected " +
+                                net_->input_shape().to_string());
+  }
+  CF_TRACE_SCOPE("net/forward", "dnn");
+  std::memcpy(input_.data(), input.data(), input.size() * sizeof(float));
+  const Tensor* src = &input_;
+  for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+    const Layer& layer = net_->layer(i);
+    CF_TRACE_SCOPE(layer.span_label_fwd().c_str(), layer.kind().c_str());
+    layer.forward(*src, activations_[i], exec_[i], pool);
+    src = &activations_[i];
+  }
+  forward_done_ = true;
+  return activations_.back();
+}
+
+void ExecContext::backward(const Tensor& dloss, runtime::ThreadPool& pool,
+                           const GradReadyCallback& grad_ready) {
+  if (mode_ != ExecMode::kTraining) {
+    throw std::logic_error(
+        "ExecContext::backward: inference context has no backward state");
+  }
+  if (!forward_done_) {
+    throw std::logic_error("ExecContext::backward: no preceding forward");
+  }
+  if (dloss.shape() != net_->output_shape()) {
+    throw std::invalid_argument(
+        "ExecContext::backward: dloss shape mismatch");
+  }
+  CF_TRACE_SCOPE("net/backward", "dnn");
+  std::memcpy(diffs_.back().data(), dloss.data(),
+              dloss.size() * sizeof(float));
+  for (std::size_t i = net_->layer_count(); i-- > 0;) {
+    const Layer& layer = net_->layer(i);
+    const Tensor& src = i == 0 ? input_ : activations_[i - 1];
+    const bool need_dsrc = i > 0;
+    // diffs_[i - 1] is overwritten by layer i's backward; pass a dummy
+    // for the first layer (its dsrc is skipped).
+    Tensor& dsrc = need_dsrc ? diffs_[i - 1] : diffs_[0];
+    {
+      CF_TRACE_SCOPE(layer.span_label_bwd().c_str(), layer.kind().c_str());
+      // The dst overload: fused layers recover their activation mask
+      // from their own forward output.
+      layer.backward(src, activations_[i], diffs_[i], dsrc, need_dsrc,
+                     exec_[i], pool);
+    }
+    if (grad_ready && net_->segment_size(i) > 0) grad_ready(i);
+  }
+}
+
+void ExecContext::zero_grads() {
+  if (grad_arena_.empty()) return;
+  std::memset(grad_arena_.data(), 0, grad_arena_.size() * sizeof(float));
+}
+
+std::vector<ParamView> ExecContext::params() {
+  if (mode_ != ExecMode::kTraining) {
+    throw std::logic_error(
+        "ExecContext::params: inference context has no gradients");
+  }
+  std::vector<ParamView> views;
+  for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+    std::vector<ParamSpec> specs = net_->layer(i).param_specs();
+    for (std::size_t j = 0; j < specs.size(); ++j) {
+      views.push_back({specs[j].name, specs[j].value, &exec_[i].grads[j]});
+    }
+  }
+  return views;
+}
+
+std::span<float> ExecContext::grad_segment(std::size_t i) {
+  return grad_arena().subspan(net_->segment_offset(i),
+                              net_->segment_size(i));
+}
+
+void ExecContext::copy_grads_to(std::span<float> out) {
+  if (out.size() != grad_arena_.size()) {
+    throw std::invalid_argument(
+        "ExecContext::copy_grads_to: span size mismatch");
+  }
+  if (grad_arena_.empty()) return;
+  std::memcpy(out.data(), grad_arena_.data(),
+              grad_arena_.size() * sizeof(float));
+}
+
+void ExecContext::set_grads_from(std::span<const float> in) {
+  if (in.size() != grad_arena_.size()) {
+    throw std::invalid_argument(
+        "ExecContext::set_grads_from: span size mismatch");
+  }
+  if (grad_arena_.empty()) return;
+  std::memcpy(grad_arena_.data(), in.data(),
+              grad_arena_.size() * sizeof(float));
+}
+
+std::vector<LayerProfile> ExecContext::profiles() const {
+  std::vector<LayerProfile> rows;
+  rows.reserve(net_->layer_count());
+  for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+    const Layer& layer = net_->layer(i);
+    LayerProfile row;
+    row.name = layer.name();
+    row.kind = layer.kind();
+    row.fwd = exec_[i].timers.fwd;
+    row.bwd_data = exec_[i].timers.bwd_data;
+    row.bwd_weights = exec_[i].timers.bwd_weights;
+    row.flops = layer.flops();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+void ExecContext::reset_profiles() {
+  for (auto& st : exec_) st.timers = LayerTimers{};
+}
+
+std::size_t ExecContext::total_bytes() const noexcept {
+  return input_.size() * sizeof(float) + activation_bytes() +
+         diff_arena_bytes() + scratch_bytes() + workspace_bytes() +
+         grad_bytes();
+}
+
+}  // namespace cf::dnn

@@ -1,0 +1,156 @@
+// Per-stream execution state for a finalized dnn::Network.
+//
+// The model/stream split (DESIGN.md §2.3): a Network holds only
+// immutable-after-finalize state — the layers (geometry + weights in
+// the flat param arena) and the plans computed by the fusion and
+// memory-planner passes. Everything one execution stream mutates lives
+// here instead: the input staging copy, the activation buffers, the
+// parity ping-pong diff arena, the shared backward scratch, the flat
+// gradient arena, and each layer's LayerExecState (timers, forward
+// staging workspace, gradient tensors). N contexts over one Network run
+// forward concurrently against one shared weight copy.
+//
+// ExecMode picks what gets allocated:
+//  * kTraining — the full set. Buffer placement matches the planner
+//    exactly (parity diff arena + shared scratch when the network was
+//    finalized with memory planning, per-layer buffers otherwise), so a
+//    training step through a context is bitwise identical to the
+//    pre-split Network-owned step.
+//  * kInference — forward-only: activations collapse onto a parity
+//    ping-pong arena (layer i writes parity i%2, reads parity (i-1)%2,
+//    never aliasing), one shared conv staging workspace sized to the
+//    largest request, and *no* diff/scratch/grad arenas at all.
+//    backward(), zero_grads() and params() throw.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "dnn/layer.hpp"
+#include "runtime/aligned_buffer.hpp"
+
+namespace cf::dnn {
+
+class Network;
+
+enum class ExecMode { kTraining, kInference };
+
+class ExecContext {
+ public:
+  /// Built by Network::make_context. The context holds a pointer to the
+  /// network: the network must outlive it and stay put (heap-owned or
+  /// otherwise address-stable).
+  ExecContext(Network& net, ExecMode mode);
+
+  ExecContext(ExecContext&&) = default;
+  ExecContext& operator=(ExecContext&&) = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+
+  ExecMode mode() const noexcept { return mode_; }
+
+  /// Runs the forward pass through this stream; the returned view stays
+  /// valid until the next forward() on the same context.
+  const tensor::Tensor& forward(const tensor::Tensor& input,
+                                runtime::ThreadPool& pool);
+
+  /// Invoked by backward() right after layer `i`'s backward pass (its
+  /// bwd_weights included) finishes, i.e. the moment grad_segment(i)
+  /// holds this step's final local gradients. Layers are visited last
+  /// to first, so segments become ready tail-first and contiguously —
+  /// callers can coalesce them into buckets and start communicating
+  /// while earlier layers are still computing.
+  using GradReadyCallback = std::function<void(std::size_t layer_index)>;
+
+  /// Runs the backward pass from the loss gradient w.r.t. the network
+  /// output. Parameter gradients accumulate into this context's grad
+  /// arena; the first layer's input difference signal is skipped (the
+  /// input is data, §V-A workflow). Requires a preceding forward() on
+  /// this context; training mode only.
+  void backward(const tensor::Tensor& dloss, runtime::ThreadPool& pool,
+                const GradReadyCallback& grad_ready = {});
+
+  void zero_grads();
+
+  /// Parameter views pairing the network's (shared) values with this
+  /// context's gradients, in layer order — the optimizer input.
+  /// Training mode only.
+  std::vector<ParamView> params();
+
+  // Flat gradient arena views (training mode; empty in inference).
+  // Layout is layer order, parameter-tensor order — identical to the
+  // network's param arena layout.
+  std::span<float> grad_arena() noexcept {
+    return {grad_arena_.data(), grad_arena_.size()};
+  }
+  /// Layer i's slice of the grad arena (empty for parameterless layers).
+  std::span<float> grad_segment(std::size_t i);
+
+  void copy_grads_to(std::span<float> out);
+  void set_grads_from(std::span<const float> in);
+
+  /// The difference tensor written by layer i's producer (test hook for
+  /// planner aliasing checks; training mode).
+  const tensor::Tensor& diff(std::size_t i) const { return diffs_[i]; }
+
+  /// Per-layer timing rows for Table I / Fig 3, read from this stream's
+  /// LayerExecStates.
+  std::vector<LayerProfile> profiles() const;
+  void reset_profiles();
+
+  // What this context actually allocated, in bytes. For a training
+  // context the first three match the network's planned accounting; an
+  // inference context reports a collapsed activation arena and zeros
+  // for diff/scratch/grad.
+  std::size_t activation_bytes() const noexcept { return act_bytes_; }
+  std::size_t diff_arena_bytes() const noexcept {
+    return diff_bytes_;
+  }
+  std::size_t scratch_bytes() const noexcept {
+    return scratch_arena_.size() * sizeof(float);
+  }
+  std::size_t workspace_bytes() const noexcept {
+    return workspace_arena_.size() * sizeof(float);
+  }
+  std::size_t grad_bytes() const noexcept {
+    return grad_arena_.size() * sizeof(float);
+  }
+  /// Same definition the network uses for its planned footprint
+  /// (activations + diffs + scratch; staging workspace excluded).
+  std::size_t peak_tensor_bytes() const noexcept {
+    return activation_bytes() + diff_arena_bytes() + scratch_bytes();
+  }
+  /// Everything: input staging + activations + diffs + scratch +
+  /// workspace + grads.
+  std::size_t total_bytes() const noexcept;
+
+ private:
+  void build_training_buffers();
+  void build_inference_buffers();
+
+  Network* net_ = nullptr;
+  ExecMode mode_ = ExecMode::kTraining;
+
+  tensor::Tensor input_;
+  std::vector<tensor::Tensor> activations_;  // output of each layer
+  std::vector<tensor::Tensor> diffs_;        // d(loss)/d(activation)
+  std::vector<LayerExecState> exec_;         // one per layer
+
+  // Context-owned storage. act_arena_ backs the inference ping-pong
+  // activations (training activations own per-layer storage);
+  // diff_arena_ backs the parity diff buffers when the network was
+  // planned; scratch_arena_ the backward scratch; workspace_arena_ the
+  // forward staging regions; grad_arena_ the flat gradients.
+  runtime::AlignedBuffer<float> act_arena_;
+  runtime::AlignedBuffer<float> diff_arena_;
+  runtime::AlignedBuffer<float> scratch_arena_;
+  runtime::AlignedBuffer<float> workspace_arena_;
+  runtime::AlignedBuffer<float> grad_arena_;
+  std::size_t act_bytes_ = 0;   // per-layer sum (training) / arena size
+  std::size_t diff_bytes_ = 0;  // per-layer sum or parity-arena size
+
+  bool forward_done_ = false;
+};
+
+}  // namespace cf::dnn

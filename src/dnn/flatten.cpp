@@ -32,9 +32,9 @@ Shape Flatten::plan(const Shape& input) {
   return out;
 }
 
-void Flatten::forward(const Tensor& src, Tensor& dst,
-                      runtime::ThreadPool& pool) {
-  const runtime::ScopedTimer timer(timers_.fwd);
+void Flatten::forward(const Tensor& src, Tensor& dst, LayerExecState& exec,
+                      runtime::ThreadPool& pool) const {
+  const runtime::ScopedTimer timer(exec.timers.fwd);
   if (src.shape() != input_shape() || dst.shape() != output_shape()) {
     throw std::invalid_argument("Flatten::forward: shape mismatch");
   }
@@ -62,10 +62,11 @@ void Flatten::forward(const Tensor& src, Tensor& dst,
 }
 
 void Flatten::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
-                       bool need_dsrc, runtime::ThreadPool& pool) {
+                       bool need_dsrc, LayerExecState& exec,
+                       runtime::ThreadPool& pool) const {
   (void)src;
   if (!need_dsrc) return;
-  const runtime::ScopedTimer timer(timers_.bwd_data);
+  const runtime::ScopedTimer timer(exec.timers.bwd_data);
   if (ddst.shape() != output_shape() || dsrc.shape() != input_shape()) {
     throw std::invalid_argument("Flatten::backward: shape mismatch");
   }

@@ -6,13 +6,26 @@
 // network inserts explicit reorders only at the plain-input boundary
 // and before the dense head), mirroring the MKL-DNN graph the paper
 // describes in §V-B.
+//
+// Layers are split model/stream (DESIGN.md §2.3): the layer object
+// holds only immutable-after-finalize state — geometry from plan(),
+// weights, fusion flags — while everything a single execution stream
+// mutates (timers, forward staging workspace, backward scratch,
+// gradient tensors) lives in a LayerExecState that the caller passes
+// into every forward/backward. A dnn::ExecContext owns one
+// LayerExecState per layer; standalone drivers (unit tests, kernel
+// benches) use the convenience overloads below, which route through a
+// lazily created layer-owned state instead.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "runtime/aligned_buffer.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
 #include "tensor/tensor.hpp"
@@ -36,9 +49,19 @@ struct FlopCounts {
   }
 };
 
+/// One parameter tensor of the *model*: the value lives in the layer
+/// (rebound into the network's param arena at finalize). Gradients are
+/// per-stream state and live in a LayerExecState, parallel to this
+/// list.
+struct ParamSpec {
+  std::string name;
+  tensor::Tensor* value = nullptr;
+};
+
 /// Mutable view of one parameter tensor and its gradient, used by the
 /// optimizer (LARC normalizes per parameter tensor) and by gradient
-/// aggregation.
+/// aggregation. Pairs a ParamSpec value with the gradient tensor of
+/// one particular execution stream.
 struct ParamView {
   std::string name;
   tensor::Tensor* value = nullptr;
@@ -50,6 +73,41 @@ struct LayerTimers {
   runtime::TimeStats fwd;
   runtime::TimeStats bwd_data;
   runtime::TimeStats bwd_weights;
+};
+
+/// Per-layer profile row (Table I), produced by ExecContext::profiles.
+struct LayerProfile {
+  std::string name;
+  std::string kind;
+  runtime::TimeStats fwd;
+  runtime::TimeStats bwd_data;
+  runtime::TimeStats bwd_weights;
+  FlopCounts flops;
+};
+
+/// Everything one execution stream mutates while driving one layer.
+/// Owned by a dnn::ExecContext (one per layer) or by the layer itself
+/// for standalone drives; the layer object never touches it except
+/// through the reference passed into forward/backward, so N streams
+/// can run the same layer concurrently.
+struct LayerExecState {
+  LayerTimers timers;
+
+  /// Forward staging memory, size >= forward_workspace_floats()
+  /// (the conv padded-source copy). Zeroed once at creation; when
+  /// `workspace_shared` is set the region is aliased by other layers
+  /// between calls, so the layer must re-establish any zero borders
+  /// itself each call.
+  std::span<float> workspace;
+  bool workspace_shared = false;
+
+  /// Backward scratch, size >= backward_scratch_floats(). Contents are
+  /// step-transient — nothing may be carried across backward calls.
+  std::span<float> scratch;
+
+  /// Gradient tensors, parallel to param_specs(). Accumulated into by
+  /// backward — callers zero them per step.
+  std::vector<tensor::Tensor> grads;
 };
 
 class Layer {
@@ -72,7 +130,7 @@ class Layer {
   virtual std::string kind() const = 0;
 
   /// Validates `input` and computes the output shape; called once by
-  /// Network::finalize. Allocates parameters and scratch.
+  /// Network::finalize. Allocates parameters and records geometry.
   virtual tensor::Shape plan(const tensor::Shape& input) = 0;
 
   const tensor::Shape& input_shape() const noexcept { return input_shape_; }
@@ -80,11 +138,14 @@ class Layer {
     return output_shape_;
   }
 
-  /// dst must have output_shape().
+  /// dst must have output_shape(). `exec` carries this stream's
+  /// mutable state; the method is const on the layer so concurrent
+  /// streams may share one layer object.
   virtual void forward(const tensor::Tensor& src, tensor::Tensor& dst,
-                       runtime::ThreadPool& pool) = 0;
+                       LayerExecState& exec,
+                       runtime::ThreadPool& pool) const = 0;
 
-  /// Computes parameter gradients (accumulated into the grad tensors —
+  /// Computes parameter gradients (accumulated into `exec.grads` —
   /// callers zero them per step) and, when `need_dsrc`, the input
   /// difference signal. `src` is the forward input of this layer.
   /// `ddst` is *consumed*: fused layers mask it with the activation
@@ -92,35 +153,52 @@ class Layer {
   /// backward sweep never re-reads a layer's ddst, so no copy is owed).
   virtual void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
                         tensor::Tensor& dsrc, bool need_dsrc,
-                        runtime::ThreadPool& pool) = 0;
+                        LayerExecState& exec,
+                        runtime::ThreadPool& pool) const = 0;
 
   /// Backward variant that also receives this layer's own forward
-  /// output `dst`. Network calls this one: layers with a fused eltwise
-  /// epilogue recover the activation-derivative mask from `dst`;
-  /// everything else ignores it and falls through to the plain
-  /// overload.
+  /// output `dst`. The execution context calls this one: layers with a
+  /// fused eltwise epilogue recover the activation-derivative mask
+  /// from `dst`; everything else ignores it and falls through to the
+  /// plain overload.
   virtual void backward(const tensor::Tensor& src,
                         const tensor::Tensor& dst, tensor::Tensor& ddst,
                         tensor::Tensor& dsrc, bool need_dsrc,
-                        runtime::ThreadPool& pool) {
+                        LayerExecState& exec,
+                        runtime::ThreadPool& pool) const {
     static_cast<void>(dst);
-    backward(src, ddst, dsrc, need_dsrc, pool);
+    backward(src, ddst, dsrc, need_dsrc, exec, pool);
   }
 
-  /// Floats of backward scratch this layer wants. Layer backwards run
-  /// strictly one at a time, so the network sizes ONE shared arena to
-  /// the max across layers and hands each layer a view of it via
-  /// bind_backward_scratch (the memory planner; see DESIGN.md §2.2).
-  /// Layers driven outside a planned network (unit tests, benches)
-  /// lazily allocate their own scratch of the same size instead.
+  /// Convenience overloads for driving a layer outside an ExecContext
+  /// (unit tests, kernel benches): they route through a lazily created
+  /// layer-owned LayerExecState, so grads/timers accumulate on the
+  /// layer exactly as they did when the layer owned them directly.
+  void forward(const tensor::Tensor& src, tensor::Tensor& dst,
+               runtime::ThreadPool& pool) {
+    forward(src, dst, standalone_state(), pool);
+  }
+  void backward(const tensor::Tensor& src, tensor::Tensor& ddst,
+                tensor::Tensor& dsrc, bool need_dsrc,
+                runtime::ThreadPool& pool) {
+    backward(src, ddst, dsrc, need_dsrc, standalone_state(), pool);
+  }
+  void backward(const tensor::Tensor& src, const tensor::Tensor& dst,
+                tensor::Tensor& ddst, tensor::Tensor& dsrc, bool need_dsrc,
+                runtime::ThreadPool& pool) {
+    backward(src, dst, ddst, dsrc, need_dsrc, standalone_state(), pool);
+  }
+
+  /// Floats of forward staging workspace this stream must provide
+  /// (the conv padded-source copy). The execution context zeroes the
+  /// region once at creation; see LayerExecState::workspace.
+  virtual std::size_t forward_workspace_floats() const { return 0; }
+
+  /// Floats of backward scratch this layer wants. Layer backwards of
+  /// one stream run strictly one at a time, so a planned context sizes
+  /// ONE shared arena to the max across layers (the memory planner;
+  /// see DESIGN.md §2.2).
   virtual std::size_t backward_scratch_floats() const { return 0; }
-
-  /// Points the layer at its slice of the network-owned scratch arena
-  /// (size >= backward_scratch_floats(); contents are step-transient —
-  /// nothing may be carried across backward calls).
-  virtual void bind_backward_scratch(std::span<float> scratch) {
-    static_cast<void>(scratch);
-  }
 
   /// Ask the layer to absorb a trailing LeakyReLU (negative slope
   /// `slope`) into its own forward epilogue and backward entry. Layers
@@ -131,20 +209,62 @@ class Layer {
     return false;
   }
 
-  /// Parameter tensors (empty for parameterless layers).
-  virtual std::vector<ParamView> params() { return {}; }
+  /// Parameter tensors of the model (empty for parameterless layers).
+  /// Gradients are not part of the model — each ExecContext allocates
+  /// its own, parallel to this list.
+  virtual std::vector<ParamSpec> param_specs() { return {}; }
+
+  /// Standalone-drive view pairing param_specs() with the layer-owned
+  /// state's gradient tensors (lazily created).
+  std::vector<ParamView> params() {
+    std::vector<ParamSpec> specs = param_specs();
+    std::vector<ParamView> views;
+    if (specs.empty()) return views;
+    LayerExecState& st = standalone_state();
+    views.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      views.push_back({specs[i].name, specs[i].value, &st.grads[i]});
+    }
+    return views;
+  }
 
   virtual FlopCounts flops() const { return {}; }
 
   std::int64_t param_count() {
     std::int64_t n = 0;
-    for (const auto& p : params()) n += p.value->shape().numel();
+    for (const auto& p : param_specs()) n += p.value->shape().numel();
     return n;
   }
 
-  LayerTimers& timers() noexcept { return timers_; }
-  const LayerTimers& timers() const noexcept { return timers_; }
-  void reset_timers() { timers_ = LayerTimers{}; }
+  /// Timers of the standalone (layer-owned) state; per-context timers
+  /// live in the context's LayerExecState instead.
+  LayerTimers& timers() { return standalone_state().timers; }
+  void reset_timers() { standalone_state().timers = LayerTimers{}; }
+
+  /// The layer-owned LayerExecState backing the convenience overloads.
+  /// Created (or rebuilt) on first use after plan(): workspace and
+  /// grads are zero-initialized, scratch is sized to the layer's
+  /// request.
+  LayerExecState& standalone_state() {
+    const std::size_t ws = forward_workspace_floats();
+    const std::size_t sc = backward_scratch_floats();
+    std::vector<ParamSpec> specs = param_specs();
+    if (standalone_ && standalone_->matches(ws, sc, specs)) {
+      return standalone_->state;
+    }
+    auto st = std::make_unique<StandaloneExec>();
+    st->workspace = runtime::AlignedBuffer<float>(ws);
+    if (ws != 0) std::memset(st->workspace.data(), 0, ws * sizeof(float));
+    st->scratch = runtime::AlignedBuffer<float>(sc);
+    st->state.workspace = {st->workspace.data(), ws};
+    st->state.scratch = {st->scratch.data(), sc};
+    st->state.grads.reserve(specs.size());
+    for (const auto& spec : specs) {
+      st->state.grads.emplace_back(spec.value->shape());
+    }
+    standalone_ = std::move(st);
+    return standalone_->state;
+  }
 
   // Precomputed CF_TRACE_SCOPE labels ("conv2/fwd", ...) so the span
   // hot path never concatenates strings.
@@ -161,9 +281,25 @@ class Layer {
     output_shape_ = out;
   }
 
-  LayerTimers timers_;
-
  private:
+  struct StandaloneExec {
+    LayerExecState state;
+    runtime::AlignedBuffer<float> workspace;
+    runtime::AlignedBuffer<float> scratch;
+
+    // A state built before plan() (or before a re-plan) is stale;
+    // detect by comparing the sizes it was built for.
+    bool matches(std::size_t ws, std::size_t sc,
+                 const std::vector<ParamSpec>& specs) const {
+      if (workspace.size() != ws || scratch.size() != sc) return false;
+      if (state.grads.size() != specs.size()) return false;
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        if (state.grads[i].shape() != specs[i].value->shape()) return false;
+      }
+      return true;
+    }
+  };
+
   std::string name_;
   std::string label_fwd_;
   std::string label_bwd_;
@@ -171,6 +307,7 @@ class Layer {
   std::string label_bwd_data_;
   tensor::Shape input_shape_;
   tensor::Shape output_shape_;
+  std::unique_ptr<StandaloneExec> standalone_;
 };
 
 }  // namespace cf::dnn

@@ -6,7 +6,6 @@
 
 #include "dnn/activations.hpp"
 #include "obs/metrics.hpp"
-#include "obs/telemetry.hpp"
 
 namespace cf::dnn {
 
@@ -46,18 +45,40 @@ void Network::finalize(const Shape& input_shape) {
   }
   if (fuse_eltwise_) fuse_eltwise_pass();
   input_shape_ = input_shape;
-  input_ = Tensor(input_shape);
   Shape shape = input_shape;
-  activations_.reserve(layers_.size());
-  diffs_.reserve(layers_.size());
-  for (auto& layer : layers_) {
-    shape = layer->plan(shape);
-    activations_.emplace_back(shape);
-    diffs_.emplace_back(shape);
-  }
+  for (auto& layer : layers_) shape = layer->plan(shape);
   output_shape_ = shape;
   build_arena();
-  if (memplan_) plan_memory();
+
+  // Record the buffer plan every context is built from. Liveness
+  // (DESIGN.md §2.2): a pass visits layers in order (forward) or
+  // reverse order (backward), and at layer i only buffers i and i-1
+  // are live; since those have opposite parity, two buffers — each
+  // sized for the largest tensor of its parity class — can back every
+  // per-layer tensor of a pass without aliasing a live pair. Training
+  // contexts apply this to the diff tensors (when memplan is on);
+  // inference contexts apply the same trick to the activations
+  // themselves, since no backward will ever re-read them.
+  mem_plan_ = MemPlan{};
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    const std::size_t n =
+        static_cast<std::size_t>(layers_[i]->output_shape().numel());
+    mem_plan_.act_sum += n;
+    mem_plan_.diff_sum += n;
+    std::size_t& act_slot =
+        i % 2 == 0 ? mem_plan_.act_even : mem_plan_.act_odd;
+    act_slot = std::max(act_slot, n);
+    std::size_t& diff_slot =
+        i % 2 == 0 ? mem_plan_.diff_even : mem_plan_.diff_odd;
+    diff_slot = std::max(diff_slot, n);
+    const std::size_t sc = layers_[i]->backward_scratch_floats();
+    mem_plan_.scratch_max = std::max(mem_plan_.scratch_max, sc);
+    mem_plan_.scratch_sum += sc;
+    const std::size_t ws = layers_[i]->forward_workspace_floats();
+    mem_plan_.workspace_max = std::max(mem_plan_.workspace_max, ws);
+    mem_plan_.workspace_sum += ws;
+  }
+
   obs::Registry::global().gauge("dnn/activation_bytes").set(
       static_cast<double>(activation_bytes()));
   obs::Registry::global().gauge("dnn/diff_arena_bytes").set(
@@ -67,55 +88,26 @@ void Network::finalize(const Shape& input_shape) {
   finalized_ = true;
 }
 
-void Network::plan_memory() {
-  // Liveness: backward visits layers last to first; at layer i only
-  // diffs_[i] (its ddst, consumed) and diffs_[i-1] (its dsrc, fully
-  // overwritten) exist. Since i and i-1 have opposite parity, two
-  // buffers — each sized for the largest tensor of its parity class —
-  // back every difference tensor without aliasing a live pair.
-  std::size_t max_even = 0;
-  std::size_t max_odd = 0;
-  for (std::size_t i = 0; i < diffs_.size(); ++i) {
-    std::size_t& slot = i % 2 == 0 ? max_even : max_odd;
-    slot = std::max(slot, diffs_[i].size());
+ExecContext Network::make_context(ExecMode mode) {
+  if (!finalized_) {
+    throw std::logic_error("Network::make_context: not finalized");
   }
-  diff_arena_ = runtime::AlignedBuffer<float>(max_even + max_odd);
-  for (std::size_t i = 0; i < diffs_.size(); ++i) {
-    float* base = diff_arena_.data() + (i % 2 == 0 ? 0 : max_even);
-    diffs_[i].rebind({base, diffs_[i].size()});
-  }
-
-  // One shared backward scratch arena sized to the largest request;
-  // backward runs one layer at a time, so layers can all be handed the
-  // same storage (each repopulates it on entry).
-  std::size_t max_scratch = 0;
-  for (const auto& layer : layers_) {
-    max_scratch = std::max(max_scratch, layer->backward_scratch_floats());
-  }
-  scratch_arena_ = runtime::AlignedBuffer<float>(max_scratch);
-  for (auto& layer : layers_) {
-    const std::size_t n = layer->backward_scratch_floats();
-    if (n > 0) layer->bind_backward_scratch({scratch_arena_.data(), n});
-  }
+  return ExecContext(*this, mode);
 }
 
 std::size_t Network::activation_bytes() const noexcept {
-  std::size_t n = 0;
-  for (const auto& t : activations_) n += t.size();
-  return n * sizeof(float);
+  return mem_plan_.act_sum * sizeof(float);
 }
 
 std::size_t Network::diff_arena_bytes() const noexcept {
-  if (memplan_) return diff_arena_.size() * sizeof(float);
-  std::size_t n = 0;
-  for (const auto& t : diffs_) n += t.size();
+  const std::size_t n = memplan_ ? mem_plan_.diff_even + mem_plan_.diff_odd
+                                 : mem_plan_.diff_sum;
   return n * sizeof(float);
 }
 
 std::size_t Network::scratch_bytes() const noexcept {
-  if (memplan_) return scratch_arena_.size() * sizeof(float);
-  std::size_t n = 0;
-  for (const auto& layer : layers_) n += layer->backward_scratch_floats();
+  const std::size_t n =
+      memplan_ ? mem_plan_.scratch_max : mem_plan_.scratch_sum;
   return n * sizeof(float);
 }
 
@@ -125,94 +117,30 @@ void Network::build_arena() {
   std::size_t total = 0;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
     segment_offsets_[i] = total;
-    for (const ParamView& p : layers_[i]->params()) {
+    for (const ParamSpec& p : layers_[i]->param_specs()) {
       segment_sizes_[i] += static_cast<std::size_t>(p.value->shape().numel());
     }
     total += segment_sizes_[i];
   }
   param_arena_ = runtime::AlignedBuffer<float>(total);
-  grad_arena_ = runtime::AlignedBuffer<float>(total);
-  // Rebind every layer tensor onto its arena segment; plan() contents
-  // (zeros — init runs after finalize) are carried over by rebind.
+  // Rebind every layer weight tensor onto its arena segment; plan()
+  // contents (zeros — init runs after finalize) are carried over by
+  // rebind.
   std::size_t offset = 0;
   for (auto& layer : layers_) {
-    for (ParamView& p : layer->params()) {
+    for (const ParamSpec& p : layer->param_specs()) {
       const std::size_t n =
           static_cast<std::size_t>(p.value->shape().numel());
       p.value->rebind({param_arena_.data() + offset, n});
-      p.grad->rebind({grad_arena_.data() + offset, n});
       offset += n;
     }
   }
 }
 
-const Tensor& Network::forward(const Tensor& input,
-                               runtime::ThreadPool& pool) {
-  if (!finalized_) throw std::logic_error("Network::forward: not finalized");
-  if (input.shape() != input_shape_) {
-    throw std::invalid_argument("Network::forward: input shape " +
-                                input.shape().to_string() + ", expected " +
-                                input_shape_.to_string());
-  }
-  CF_TRACE_SCOPE("net/forward", "dnn");
-  std::memcpy(input_.data(), input.data(), input.size() * sizeof(float));
-  const Tensor* src = &input_;
-  for (std::size_t i = 0; i < layers_.size(); ++i) {
-    CF_TRACE_SCOPE(layers_[i]->span_label_fwd().c_str(),
-                   layers_[i]->kind().c_str());
-    layers_[i]->forward(*src, activations_[i], pool);
-    src = &activations_[i];
-  }
-  forward_done_ = true;
-  return activations_.back();
-}
-
-void Network::backward(const Tensor& dloss, runtime::ThreadPool& pool,
-                       const GradReadyCallback& grad_ready) {
-  if (!forward_done_) {
-    throw std::logic_error("Network::backward: no preceding forward");
-  }
-  if (dloss.shape() != output_shape_) {
-    throw std::invalid_argument("Network::backward: dloss shape mismatch");
-  }
-  CF_TRACE_SCOPE("net/backward", "dnn");
-  std::memcpy(diffs_.back().data(), dloss.data(),
-              dloss.size() * sizeof(float));
-  for (std::size_t i = layers_.size(); i-- > 0;) {
-    const Tensor& src = i == 0 ? input_ : activations_[i - 1];
-    const bool need_dsrc = i > 0;
-    // diffs_[i - 1] is overwritten by layer i's backward; pass a dummy
-    // for the first layer (its dsrc is skipped).
-    Tensor& dsrc = need_dsrc ? diffs_[i - 1] : diffs_[0];
-    {
-      CF_TRACE_SCOPE(layers_[i]->span_label_bwd().c_str(),
-                     layers_[i]->kind().c_str());
-      // The dst overload: fused layers recover their activation mask
-      // from their own forward output.
-      layers_[i]->backward(src, activations_[i], diffs_[i], dsrc,
-                           need_dsrc, pool);
-    }
-    if (grad_ready && segment_sizes_[i] > 0) grad_ready(i);
-  }
-}
-
-void Network::zero_grads() {
-  if (grad_arena_.empty()) return;
-  std::memset(grad_arena_.data(), 0, grad_arena_.size() * sizeof(float));
-}
-
-std::vector<ParamView> Network::params() {
-  std::vector<ParamView> all;
-  for (auto& layer : layers_) {
-    for (ParamView& p : layer->params()) all.push_back(p);
-  }
-  return all;
-}
-
 std::int64_t Network::param_count() {
   if (finalized_) return static_cast<std::int64_t>(param_arena_.size());
   std::int64_t n = 0;
-  for (const ParamView& p : params()) n += p.value->shape().numel();
+  for (auto& layer : layers_) n += layer->param_count();
   return n;
 }
 
@@ -249,40 +177,6 @@ void Network::set_params_from(std::span<const float> in) {
   if (param_arena_.empty()) return;
   std::memcpy(param_arena_.data(), in.data(),
               param_arena_.size() * sizeof(float));
-}
-
-void Network::copy_grads_to(std::span<float> out) {
-  check_flat_size(out.size(), grad_arena_.size());
-  if (grad_arena_.empty()) return;
-  std::memcpy(out.data(), grad_arena_.data(),
-              grad_arena_.size() * sizeof(float));
-}
-
-void Network::set_grads_from(std::span<const float> in) {
-  check_flat_size(in.size(), grad_arena_.size());
-  if (grad_arena_.empty()) return;
-  std::memcpy(grad_arena_.data(), in.data(),
-              grad_arena_.size() * sizeof(float));
-}
-
-std::vector<LayerProfile> Network::profiles() const {
-  std::vector<LayerProfile> rows;
-  rows.reserve(layers_.size());
-  for (const auto& layer : layers_) {
-    LayerProfile row;
-    row.name = layer->name();
-    row.kind = layer->kind();
-    row.fwd = layer->timers().fwd;
-    row.bwd_data = layer->timers().bwd_data;
-    row.bwd_weights = layer->timers().bwd_weights;
-    row.flops = layer->flops();
-    rows.push_back(row);
-  }
-  return rows;
-}
-
-void Network::reset_profiles() {
-  for (auto& layer : layers_) layer->reset_timers();
 }
 
 }  // namespace cf::dnn

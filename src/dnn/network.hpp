@@ -1,34 +1,24 @@
-// Sequential network container: owns the layers, the inter-layer
-// activation/difference buffers, and the flat parameter/gradient
-// *arena* — two contiguous 64-byte-aligned buffers holding every
-// parameter (resp. gradient) tensor back to back in layer order.
-// Layer tensors are rebound onto arena segments at finalize() time, so
-// the optimizer walks one contiguous region, the gradient allreduce
-// operates on grad_arena() in place with zero copies, and a layer's
-// gradient segment is directly addressable for bucketed communication
-// (grad_segment()).
+// Sequential network container — the *model* half of the model/stream
+// split (DESIGN.md §2.3). After finalize() a Network is immutable: it
+// owns the layers (geometry + weights), the flat contiguous parameter
+// arena every weight tensor is rebound onto, and the plans computed by
+// the fusion and memory-planner passes. Nothing here changes during a
+// step, so any number of execution streams can run against one Network
+// concurrently — each stream's mutable state (activations, diffs,
+// scratch, gradients, staging) lives in a dnn::ExecContext created via
+// make_context().
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "dnn/exec_context.hpp"
 #include "dnn/layer.hpp"
 #include "runtime/aligned_buffer.hpp"
 
 namespace cf::dnn {
-
-/// Per-layer profile row (Table I).
-struct LayerProfile {
-  std::string name;
-  std::string kind;
-  runtime::TimeStats fwd;
-  runtime::TimeStats bwd_data;
-  runtime::TimeStats bwd_weights;
-  FlopCounts flops;
-};
 
 class Network {
  public:
@@ -57,22 +47,28 @@ class Network {
   /// Number of activation layers absorbed by the fusion pass.
   std::size_t fused_pairs() const noexcept { return fused_pairs_; }
 
-  /// When enabled (before finalize), finalize() runs the liveness-based
-  /// memory planner (DESIGN.md §2.2): during backward only diffs_[i]
-  /// (read) and diffs_[i-1] (written) are live, so all difference
-  /// tensors are rebound onto two alternating max-sized buffers keyed
-  /// by layer-index parity, and every layer's backward scratch is
-  /// served from one shared arena sized to the largest request.
-  /// Placement-only: the planned step is bitwise identical to the
-  /// unplanned one. Off by default so hand-built test networks keep
-  /// per-layer buffers; build_network() turns it on.
+  /// When enabled (before finalize), training contexts place their
+  /// buffers with the liveness-based memory planner (DESIGN.md §2.2):
+  /// during backward only diffs_[i] (read) and diffs_[i-1] (written)
+  /// are live, so all difference tensors are rebound onto two
+  /// alternating max-sized buffers keyed by layer-index parity, and
+  /// every layer's backward scratch is served from one shared arena
+  /// sized to the largest request. Placement-only: the planned step is
+  /// bitwise identical to the unplanned one. Off by default so
+  /// hand-built test networks keep per-layer buffers; build_network()
+  /// turns it on.
   void set_memory_planning(bool enabled) noexcept { memplan_ = enabled; }
   bool memory_planning() const noexcept { return memplan_; }
 
-  /// Plans every layer, allocating parameters and activation buffers.
+  /// Plans every layer, allocating parameters, building the param
+  /// arena and recording the buffer plans contexts are built from.
   /// Must be called exactly once, after all layers are added.
   void finalize(const tensor::Shape& input_shape);
   bool finalized() const noexcept { return finalized_; }
+
+  /// Creates an execution stream over this network. The Network must
+  /// outlive (and not move under) every context it handed out.
+  ExecContext make_context(ExecMode mode);
 
   std::size_t layer_count() const noexcept { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
@@ -83,49 +79,23 @@ class Network {
     return output_shape_;
   }
 
-  /// Runs the forward pass; the returned view stays valid until the
-  /// next forward() call.
-  const tensor::Tensor& forward(const tensor::Tensor& input,
-                                runtime::ThreadPool& pool);
-
-  /// Invoked by backward() right after layer `i`'s backward pass (its
-  /// bwd_weights included) finishes, i.e. the moment grad_segment(i)
-  /// holds this step's final local gradients. Layers are visited last
-  /// to first, so segments become ready tail-first and contiguously —
-  /// callers can coalesce them into buckets and start communicating
-  /// while earlier layers are still computing.
-  using GradReadyCallback = std::function<void(std::size_t layer_index)>;
-
-  /// Runs the backward pass from the loss gradient w.r.t. the network
-  /// output. Parameter gradients accumulate; the first layer's input
-  /// difference signal is skipped (the input is data, §V-A workflow).
-  /// Requires a preceding forward() on the same input.
-  void backward(const tensor::Tensor& dloss, runtime::ThreadPool& pool,
-                const GradReadyCallback& grad_ready = {});
-
-  void zero_grads();
-
-  std::vector<ParamView> params();
   std::int64_t param_count();
   std::size_t param_bytes() { return param_count() * sizeof(float); }
 
-  // Flat arena views (valid after finalize). Layout is layer order,
-  // parameter-tensor order — identical to the copy_*_to flat layout.
+  // Flat arena view (valid after finalize). Layout is layer order,
+  // parameter-tensor order — identical to the copy_params_to layout.
   std::span<float> param_arena() noexcept {
     return {param_arena_.data(), param_arena_.size()};
   }
-  std::span<float> grad_arena() noexcept {
-    return {grad_arena_.data(), grad_arena_.size()};
-  }
-  /// Layer i's slice of the arenas (empty for parameterless layers).
+  /// Layer i's slice of the arena (empty for parameterless layers).
   std::span<float> param_segment(std::size_t i) {
     return param_arena().subspan(segment_offsets_[i], segment_sizes_[i]);
   }
-  std::span<float> grad_segment(std::size_t i) {
-    return grad_arena().subspan(segment_offsets_[i], segment_sizes_[i]);
-  }
   std::size_t segment_offset(std::size_t i) const {
     return segment_offsets_[i];
+  }
+  std::size_t segment_size(std::size_t i) const {
+    return segment_sizes_[i];
   }
 
   /// Total per-sample flops; `skip_first_bwd_data` drops the unneeded
@@ -134,19 +104,15 @@ class Network {
   FlopCounts flops(bool skip_first_bwd_data = true) const;
 
   // Flat vector interface (checkpoints, tests). Order is layer order,
-  // value tensor order — a straight copy of the arena. The training
-  // step loop uses the arena spans directly instead.
+  // value tensor order — a straight copy of the arena.
   void copy_params_to(std::span<float> out);
   void set_params_from(std::span<const float> in);
-  void copy_grads_to(std::span<float> out);
-  void set_grads_from(std::span<const float> in);
 
-  std::vector<LayerProfile> profiles() const;
-  void reset_profiles();
-
-  // Memory accounting (valid after finalize). Activations always keep
-  // per-layer storage; diff/scratch bytes reflect the planner when it
-  // is on and the per-layer totals when it is off.
+  // Planned memory accounting for a *training* context (valid after
+  // finalize; nothing is allocated here — contexts allocate).
+  // Activations always keep per-layer storage; diff/scratch bytes
+  // reflect the planner when it is on and the per-layer totals when it
+  // is off.
   std::size_t activation_bytes() const noexcept;
   std::size_t diff_arena_bytes() const noexcept;
   std::size_t scratch_bytes() const noexcept;
@@ -154,33 +120,36 @@ class Network {
     return activation_bytes() + diff_arena_bytes() + scratch_bytes();
   }
 
-  /// The difference tensor written by layer i's producer (test hook for
-  /// planner aliasing checks).
-  const tensor::Tensor& diff(std::size_t i) const { return diffs_[i]; }
+  /// The buffer plan finalize() records for make_context (sizes in
+  /// floats).
+  struct MemPlan {
+    std::size_t act_sum = 0;        // per-layer activation total
+    std::size_t act_even = 0;       // parity maxima over activations
+    std::size_t act_odd = 0;        //   (inference ping-pong)
+    std::size_t diff_sum = 0;       // per-layer diff total (unplanned)
+    std::size_t diff_even = 0;      // parity maxima over diffs
+    std::size_t diff_odd = 0;       //   (planned ping-pong)
+    std::size_t scratch_max = 0;    // shared scratch (planned)
+    std::size_t scratch_sum = 0;    // per-layer scratch (unplanned)
+    std::size_t workspace_sum = 0;  // per-layer staging (training)
+    std::size_t workspace_max = 0;  // shared staging (inference)
+  };
+  const MemPlan& mem_plan() const noexcept { return mem_plan_; }
 
  private:
   void build_arena();
-  void plan_memory();
   void fuse_eltwise_pass();
 
   std::vector<std::unique_ptr<Layer>> layers_;
-  std::vector<tensor::Tensor> activations_;   // output of each layer
-  std::vector<tensor::Tensor> diffs_;         // d(loss)/d(activation)
-  // Contiguous parameter/gradient storage; layer tensors are views
-  // into these after finalize() (see build_arena).
+  // Contiguous parameter storage; layer weight tensors are views into
+  // this after finalize() (see build_arena).
   runtime::AlignedBuffer<float> param_arena_;
-  runtime::AlignedBuffer<float> grad_arena_;
-  // Memory-planner storage: the two parity diff buffers (back to back
-  // in one allocation) and the shared backward scratch arena.
-  runtime::AlignedBuffer<float> diff_arena_;
-  runtime::AlignedBuffer<float> scratch_arena_;
   std::vector<std::size_t> segment_offsets_;  // per layer, in floats
   std::vector<std::size_t> segment_sizes_;
-  tensor::Tensor input_;
+  MemPlan mem_plan_;
   tensor::Shape input_shape_;
   tensor::Shape output_shape_;
   bool finalized_ = false;
-  bool forward_done_ = false;
   bool fuse_eltwise_ = false;
   bool memplan_ = false;
   std::size_t fused_pairs_ = 0;

@@ -59,10 +59,11 @@ TEST(Topology, ScaledVariantsBuildAndRun) {
   runtime::ThreadPool pool(2);
   for (const std::int64_t dhw : {16, 32}) {
     dnn::Network net = build_network(cosmoflow_scaled(dhw), 3);
+    dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference);
     tensor::Tensor input(net.input_shape());
     runtime::Rng rng(4);
     tensor::fill_normal(input, rng, 0.0f, 1.0f);
-    const tensor::Tensor& out = net.forward(input, pool);
+    const tensor::Tensor& out = ctx.forward(input, pool);
     EXPECT_EQ(out.shape(), tensor::Shape({3}));
     for (const float v : out.values()) EXPECT_TRUE(std::isfinite(v));
   }
@@ -123,17 +124,21 @@ TEST(Checkpoint, RoundTripRestoresPredictions) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "cf_ckpt_test.bin").string();
   dnn::Network net = build_network(cosmoflow_scaled(16), 21);
+  dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference);
   runtime::ThreadPool pool(1);
   tensor::Tensor input(net.input_shape());
   runtime::Rng rng(22);
   tensor::fill_normal(input, rng, 0.0f, 1.0f);
-  const std::vector<float> before = net.forward(input, pool).to_vector();
+  const std::vector<float> before = ctx.forward(input, pool).to_vector();
 
   save_checkpoint(path, "cosmoflow-16", net);
 
   dnn::Network fresh = build_network(cosmoflow_scaled(16), 999);
   load_checkpoint(path, "cosmoflow-16", fresh);
-  const std::vector<float> after = fresh.forward(input, pool).to_vector();
+  dnn::ExecContext fresh_ctx =
+      fresh.make_context(dnn::ExecMode::kInference);
+  const std::vector<float> after =
+      fresh_ctx.forward(input, pool).to_vector();
   EXPECT_EQ(tensor::max_abs_diff(before, after), 0.0f);
   std::filesystem::remove(path);
 }

@@ -61,11 +61,12 @@ INSTANTIATE_TEST_SUITE_P(Threads, ConvThreadInvariance,
 TEST(NetworkThreadInvariance, FullForwardBitIdentical) {
   const auto run = [&](int nthreads) {
     dnn::Network net = core::build_network(core::cosmoflow_scaled(16), 9);
+    dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kTraining);
     runtime::ThreadPool pool(static_cast<std::size_t>(nthreads));
     Tensor input(net.input_shape());
     runtime::Rng rng(10);
     tensor::fill_normal(input, rng, 0.0f, 1.0f);
-    return net.forward(input, pool).to_vector();
+    return ctx.forward(input, pool).to_vector();
   };
   EXPECT_EQ(tensor::max_abs_diff(run(1), run(4)), 0.0f);
 }

@@ -203,21 +203,25 @@ TEST(FusionPass, CollapsesConvAndDensePairsAndPreservesBits) {
     Tensor input(core::input_shape(topo));
     tensor::fill_normal(input, rng, 0.0f, 1.0f);
 
-    const Tensor& out_fused = fused.forward(input, pool);
-    const Tensor& out_plain = plain.forward(input, pool);
+    dnn::ExecContext ctx_fused =
+        fused.make_context(dnn::ExecMode::kTraining);
+    dnn::ExecContext ctx_plain =
+        plain.make_context(dnn::ExecMode::kTraining);
+    const Tensor& out_fused = ctx_fused.forward(input, pool);
+    const Tensor& out_plain = ctx_plain.forward(input, pool);
     EXPECT_EQ(
         tensor::max_abs_diff(out_fused.values(), out_plain.values()),
         0.0f);
 
     Tensor dloss(fused.output_shape());
     tensor::fill_normal(dloss, rng, 0.0f, 1.0f);
-    fused.backward(dloss, pool);
-    plain.backward(dloss, pool);
+    ctx_fused.backward(dloss, pool);
+    ctx_plain.backward(dloss, pool);
     std::vector<float> grads_fused(
         static_cast<std::size_t>(fused.param_count()));
     std::vector<float> grads_plain(grads_fused.size());
-    fused.copy_grads_to(grads_fused);
-    plain.copy_grads_to(grads_plain);
+    ctx_fused.copy_grads_to(grads_fused);
+    ctx_plain.copy_grads_to(grads_plain);
     EXPECT_EQ(tensor::max_abs_diff(grads_fused, grads_plain), 0.0f);
   }
 }

@@ -161,11 +161,14 @@ TEST(Integration, CheckpointedModelPredictsIdentically) {
   dnn::Network restored = core::build_network(core::cosmoflow_scaled(16),
                                               /*seed=*/999);
   core::load_checkpoint(path, "cosmoflow-16", restored);
+  dnn::ExecContext restored_ctx =
+      restored.make_context(dnn::ExecMode::kInference);
 
   const auto reader = test.make_reader();
   for (std::size_t i = 0; i < test.size(); ++i) {
     const data::Sample sample = reader->get(i);
-    const tensor::Tensor& out = restored.forward(sample.volume, pool);
+    const tensor::Tensor& out =
+        restored_ctx.forward(sample.volume, pool);
     const cosmo::CosmoParams pred =
         cosmo::denormalize_params({out[0], out[1], out[2]});
     EXPECT_DOUBLE_EQ(pred.omega_m, before[i].predicted[0]);

@@ -37,24 +37,32 @@ TEST(MemplanPlanner, DiffsSharePingPongBuffersByParity) {
   dnn::Network net = core::build_network(core::cosmoflow_scaled(8), 5);
   ASSERT_TRUE(net.memory_planning());
   ASSERT_GE(net.layer_count(), 3u);
+  dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kTraining);
 
-  const float* even_base = net.diff(0).data();
-  const float* odd_base = net.diff(1).data();
+  const float* even_base = ctx.diff(0).data();
+  const float* odd_base = ctx.diff(1).data();
   std::size_t max_even = 0;
   std::size_t max_odd = 0;
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    // Planned diffs are views into the arena, not owners.
-    EXPECT_FALSE(net.diff(i).owns_storage()) << "layer " << i;
+    // Planned diffs are views into the context's arena, not owners.
+    EXPECT_FALSE(ctx.diff(i).owns_storage()) << "layer " << i;
     // Every diff of a parity class starts at that class's buffer.
-    EXPECT_EQ(net.diff(i).data(), i % 2 == 0 ? even_base : odd_base)
+    EXPECT_EQ(ctx.diff(i).data(), i % 2 == 0 ? even_base : odd_base)
         << "layer " << i;
     std::size_t& slot = i % 2 == 0 ? max_even : max_odd;
-    slot = std::max(slot, static_cast<std::size_t>(net.diff(i).size()));
+    slot = std::max(slot, static_cast<std::size_t>(ctx.diff(i).size()));
   }
   // The two buffers back a live (ddst, dsrc) pair — they must not
   // overlap: the odd buffer starts past the even buffer's extent.
   EXPECT_GE(odd_base, even_base + max_even);
   EXPECT_EQ(net.diff_arena_bytes(), (max_even + max_odd) * sizeof(float));
+  // The context allocated exactly what the network planned.
+  EXPECT_EQ(ctx.diff_arena_bytes(), net.diff_arena_bytes());
+
+  // A second stream gets its own arena — no storage shared between
+  // contexts, only the (read-only) weights.
+  dnn::ExecContext other = net.make_context(dnn::ExecMode::kTraining);
+  EXPECT_NE(other.diff(0).data(), ctx.diff(0).data());
 }
 
 TEST(MemplanPlanner, UnplannedDiffsKeepPrivateStorage) {
@@ -62,10 +70,11 @@ TEST(MemplanPlanner, UnplannedDiffsKeepPrivateStorage) {
                                          /*fuse_eltwise=*/true,
                                          /*memplan=*/false);
   ASSERT_FALSE(net.memory_planning());
+  dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kTraining);
   for (std::size_t i = 0; i < net.layer_count(); ++i) {
-    EXPECT_TRUE(net.diff(i).owns_storage()) << "layer " << i;
+    EXPECT_TRUE(ctx.diff(i).owns_storage()) << "layer " << i;
     for (std::size_t j = i + 1; j < net.layer_count(); ++j) {
-      EXPECT_NE(net.diff(i).data(), net.diff(j).data());
+      EXPECT_NE(ctx.diff(i).data(), ctx.diff(j).data());
     }
   }
 }

@@ -50,7 +50,8 @@ TEST(Network, ForwardProducesExpectedShapes) {
   Tensor input(net.input_shape());
   runtime::Rng rng(2);
   tensor::fill_normal(input, rng, 0.0f, 1.0f);
-  const Tensor& out = net.forward(input, pool);
+  ExecContext ctx = net.make_context(ExecMode::kTraining);
+  const Tensor& out = ctx.forward(input, pool);
   EXPECT_EQ(out.shape(), Shape({3}));
   for (const float v : out.values()) EXPECT_TRUE(std::isfinite(v));
 }
@@ -58,6 +59,7 @@ TEST(Network, ForwardProducesExpectedShapes) {
 TEST(Network, MisuseThrows) {
   Network empty;
   EXPECT_THROW(empty.finalize(Shape{1, 8, 8, 8}), std::logic_error);
+  EXPECT_THROW(empty.make_context(ExecMode::kTraining), std::logic_error);
 
   Network net = make_small_network(3);
   EXPECT_THROW(net.finalize(Shape{1, 8, 8, 8}), std::logic_error);
@@ -65,11 +67,12 @@ TEST(Network, MisuseThrows) {
                std::logic_error);
 
   runtime::ThreadPool pool(1);
+  ExecContext ctx = net.make_context(ExecMode::kTraining);
   Tensor dloss(Shape{3});
-  EXPECT_THROW(net.backward(dloss, pool), std::logic_error);  // no forward
+  EXPECT_THROW(ctx.backward(dloss, pool), std::logic_error);  // no forward
 
   Tensor bad_input(Shape{1, 4, 4, 4});
-  EXPECT_THROW(net.forward(bad_input, pool), std::invalid_argument);
+  EXPECT_THROW(ctx.forward(bad_input, pool), std::invalid_argument);
 }
 
 TEST(Network, FlatParamRoundTrip) {
@@ -85,13 +88,16 @@ TEST(Network, FlatParamRoundTrip) {
   b.copy_params_to(check);
   EXPECT_EQ(tensor::max_abs_diff(params, check), 0.0f);
 
-  // Identical parameters -> identical predictions.
+  // Identical parameters -> identical predictions (one stream runs
+  // forward-only, exercising the inference-lean context).
   runtime::ThreadPool pool(1);
   Tensor input(a.input_shape());
   runtime::Rng rng(6);
   tensor::fill_normal(input, rng, 0.0f, 1.0f);
-  const std::vector<float> ya = a.forward(input, pool).to_vector();
-  const std::vector<float> yb = b.forward(input, pool).to_vector();
+  ExecContext ca = a.make_context(ExecMode::kTraining);
+  ExecContext cb = b.make_context(ExecMode::kInference);
+  const std::vector<float> ya = ca.forward(input, pool).to_vector();
+  const std::vector<float> yb = cb.forward(input, pool).to_vector();
   EXPECT_EQ(tensor::max_abs_diff(ya, yb), 0.0f);
 
   std::vector<float> wrong(n + 1);
@@ -104,25 +110,26 @@ TEST(Network, FlatGradRoundTrip) {
   Tensor input(net.input_shape());
   runtime::Rng rng(8);
   tensor::fill_normal(input, rng, 0.0f, 1.0f);
-  net.forward(input, pool);
+  ExecContext ctx = net.make_context(ExecMode::kTraining);
+  ctx.forward(input, pool);
   Tensor dloss(Shape{3});
   dloss.fill(1.0f);
-  net.zero_grads();
-  net.backward(dloss, pool);
+  ctx.zero_grads();
+  ctx.backward(dloss, pool);
 
   const std::size_t n = static_cast<std::size_t>(net.param_count());
   std::vector<float> grads(n);
-  net.copy_grads_to(grads);
+  ctx.copy_grads_to(grads);
   EXPECT_GT(tensor::max_abs(grads), 0.0f);
 
-  net.zero_grads();
+  ctx.zero_grads();
   std::vector<float> zeros(n);
-  net.copy_grads_to(zeros);
+  ctx.copy_grads_to(zeros);
   EXPECT_EQ(tensor::max_abs(zeros), 0.0f);
 
-  net.set_grads_from(grads);
+  ctx.set_grads_from(grads);
   std::vector<float> check(n);
-  net.copy_grads_to(check);
+  ctx.copy_grads_to(check);
   EXPECT_EQ(tensor::max_abs_diff(grads, check), 0.0f);
 }
 
@@ -133,22 +140,23 @@ TEST(Network, EndToEndGradientCheck) {
   runtime::Rng rng(10);
   tensor::fill_normal(input, rng, 0.0f, 1.0f);
   const std::vector<float> target{0.3f, -0.2f, 0.7f};
+  ExecContext ctx = net.make_context(ExecMode::kTraining);
 
   const auto loss = [&] {
-    const Tensor& out = net.forward(input, pool);
+    const Tensor& out = ctx.forward(input, pool);
     return mse_loss(out.values(), target);
   };
 
   loss();
-  const Tensor& out = net.forward(input, pool);
+  const Tensor& out = ctx.forward(input, pool);
   Tensor dloss(Shape{3});
   mse_loss_grad(out.values(), target, dloss.values());
-  net.zero_grads();
-  net.backward(dloss, pool);
+  ctx.zero_grads();
+  ctx.backward(dloss, pool);
 
   const std::size_t n = static_cast<std::size_t>(net.param_count());
   std::vector<float> grads(n);
-  net.copy_grads_to(grads);
+  ctx.copy_grads_to(grads);
   std::vector<float> params(n);
   net.copy_params_to(params);
 
@@ -193,13 +201,18 @@ TEST(Network, ProfilesAccumulateAndReset) {
   Tensor input(net.input_shape());
   runtime::Rng rng(14);
   tensor::fill_normal(input, rng, 0.0f, 1.0f);
-  net.forward(input, pool);
-  net.forward(input, pool);
-  auto profiles = net.profiles();
+  ExecContext ctx = net.make_context(ExecMode::kTraining);
+  ctx.forward(input, pool);
+  ctx.forward(input, pool);
+  auto profiles = ctx.profiles();
   EXPECT_EQ(profiles.front().fwd.count(), 2u);
-  net.reset_profiles();
-  profiles = net.profiles();
+  ctx.reset_profiles();
+  profiles = ctx.profiles();
   EXPECT_EQ(profiles.front().fwd.count(), 0u);
+
+  // Timers are per-stream: a second context starts clean.
+  ExecContext other = net.make_context(ExecMode::kTraining);
+  EXPECT_EQ(other.profiles().front().fwd.count(), 0u);
 }
 
 }  // namespace
