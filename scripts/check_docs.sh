@@ -6,7 +6,11 @@
 #      README code fence must correspond to a target declared in the
 #      matching CMakeLists (add_executable(NAME ...) or NAME in a
 #      target list), so the README never advertises targets that do
-#      not build.
+#      not build;
+#   3. every bench_* target declared in bench/CMakeLists.txt and every
+#      BENCH_*.json baseline checked into the repo root must be
+#      mentioned in EXPERIMENTS.md, so no benchmark or result file
+#      exists without a written account of what it measures.
 #
 # Usage: check_docs.sh [repo_root]
 set -u
@@ -36,6 +40,25 @@ for target in $targets; do
   if ! grep -qw "$name" "$kind/CMakeLists.txt"; then
     echo "FAIL: README references $target but $kind/CMakeLists.txt" \
          "declares no target named $name" >&2
+    fail=1
+  fi
+done
+
+# Every declared bench binary is documented in EXPERIMENTS.md.
+benches="$(grep -oE 'bench_[a-z0-9_]+' bench/CMakeLists.txt | sort -u)"
+for bench in $benches; do
+  if ! grep -qw "$bench" EXPERIMENTS.md; then
+    echo "FAIL: bench/CMakeLists.txt declares $bench but EXPERIMENTS.md" \
+         "never mentions it" >&2
+    fail=1
+  fi
+done
+
+# Every checked-in benchmark baseline is documented in EXPERIMENTS.md.
+for baseline in BENCH_*.json; do
+  [ -e "$baseline" ] || continue
+  if ! grep -qw "$baseline" EXPERIMENTS.md; then
+    echo "FAIL: $baseline exists but EXPERIMENTS.md never mentions it" >&2
     fail=1
   fi
 done

@@ -10,9 +10,11 @@
 #           full-coverage writes.
 #   tsan  — cross-thread hand-offs: the MlComm collectives and helper
 #           thread (sync + async bucketed allreduce), ThreadPool
-#           dispatch, the overlapped trainer step loop, and the
-#           Context suite's concurrent inference streams sharing one
-#           immutable Network.
+#           dispatch, the overlapped trainer step loop, the Context
+#           suite's concurrent inference streams sharing one immutable
+#           Network, and the serving path (client threads -> request
+#           queue -> batch former -> worker streams) via the Serve
+#           suites plus a bench_serve --smoke traffic run.
 #   ubsan — pointer-arithmetic-heavy paths: fused conv/dense epilogue
 #           kernels, blocked optimizer sweeps, layout/reorder code.
 #
@@ -44,7 +46,7 @@ run_one() {
       # reports.
       env_name="TSAN_OPTIONS"
       env_value="halt_on_error=1 second_deadlock_stack=1"
-      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining'
+      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*'
       ;;
     ubsan)
       cmake_flag="-DCOSMOFLOW_UBSAN=ON"
@@ -67,6 +69,13 @@ run_one() {
 
   env "$env_name=$env_value" \
     "$build_dir/tests/cosmoflow_tests" --gtest_filter="$filter"
+
+  # The serving path under real traffic: three short traffic phases
+  # with client, former and worker threads all live at once.
+  if [ "$san" = "tsan" ]; then
+    cmake --build "$build_dir" --target bench_serve -j "$(nproc)"
+    env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke
+  fi
 
   echo "$san: clean"
 }

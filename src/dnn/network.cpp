@@ -95,6 +95,21 @@ ExecContext Network::make_context(ExecMode mode) {
   return ExecContext(*this, mode);
 }
 
+ExecContext Network::make_context(ExecMode mode) const {
+  if (mode != ExecMode::kInference) {
+    throw std::logic_error(
+        "Network::make_context: only inference contexts can be created "
+        "from a const Network");
+  }
+  if (!finalized_) {
+    throw std::logic_error("Network::make_context: not finalized");
+  }
+  // The cast only unlocks const accessors in practice: an inference
+  // context performs no mutating Network access (enforced by the mode
+  // checks in ExecContext), so this never writes through the pointer.
+  return ExecContext(const_cast<Network&>(*this), mode);
+}
+
 std::size_t Network::activation_bytes() const noexcept {
   return mem_plan_.act_sum * sizeof(float);
 }

@@ -70,6 +70,16 @@ class Network {
   /// outlive (and not move under) every context it handed out.
   ExecContext make_context(ExecMode mode);
 
+  /// Const overload for inference streams. A finalized Network is
+  /// immutable during execution and an inference context only ever
+  /// reads it (its mutating entry points — backward(), params(),
+  /// zero_grads() — throw by mode), so handing contexts out from a
+  /// `shared_ptr<const Network>` (the serving layer's ownership model,
+  /// SERVING.md) is sound. Training contexts mutate weights through
+  /// params() and stay gated behind the non-const overload; requesting
+  /// kTraining here throws.
+  ExecContext make_context(ExecMode mode) const;
+
   std::size_t layer_count() const noexcept { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
   const Layer& layer(std::size_t i) const { return *layers_[i]; }

@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <cmath>
+
 #include "obs/jsonl.hpp"
 
 namespace cf::obs {
@@ -40,6 +42,57 @@ Stat& Registry::stat(std::string_view name) {
   return find_or_create(stats_, name, mutex_);
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create(histograms_, name, mutex_);
+}
+
+double HistogramSnapshot::percentile(double q) const noexcept {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest rank: the smallest bucket whose cumulative count reaches
+  // ceil(q * count), reported as that bucket's upper bound.
+  const double target = q * static_cast<double>(count);
+  std::uint64_t rank = static_cast<std::uint64_t>(target);
+  if (static_cast<double>(rank) < target || rank == 0) ++rank;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) return Histogram::bucket_upper_bound(i);
+  }
+  return Histogram::bucket_upper_bound(buckets.size() - 1);
+}
+
+double Histogram::bucket_upper_bound(std::size_t i) noexcept {
+  return kFloor * std::pow(kGrowth, static_cast<double>(i) + 1.0);
+}
+
+std::size_t Histogram::bucket_index(double value) noexcept {
+  if (!(value > kFloor)) return 0;  // incl. NaN and negatives
+  const double idx = std::log(value / kFloor) / std::log(kGrowth);
+  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBuckets);
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   const std::lock_guard<std::mutex> lock(mutex_);
@@ -48,6 +101,9 @@ MetricsSnapshot Registry::snapshot() const {
   }
   for (const auto& [name, gauge] : gauges_) {
     snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->snapshot());
   }
   for (const auto& [name, stat] : stats_) {
     snap.stats.emplace(name, stat->snapshot());
@@ -59,6 +115,7 @@ void Registry::reset() {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (auto& [name, counter] : counters_) counter->reset();
   for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
   for (auto& [name, stat] : stats_) stat->reset();
 }
 
@@ -73,6 +130,9 @@ void Registry::reset_prefix(std::string_view prefix) {
   }
   for (auto& [name, gauge] : gauges_) {
     if (matches(name)) gauge->reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    if (matches(name)) histogram->reset();
   }
   for (auto& [name, stat] : stats_) {
     if (matches(name)) stat->reset();
@@ -98,6 +158,24 @@ std::string Registry::to_json() const {
     append_quoted(out, name);
     out += ':';
     append_double(out, value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_quoted(out, name);
+    out += ":{\"count\":";
+    out += std::to_string(hist.count);
+    out += ",\"mean\":";
+    append_double(out, hist.mean());
+    out += ",\"p50\":";
+    append_double(out, hist.percentile(0.50));
+    out += ",\"p99\":";
+    append_double(out, hist.percentile(0.99));
+    out += ",\"p999\":";
+    append_double(out, hist.percentile(0.999));
+    out += '}';
   }
   out += "},\"stats\":{";
   first = true;

@@ -1,8 +1,9 @@
-// cf::obs metrics registry — named counters, gauges and stats.
+// cf::obs metrics registry — named counters, gauges, stats and
+// histograms.
 //
 // The paper's evidence is instrumentation (Fig 3's stage breakdown,
 // Table I's per-layer costs, Fig 4's scaling study); this registry is
-// the single authoritative store those views read from. Three metric
+// the single authoritative store those views read from. Four metric
 // kinds:
 //
 //  * Counter — monotonically increasing 64-bit integer (bytes read,
@@ -15,19 +16,27 @@
 //    runtime::TimeStats. Collectives, optimizer steps and pipeline
 //    waits record here; Trainer::breakdown() and EpochStats are views
 //    over these.
+//  * Histogram — a log-bucketed latency distribution answering
+//    percentile queries (p50/p99/p999). A Stat's mean/min/max cannot
+//    describe a serving latency tail; the inference service
+//    (SERVING.md) records its end-to-end latencies here. Lock-free
+//    relaxed atomics per bucket, same concurrency contract as Counter.
 //
 // Handles returned by the registry are stable for the process lifetime
 // (metrics are never deleted, only reset), so instrumented components
 // look a name up once and record through the pointer on the hot path.
 #pragma once
 
+#include <array>
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "runtime/timer.hpp"
 
@@ -99,10 +108,62 @@ class ScopedStatTimer {
   runtime::Stopwatch watch_;
 };
 
+/// Point-in-time copy of a Histogram's buckets, with percentile
+/// evaluation. Bucket i counts observations in
+/// [kFloor·kGrowth^i, kFloor·kGrowth^(i+1)); percentile() walks the
+/// cumulative counts and returns the matched bucket's upper bound, so
+/// estimates are conservative (never below the true quantile) and
+/// resolve to within one kGrowth factor (~12%).
+struct HistogramSnapshot {
+  std::vector<std::uint64_t> buckets;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  /// Nearest-rank quantile, q in [0, 1]; 0 when empty.
+  double percentile(double q) const noexcept;
+};
+
+/// Log-bucketed distribution for percentile queries. The bucket grid
+/// is fixed at compile time: kBuckets exponential buckets of growth
+/// kGrowth starting at kFloor seconds (1 µs), covering ~1 µs..2000 s —
+/// below/above that, observations clamp to the first/last bucket.
+/// add() is one transcendental + two relaxed atomics (≈20 ns), safe
+/// from any thread; placement is per-request granularity (the serving
+/// path), never inside compute kernels.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 96;
+  static constexpr double kFloor = 1e-6;
+  static constexpr double kGrowth = 1.25;
+
+  void add(double value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  HistogramSnapshot snapshot() const;
+  void reset() noexcept;
+
+  /// Upper bound of bucket i: kFloor·kGrowth^(i+1).
+  static double bucket_upper_bound(std::size_t i) noexcept;
+
+ private:
+  static std::size_t bucket_index(double value) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
 /// Point-in-time copy of every registered metric.
 struct MetricsSnapshot {
   std::map<std::string, std::int64_t> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
   std::map<std::string, runtime::TimeStats> stats;
 };
 
@@ -119,6 +180,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Stat& stat(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   MetricsSnapshot snapshot() const;
 
@@ -135,6 +197,8 @@ class Registry {
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>>
+      histograms_;
   std::map<std::string, std::unique_ptr<Stat>, std::less<>> stats_;
 };
 

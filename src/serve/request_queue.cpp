@@ -1,0 +1,90 @@
+#include "serve/request_queue.hpp"
+
+namespace cf::serve {
+
+std::string_view to_string(SubmitStatus status) noexcept {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kOverloaded:
+      return "overloaded";
+    case SubmitStatus::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+RequestQueue::RequestQueue(std::size_t capacity, obs::Gauge* depth_gauge)
+    : capacity_(capacity == 0 ? 1 : capacity), depth_gauge_(depth_gauge) {}
+
+SubmitStatus RequestQueue::try_push(Request&& request) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return SubmitStatus::kShutdown;
+    if (items_.size() >= capacity_) return SubmitStatus::kOverloaded;
+    items_.push_back(std::move(request));
+    update_gauge_locked();
+  }
+  not_empty_.notify_one();
+  return SubmitStatus::kAccepted;
+}
+
+RequestQueue::PopStatus RequestQueue::pop(
+    Request* out, std::chrono::steady_clock::time_point deadline) {
+  return pop_impl(out, /*has_deadline=*/true, deadline);
+}
+
+RequestQueue::PopStatus RequestQueue::pop(Request* out) {
+  return pop_impl(out, /*has_deadline=*/false, {});
+}
+
+RequestQueue::PopStatus RequestQueue::pop_impl(
+    Request* out, bool has_deadline,
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (!items_.empty()) {
+      *out = std::move(items_.front());
+      items_.pop_front();
+      update_gauge_locked();
+      return PopStatus::kItem;
+    }
+    if (closed_) return PopStatus::kClosed;
+    if (has_deadline) {
+      if (not_empty_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        // Re-check: a push may have raced the timeout.
+        if (!items_.empty()) continue;
+        return PopStatus::kTimeout;
+      }
+    } else {
+      not_empty_.wait(lock);
+    }
+  }
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+bool RequestQueue::closed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+void RequestQueue::update_gauge_locked() {
+  if (depth_gauge_ != nullptr) {
+    depth_gauge_->set(static_cast<double>(items_.size()));
+  }
+}
+
+}  // namespace cf::serve

@@ -88,11 +88,78 @@ TEST(Metrics, ToJsonIsDeterministic) {
   stat.add(2.0);
   stat.add(4.0);
   const std::string expected =
-      "{\"counters\":{\"c\":2},\"gauges\":{\"g\":1.5},"
+      "{\"counters\":{\"c\":2},\"gauges\":{\"g\":1.5},\"histograms\":{},"
       "\"stats\":{\"s\":{\"count\":2,\"total\":6,\"min\":2,\"max\":4,"
       "\"mean\":3}}}";
   EXPECT_EQ(registry.to_json(), expected);
   EXPECT_EQ(registry.to_json(), expected);  // stable across calls
+}
+
+// --- Histogram -------------------------------------------------------
+
+TEST(Metrics, HistogramPercentilesBoundTheSample) {
+  Registry registry;
+  Histogram& hist = registry.histogram("h");
+  // 1000 observations spread linearly over [1 ms, 100 ms]: p50 ≈ 50 ms,
+  // p99 ≈ 99 ms. The log-bucket estimate reports a bucket upper bound,
+  // so it is >= the true quantile and within one growth factor of it.
+  for (int i = 1; i <= 1000; ++i) {
+    hist.add(1e-3 + (100e-3 - 1e-3) * (i - 1) / 999.0);
+  }
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 1000u);
+  EXPECT_NEAR(snap.mean(), 50.5e-3, 1e-4);
+  const double p50 = snap.percentile(0.50);
+  const double p99 = snap.percentile(0.99);
+  const double p999 = snap.percentile(0.999);
+  EXPECT_GE(p50, 50.0e-3);
+  EXPECT_LE(p50, 50.0e-3 * Histogram::kGrowth * Histogram::kGrowth);
+  EXPECT_GE(p99, 99.0e-3);
+  EXPECT_LE(p99, 99.0e-3 * Histogram::kGrowth * Histogram::kGrowth);
+  EXPECT_GE(p999, p99);
+  EXPECT_LE(snap.percentile(0.0), snap.percentile(1.0));
+}
+
+TEST(Metrics, HistogramClampsOutOfRangeAndResets) {
+  Histogram hist;
+  hist.add(0.0);     // below floor -> first bucket
+  hist.add(-1.0);    // negative -> first bucket
+  hist.add(1e9);     // beyond last bucket -> last bucket
+  HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_EQ(snap.buckets.front(), 2u);
+  EXPECT_EQ(snap.buckets.back(), 1u);
+  hist.reset();
+  snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.percentile(0.99), 0.0);
+}
+
+TEST(Metrics, HistogramAggregatesUnderContention) {
+  Registry registry;
+  Histogram& hist = registry.histogram("contended");
+  runtime::ThreadPool pool(4);
+  constexpr std::size_t kIters = 100000;
+  pool.parallel_for(kIters,
+                    [&](std::size_t begin, std::size_t end, std::size_t) {
+                      for (std::size_t i = begin; i < end; ++i) {
+                        hist.add(1e-3);
+                      }
+                    });
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kIters));
+  std::uint64_t bucket_total = 0;
+  for (const std::uint64_t b : snap.buckets) bucket_total += b;
+  EXPECT_EQ(bucket_total, snap.count);
+}
+
+TEST(Metrics, ResetPrefixCoversHistograms) {
+  Registry registry;
+  registry.histogram("serve/latency").add(1e-3);
+  registry.histogram("other/latency").add(1e-3);
+  registry.reset_prefix("serve/");
+  EXPECT_EQ(registry.histogram("serve/latency").snapshot().count, 0u);
+  EXPECT_EQ(registry.histogram("other/latency").snapshot().count, 1u);
 }
 
 TEST(Metrics, ScopedStatTimerRecordsOneObservation) {

@@ -1,0 +1,400 @@
+// cf::serve — the micro-batching inference service (SERVING.md).
+//
+// The load-bearing property is the serving determinism rule
+// (DESIGN.md §2.4): a request's result is bitwise identical no matter
+// which batch it lands in, which worker stream runs it, or what ran on
+// that stream before. Everything else pinned here is the service
+// contract: typed Overloaded rejection under load, deadline flush of
+// underfull batches, clean shutdown that drains in-flight work, and an
+// inference context that never reallocates once warm (the property a
+// long-lived server leans on). The TSan gate (scripts/
+// check_sanitizers.sh tsan) runs the Serve* suites.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "dnn/network.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf {
+namespace {
+
+using serve::InferenceResult;
+using serve::Server;
+using serve::ServerConfig;
+using serve::SubmitStatus;
+using tensor::Tensor;
+
+std::shared_ptr<const dnn::Network> make_network(std::int64_t dhw,
+                                                 std::uint64_t seed) {
+  return std::make_shared<const dnn::Network>(
+      core::build_network(core::cosmoflow_scaled(dhw), seed));
+}
+
+std::vector<Tensor> make_inputs(const dnn::Network& net, std::size_t n,
+                                std::uint64_t seed) {
+  std::vector<Tensor> inputs;
+  inputs.reserve(n);
+  runtime::Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    Tensor input(net.input_shape());
+    tensor::fill_normal(input, rng, 0.0f, 1.0f);
+    inputs.push_back(std::move(input));
+  }
+  return inputs;
+}
+
+// Serial single-stream reference: what forward() says outside any
+// server, batching, or threading.
+std::vector<std::vector<float>> reference_outputs(
+    const dnn::Network& net, const std::vector<Tensor>& inputs) {
+  dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference);
+  runtime::ThreadPool pool(1);
+  std::vector<std::vector<float>> outputs;
+  outputs.reserve(inputs.size());
+  for (const Tensor& input : inputs) {
+    outputs.push_back(ctx.forward(input, pool).to_vector());
+  }
+  return outputs;
+}
+
+// Submit, retrying politely while the server sheds load. Fails the
+// test if the server shut down underneath us.
+std::future<InferenceResult> submit_until_accepted(Server& server,
+                                                   const Tensor& input) {
+  for (;;) {
+    std::future<InferenceResult> future;
+    const SubmitStatus status = server.submit(input.clone(), &future);
+    if (status == SubmitStatus::kAccepted) return future;
+    EXPECT_EQ(status, SubmitStatus::kOverloaded);
+    std::this_thread::yield();
+  }
+}
+
+// --- §2.4: batch membership must not change a single output bit. ---
+
+TEST(Serve, BatchMembershipDoesNotChangeOutputBits) {
+  const auto net = make_network(8, 21);
+  const std::vector<Tensor> inputs = make_inputs(*net, 10, 33);
+  const std::vector<std::vector<float>> expected =
+      reference_outputs(*net, inputs);
+
+  // Sweep batching regimes: singleton batches, partial fills, one big
+  // batch, greedy zero-delay, and multi-worker dispatch. Same bits
+  // everywhere.
+  std::vector<ServerConfig> configs(5);
+  configs[0].workers = 1;
+  configs[0].max_batch = 1;
+  configs[0].max_delay_seconds = 0.0;
+  configs[1].workers = 1;
+  configs[1].max_batch = 4;
+  configs[1].max_delay_seconds = 5e-3;
+  configs[2].workers = 1;
+  configs[2].max_batch = 10;
+  configs[2].max_delay_seconds = 20e-3;
+  configs[3].workers = 1;
+  configs[3].max_batch = 8;
+  configs[3].max_delay_seconds = 0.0;  // greedy: take what is queued
+  configs[4].workers = 2;
+  configs[4].threads_per_worker = 2;
+  configs[4].max_batch = 3;
+  configs[4].max_delay_seconds = 1e-3;
+
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    configs[c].metric_prefix = "serve_test";
+    Server server(net, configs[c]);
+    std::vector<std::future<InferenceResult>> futures;
+    futures.reserve(inputs.size());
+    for (const Tensor& input : inputs) {
+      futures.push_back(submit_until_accepted(server, input));
+    }
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      InferenceResult result = futures[i].get();
+      EXPECT_EQ(tensor::max_abs_diff(result.output, expected[i]), 0.0f)
+          << "config " << c << " request " << i;
+      EXPECT_GE(result.batch_size, 1u);
+      EXPECT_LE(result.batch_size, configs[c].max_batch);
+      EXPECT_LT(result.worker, configs[c].workers);
+      EXPECT_GE(result.total_seconds, result.compute_seconds);
+    }
+    server.shutdown();
+    auto& reg = obs::Registry::global();
+    EXPECT_EQ(reg.counter("serve_test/completed").value(),
+              static_cast<std::int64_t>(inputs.size()))
+        << "config " << c;
+    EXPECT_EQ(reg.histogram("serve_test/latency").snapshot().count,
+              inputs.size())
+        << "config " << c;
+  }
+}
+
+// --- Admission control: beyond the queue budget, a typed no. ---
+
+TEST(Serve, OverloadedSubmissionsGetTypedRejection) {
+  const auto net = make_network(8, 5);
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 2;
+  config.max_delay_seconds = 50e-3;
+  config.queue_capacity = 1;
+  config.metric_prefix = "serve_test_bp";
+  Server server(net, config);
+
+  // Total absorption before rejection: queue (1) + forming batch (2) +
+  // batch queue (1 batch of 2) + the batch a worker holds (2), plus at
+  // most a couple of batches the worker manages to finish while we
+  // submit. 32 back-to-back submissions must overflow that.
+  const std::vector<Tensor> inputs = make_inputs(*net, 32, 7);
+  std::vector<std::future<InferenceResult>> accepted;
+  std::size_t rejected = 0;
+  for (const Tensor& input : inputs) {
+    std::future<InferenceResult> future;
+    const SubmitStatus status = server.submit(input.clone(), &future);
+    if (status == SubmitStatus::kAccepted) {
+      accepted.push_back(std::move(future));
+    } else {
+      ASSERT_EQ(status, SubmitStatus::kOverloaded);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(serve::to_string(SubmitStatus::kOverloaded), "overloaded");
+
+  // Every accepted request still resolves; rejected ones never queued.
+  for (auto& future : accepted) {
+    EXPECT_FALSE(future.get().output.empty());
+  }
+  server.shutdown();
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("serve_test_bp/accepted").value(),
+            static_cast<std::int64_t>(accepted.size()));
+  EXPECT_EQ(reg.counter("serve_test_bp/rejected").value(),
+            static_cast<std::int64_t>(rejected));
+  EXPECT_EQ(reg.counter("serve_test_bp/completed").value(),
+            static_cast<std::int64_t>(accepted.size()));
+  EXPECT_EQ(accepted.size() + rejected, inputs.size());
+}
+
+// --- Deadline budget: an underfull batch flushes, never starves. ---
+
+TEST(Serve, DeadlineFlushesUnderfullBatches) {
+  const auto net = make_network(8, 9);
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 64;  // far more than we will ever submit
+  config.max_delay_seconds = 10e-3;
+  config.metric_prefix = "serve_test_dl";
+  Server server(net, config);
+
+  const std::vector<Tensor> inputs = make_inputs(*net, 3, 11);
+  std::vector<std::future<InferenceResult>> futures;
+  for (const Tensor& input : inputs) {
+    futures.push_back(submit_until_accepted(server, input));
+  }
+  for (auto& future : futures) {
+    // Without the deadline flush this would hang waiting for 64.
+    InferenceResult result = future.get();
+    EXPECT_LE(result.batch_size, inputs.size());
+  }
+  server.shutdown();
+  const auto fill =
+      obs::Registry::global().stat("serve_test_dl/batch_fill").snapshot();
+  EXPECT_GE(fill.count(), 1u);
+  EXPECT_LE(fill.max(), static_cast<double>(inputs.size()));
+}
+
+// --- Concurrent client threads, multiple worker streams: still the
+// serial bits. The TSan gate runs this test. ---
+
+TEST(Serve, ConcurrentSubmittersMatchSerialReference) {
+  constexpr std::size_t kClients = 4;
+  constexpr std::size_t kPerClient = 5;
+  const auto net = make_network(8, 17);
+
+  // Distinct deterministic inputs per (client, rep).
+  std::vector<std::vector<Tensor>> inputs(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    runtime::Rng rng(41, static_cast<std::uint64_t>(c));
+    for (std::size_t r = 0; r < kPerClient; ++r) {
+      Tensor input(net->input_shape());
+      tensor::fill_normal(input, rng, 0.0f, 1.0f);
+      inputs[c].push_back(std::move(input));
+    }
+  }
+  std::vector<std::vector<std::vector<float>>> expected(kClients);
+  {
+    dnn::ExecContext ctx = net->make_context(dnn::ExecMode::kInference);
+    runtime::ThreadPool pool(1);
+    for (std::size_t c = 0; c < kClients; ++c) {
+      for (const Tensor& input : inputs[c]) {
+        expected[c].push_back(ctx.forward(input, pool).to_vector());
+      }
+    }
+  }
+
+  ServerConfig config;
+  config.workers = 2;
+  config.threads_per_worker = 2;
+  config.max_batch = 4;
+  config.max_delay_seconds = 1e-3;
+  config.metric_prefix = "serve_test_mt";
+  Server server(net, config);
+
+  std::vector<std::vector<std::vector<float>>> actual(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&server, &inputs, &actual, c] {
+      for (const Tensor& input : inputs[c]) {
+        std::future<InferenceResult> future =
+            submit_until_accepted(server, input);
+        actual[c].push_back(future.get().output);
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  server.shutdown();
+
+  for (std::size_t c = 0; c < kClients; ++c) {
+    ASSERT_EQ(actual[c].size(), expected[c].size()) << "client " << c;
+    for (std::size_t r = 0; r < expected[c].size(); ++r) {
+      EXPECT_EQ(tensor::max_abs_diff(actual[c][r], expected[c][r]), 0.0f)
+          << "client " << c << " rep " << r;
+    }
+  }
+}
+
+// --- Shutdown drains: every accepted future resolves, then the door
+// closes with a typed status. ---
+
+TEST(Serve, ShutdownDrainsInFlightRequests) {
+  const auto net = make_network(8, 25);
+  ServerConfig config;
+  config.workers = 1;
+  config.max_batch = 2;
+  config.max_delay_seconds = 1e-3;
+  config.metric_prefix = "serve_test_sd";
+  Server server(net, config);
+
+  const std::vector<Tensor> inputs = make_inputs(*net, 12, 27);
+  std::vector<std::future<InferenceResult>> futures;
+  for (const Tensor& input : inputs) {
+    futures.push_back(submit_until_accepted(server, input));
+  }
+  // Most of these are still queued or forming; shutdown must deliver
+  // them all, not drop them.
+  server.shutdown();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "request " << i;
+    EXPECT_FALSE(futures[i].get().output.empty()) << "request " << i;
+  }
+  auto& reg = obs::Registry::global();
+  EXPECT_EQ(reg.counter("serve_test_sd/completed").value(),
+            static_cast<std::int64_t>(inputs.size()));
+
+  // The door is closed, and says so.
+  std::future<InferenceResult> late;
+  EXPECT_EQ(server.submit(inputs[0].clone(), &late),
+            SubmitStatus::kShutdown);
+  // Idempotent: destructor will call shutdown() again.
+  server.shutdown();
+}
+
+// --- Malformed requests are errors, not load conditions. ---
+
+TEST(Serve, SubmitRejectsWrongInputShape) {
+  const auto net = make_network(8, 3);
+  ServerConfig config;
+  config.workers = 1;
+  config.metric_prefix = "serve_test_shape";
+  Server server(net, config);
+  Tensor wrong(tensor::Shape{1, 4, 4, 4});
+  wrong.fill(0.0f);
+  EXPECT_THROW(server.submit(std::move(wrong), nullptr),
+               std::invalid_argument);
+  EXPECT_EQ(
+      obs::Registry::global().counter("serve_test_shape/accepted").value(),
+      0);
+}
+
+// --- The const-Network handle serving rests on: inference streams
+// only; training through a shared read-only model is a hard error. ---
+
+TEST(Serve, ConstNetworkHandsOutInferenceContextsOnly) {
+  const auto net = make_network(8, 19);
+  dnn::ExecContext ctx = net->make_context(dnn::ExecMode::kInference);
+  runtime::ThreadPool pool(1);
+  Tensor input(net->input_shape());
+  runtime::Rng rng(23);
+  tensor::fill_normal(input, rng, 0.0f, 1.0f);
+  EXPECT_EQ(ctx.forward(input, pool).to_vector().size(),
+            static_cast<std::size_t>(net->output_shape().numel()));
+  EXPECT_THROW(net->make_context(dnn::ExecMode::kTraining),
+               std::logic_error);
+}
+
+// --- Server-style reuse: one warm inference context sweeps hundreds
+// of varying requests without a single reallocation. The dnn/ctx/*
+// gauges written at construction stay the truth for the whole run. ---
+
+TEST(ServeContextReuse, NoReallocationAcrossHundredsOfBatches) {
+  const auto net = make_network(16, 29);
+  dnn::ExecContext ctx = net->make_context(dnn::ExecMode::kInference);
+  runtime::ThreadPool pool(2);
+
+  const std::size_t activation_bytes = ctx.activation_bytes();
+  const std::size_t total_bytes = ctx.total_bytes();
+  auto& reg = obs::Registry::global();
+  ASSERT_EQ(reg.gauge("dnn/ctx/activation_bytes").value(),
+            static_cast<double>(activation_bytes));
+  ASSERT_EQ(reg.gauge("dnn/ctx/total_bytes").value(),
+            static_cast<double>(total_bytes));
+
+  // Warm-up request, kept as the bitwise anchor.
+  runtime::Rng rng(31);
+  Tensor anchor(net->input_shape());
+  tensor::fill_normal(anchor, rng, 0.0f, 1.0f);
+  const std::vector<float> anchor_out =
+      ctx.forward(anchor, pool).to_vector();
+
+  constexpr int kRequests = 200;
+  for (int i = 0; i < kRequests; ++i) {
+    Tensor input(net->input_shape());
+    // Vary the distribution, not just the sample, across requests.
+    tensor::fill_normal(input, rng, static_cast<float>(i % 7) * 0.1f,
+                        0.5f + static_cast<float>(i % 3) * 0.5f);
+    ctx.forward(input, pool);
+    if (i % 50 == 0) {
+      EXPECT_EQ(ctx.activation_bytes(), activation_bytes) << "req " << i;
+      EXPECT_EQ(ctx.total_bytes(), total_bytes) << "req " << i;
+    }
+  }
+  // Still exactly the construction-time footprint…
+  EXPECT_EQ(ctx.activation_bytes(), activation_bytes);
+  EXPECT_EQ(ctx.total_bytes(), total_bytes);
+  EXPECT_EQ(reg.gauge("dnn/ctx/activation_bytes").value(),
+            static_cast<double>(activation_bytes));
+  EXPECT_EQ(reg.gauge("dnn/ctx/total_bytes").value(),
+            static_cast<double>(total_bytes));
+  // …and still exactly the warm-up bits (state from 200 intervening
+  // requests leaked nothing into the arenas).
+  EXPECT_EQ(tensor::max_abs_diff(ctx.forward(anchor, pool).to_vector(),
+                                 anchor_out),
+            0.0f);
+}
+
+}  // namespace
+}  // namespace cf
