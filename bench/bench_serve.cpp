@@ -26,8 +26,8 @@
 //
 //   ./bench_serve [--dhw=16] [--workers=2] [--threads-per-worker=1]
 //       [--max-batch=8] [--max-delay-us=2000] [--queue-capacity=64]
-//       [--requests=384] [--clients=4] [--smoke]
-//       [--json=BENCH_serve.json]
+//       [--requests=384] [--clients=4] [--precision=fp32|bf16|int8w]
+//       [--smoke] [--json=BENCH_serve.json]
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/topology.hpp"
+#include "dnn/precision.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/rng.hpp"
@@ -165,6 +166,9 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--clients=", 10) == 0) {
       clients = static_cast<std::size_t>(std::atoi(argv[i] + 10));
     }
+    if (std::strncmp(argv[i], "--precision=", 12) == 0) {
+      config.precision = dnn::precision_from_string(argv[i] + 12);
+    }
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
   }
@@ -180,14 +184,21 @@ int main(int argc, char** argv) {
               "closed-loop / poisson / bursty traffic ===\n");
   std::printf("(cosmoflow_scaled(%lld), %zu workers x %zu threads, "
               "max_batch %zu, max_delay %.0f us, queue %zu, %zu requests "
-              "per phase, %zu clients)\n\n",
+              "per phase, %zu clients, %s inference)\n\n",
               static_cast<long long>(dhw), config.workers,
               config.threads_per_worker, config.max_batch,
               config.max_delay_seconds * 1e6, config.queue_capacity,
-              requests, clients);
+              requests, clients, dnn::to_string(config.precision).data());
 
-  const auto network = std::make_shared<const dnn::Network>(
+  // Reduced-precision side arenas are packed on the mutable handle
+  // before the const shared view is taken — the Server only accepts a
+  // prepared network (DESIGN.md §2.5).
+  auto mutable_network = std::make_shared<dnn::Network>(
       core::build_network(core::cosmoflow_scaled(dhw), 7));
+  if (config.precision != dnn::Precision::kFp32) {
+    mutable_network->prepare_inference_precision(config.precision);
+  }
+  const std::shared_ptr<const dnn::Network> network = mutable_network;
 
   // Input pool + serial reference bits, and service-time calibration
   // on the same context (the open-loop phases derive their arrival
@@ -195,8 +206,8 @@ int main(int argc, char** argv) {
   Workload workload;
   double service_seconds = 0.0;
   {
-    dnn::ExecContext ctx =
-        network->make_context(dnn::ExecMode::kInference);
+    dnn::ExecContext ctx = network->make_context(
+        dnn::ExecMode::kInference, config.precision);
     runtime::ThreadPool pool(config.threads_per_worker);
     constexpr std::size_t kPool = 8;
     for (std::size_t i = 0; i < kPool; ++i) {
@@ -226,8 +237,8 @@ int main(int argc, char** argv) {
     const runtime::Stopwatch watch;
     for (std::size_t w = 0; w < config.workers; ++w) {
       threads.emplace_back([&, w] {
-        dnn::ExecContext ctx =
-            network->make_context(dnn::ExecMode::kInference);
+        dnn::ExecContext ctx = network->make_context(
+            dnn::ExecMode::kInference, config.precision);
         runtime::ThreadPool pool(config.threads_per_worker);
         for (std::size_t r = 0; r < kCalibReps; ++r) {
           ctx.forward(workload.inputs[(w + r) % workload.inputs.size()],
@@ -360,6 +371,7 @@ int main(int argc, char** argv) {
                static_cast<std::int64_t>(config.queue_capacity))
         .field("requests", static_cast<std::int64_t>(requests))
         .field("clients", static_cast<std::int64_t>(clients))
+        .field("precision", dnn::to_string(config.precision))
         .field("service_ms_serial", service_seconds * 1e3)
         .field("capacity_rps", capacity);
     for (const PhaseResult& r : results) {

@@ -9,7 +9,7 @@
 //
 //   ./examples/serve_cosmoflow [--dhw=16] [--workers=2]
 //       [--max-batch=4] [--max-delay-us=2000] [--requests=8]
-//       [--checkpoint=PATH]
+//       [--precision=fp32|bf16|int8w] [--checkpoint=PATH]
 #include <cstdio>
 #include <future>
 #include <memory>
@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
   const examples::Flags flags(
       argc, argv,
       "usage: serve_cosmoflow [--dhw=16] [--workers=2] [--max-batch=4] "
-      "[--max-delay-us=2000] [--requests=8] [--checkpoint=PATH]");
+      "[--max-delay-us=2000] [--requests=8] "
+      "[--precision=fp32|bf16|int8w] [--checkpoint=PATH]");
 
   const std::int64_t dhw = flags.get_int("dhw", 16);
   const std::string ckpt = flags.get_string("checkpoint", "");
@@ -39,11 +40,19 @@ int main(int argc, char** argv) {
 
   // The model is built (or loaded) once and then shared read-only by
   // every worker stream — a const handle is all the server needs.
+  // Reduced-precision serving packs the bf16/int8 side arenas here,
+  // after the checkpoint load, so the quantized weights reflect the
+  // weights actually served (DESIGN.md §2.5).
+  const dnn::Precision precision =
+      dnn::precision_from_string(flags.get_string("precision", "fp32"));
   const core::TopologyConfig topology = core::topology_for_input(dhw);
   auto net = std::make_shared<dnn::Network>(core::build_network(topology, 7));
   if (!ckpt.empty()) {
     core::load_checkpoint(ckpt, topology.name, *net);
     std::printf("loaded %s from %s\n", topology.name.c_str(), ckpt.c_str());
+  }
+  if (precision != dnn::Precision::kFp32) {
+    net->prepare_inference_precision(precision);
   }
   const std::shared_ptr<const dnn::Network> network = net;
 
@@ -53,11 +62,13 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.get_int("max-batch", 4));
   config.max_delay_seconds =
       flags.get_double("max-delay-us", 2000.0) * 1e-6;
+  config.precision = precision;
   serve::Server server(network, config);
   std::printf("serving %s: %zu workers, max batch %zu, max delay "
-              "%.0f us, queue %zu\n\n",
+              "%.0f us, queue %zu, %s inference\n\n",
               topology.name.c_str(), config.workers, config.max_batch,
-              config.max_delay_seconds * 1e6, config.queue_capacity);
+              config.max_delay_seconds * 1e6, config.queue_capacity,
+              dnn::to_string(config.precision).data());
 
   // Fire all requests before reading any result — submitted this
   // close together they coalesce into micro-batches.

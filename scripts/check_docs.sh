@@ -10,7 +10,10 @@
 #   3. every bench_* target declared in bench/CMakeLists.txt and every
 #      BENCH_*.json baseline checked into the repo root must be
 #      mentioned in EXPERIMENTS.md, so no benchmark or result file
-#      exists without a written account of what it measures.
+#      exists without a written account of what it measures;
+#   4. every bench/example binary that parses a --precision flag must
+#      have that flag documented in EXPERIMENTS.md next to its name,
+#      so the reduced-precision ablations stay discoverable.
 #
 # Usage: check_docs.sh [repo_root]
 set -u
@@ -59,6 +62,25 @@ for baseline in BENCH_*.json; do
   [ -e "$baseline" ] || continue
   if ! grep -qw "$baseline" EXPERIMENTS.md; then
     echo "FAIL: $baseline exists but EXPERIMENTS.md never mentions it" >&2
+    fail=1
+  fi
+done
+
+# Every binary exposing --precision is documented with it. The lint
+# keys on the flag parser in the source, so adding the flag to a new
+# bench without a written ablation account fails here.
+for src in bench/*.cpp examples/*.cpp; do
+  [ -e "$src" ] || continue
+  grep -q -- '--precision=' "$src" || continue
+  name="$(basename "$src" .cpp)"
+  if ! grep -q -- "--precision" EXPERIMENTS.md; then
+    echo "FAIL: $name parses --precision but EXPERIMENTS.md never" \
+         "documents the flag" >&2
+    fail=1
+  fi
+  if ! grep -qw "$name" EXPERIMENTS.md; then
+    echo "FAIL: $name parses --precision but EXPERIMENTS.md never" \
+         "mentions $name" >&2
     fail=1
   fi
 done

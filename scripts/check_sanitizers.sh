@@ -7,7 +7,11 @@
 #           ping-pong buffers, shared backward scratch, per-context
 #           grad arenas, and the conv gather / pool direct-write
 #           kernels whose correctness depends on exact in-bounds
-#           full-coverage writes.
+#           full-coverage writes. The Precision suite rides this leg
+#           with special weight: the bf16/int8 conversion kernels
+#           (vectorized array converters, packed side arenas, the
+#           widen-on-load forward paths) are exactly the
+#           pointer-width-changing code ASan is good at.
 #   tsan  — cross-thread hand-offs: the MlComm collectives and helper
 #           thread (sync + async bucketed allreduce), ThreadPool
 #           dispatch, the overlapped trainer step loop, the Context
@@ -37,7 +41,7 @@ run_one() {
       # stack-local accumulator rows.
       env_name="ASAN_OPTIONS"
       env_value="halt_on_error=1 detect_stack_use_after_return=1"
-      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*'
+      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*'
       ;;
     tsan)
       cmake_flag="-DCOSMOFLOW_TSAN=ON"
@@ -46,7 +50,7 @@ run_one() {
       # reports.
       env_name="TSAN_OPTIONS"
       env_value="halt_on_error=1 second_deadlock_stack=1"
-      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*'
+      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*'
       ;;
     ubsan)
       cmake_flag="-DCOSMOFLOW_UBSAN=ON"
@@ -54,7 +58,7 @@ run_one() {
       # a log line; print_stacktrace makes it actionable.
       env_name="UBSAN_OPTIONS"
       env_value="halt_on_error=1 print_stacktrace=1"
-      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*'
+      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*'
       ;;
     *)
       echo "unknown sanitizer '$san' (expected asan, tsan or ubsan)" >&2
@@ -75,6 +79,8 @@ run_one() {
   if [ "$san" = "tsan" ]; then
     cmake --build "$build_dir" --target bench_serve -j "$(nproc)"
     env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke
+    env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke \
+      --precision=bf16
   fi
 
   echo "$san: clean"

@@ -1,0 +1,36 @@
+#include "core/precision_eval.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "runtime/rng.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace cf::core {
+
+std::vector<tensor::Tensor> precision_eval_inputs(
+    const tensor::Shape& shape, std::size_t count, std::uint64_t seed) {
+  std::vector<tensor::Tensor> inputs;
+  inputs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    runtime::Rng rng(seed, static_cast<std::uint64_t>(i));
+    tensor::Tensor t(shape);
+    tensor::fill_normal(t, rng, 0.0f, 1.0f);
+    inputs.push_back(std::move(t));
+  }
+  return inputs;
+}
+
+double prediction_mae(std::span<const float> a, std::span<const float> b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument(
+        "prediction_mae: spans must be equal-sized and non-empty");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+}  // namespace cf::core

@@ -36,6 +36,16 @@ class AvgPool3d final : public Layer {
                 tensor::Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
                 runtime::ThreadPool& pool) const override;
 
+  // bf16 pass-through (dnn/forward_rp.cpp): widen, average in fp32,
+  // narrow. kInt8Weights needs nothing — pooling has no weights.
+  bool supports_precision(Precision p) const override {
+    static_cast<void>(p);
+    return true;
+  }
+  void forward_bf16(const bf16_t* src, bf16_t* dst,
+                    std::span<const bf16_t> params, LayerExecState& exec,
+                    runtime::ThreadPool& pool) const override;
+
   FlopCounts flops() const override;
 
   const AvgPool3dConfig& config() const noexcept { return config_; }

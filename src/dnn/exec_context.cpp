@@ -11,17 +11,25 @@ namespace cf::dnn {
 
 using tensor::Tensor;
 
-ExecContext::ExecContext(Network& net, ExecMode mode)
-    : net_(&net), mode_(mode) {
-  input_ = Tensor(net.input_shape());
+ExecContext::ExecContext(Network& net, ExecMode mode, Precision precision)
+    : net_(&net), mode_(mode), precision_(precision) {
+  if (precision_ != Precision::kFp32 && mode_ != ExecMode::kInference) {
+    throw std::logic_error(
+        "ExecContext: training contexts are fp32-only (DESIGN.md §2.5)");
+  }
   exec_.resize(net.layer_count());
   if (mode_ == ExecMode::kTraining) {
+    input_ = Tensor(net.input_shape());
     build_training_buffers();
+  } else if (precision_ == Precision::kBf16) {
+    build_inference_buffers_bf16();
   } else {
+    input_ = Tensor(net.input_shape());
     build_inference_buffers();
   }
   auto& reg = obs::Registry::global();
   reg.gauge("dnn/ctx/mode").set(mode_ == ExecMode::kInference ? 1.0 : 0.0);
+  reg.gauge("dnn/ctx/precision").set(static_cast<double>(precision_));
   reg.gauge("dnn/ctx/activation_bytes")
       .set(static_cast<double>(activation_bytes()));
   reg.gauge("dnn/ctx/total_bytes").set(static_cast<double>(total_bytes()));
@@ -155,6 +163,44 @@ void ExecContext::build_inference_buffers() {
   // params() throw in this mode.
 }
 
+void ExecContext::build_inference_buffers_bf16() {
+  const Network::MemPlan& plan = net_->mem_plan();
+  const std::size_t n_layers = net_->layer_count();
+
+  // Same forward-only parity ping-pong as build_inference_buffers, but
+  // the arena elements are bf16 — the layer outputs never exist in
+  // fp32. No fp32 activation tensors are allocated at all; the only
+  // fp32 tensor is the widened network output forward() returns.
+  input16_ = runtime::AlignedBuffer<bf16_t>(
+      static_cast<std::size_t>(net_->input_shape().numel()));
+  act16_arena_ =
+      runtime::AlignedBuffer<bf16_t>(plan.act_even + plan.act_odd);
+  act16_even_ = plan.act_even;
+  act_bytes_ = act16_arena_.size() * sizeof(bf16_t);
+  output_ = Tensor(net_->output_shape());
+
+  // The staging workspace is still allocated in floats (its size
+  // contract is forward_workspace_floats()); the bf16 conv kernels
+  // reinterpret it as bf16 storage. All-zero bytes are valid bf16
+  // zeros, so the zero-once / re-zero-when-shared contract is
+  // unchanged.
+  workspace_arena_ = runtime::AlignedBuffer<float>(plan.workspace_max);
+  if (!workspace_arena_.empty()) {
+    std::memset(workspace_arena_.data(), 0,
+                workspace_arena_.size() * sizeof(float));
+  }
+  std::size_t users = 0;
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    if (net_->layer(i).forward_workspace_floats() > 0) ++users;
+  }
+  for (std::size_t i = 0; i < n_layers; ++i) {
+    const std::size_t ws = net_->layer(i).forward_workspace_floats();
+    if (ws == 0) continue;
+    exec_[i].workspace = {workspace_arena_.data(), ws};
+    exec_[i].workspace_shared = users > 1;
+  }
+}
+
 const Tensor& ExecContext::forward(const Tensor& input,
                                    runtime::ThreadPool& pool) {
   if (input.shape() != net_->input_shape()) {
@@ -162,17 +208,46 @@ const Tensor& ExecContext::forward(const Tensor& input,
                                 input.shape().to_string() + ", expected " +
                                 net_->input_shape().to_string());
   }
+  if (precision_ == Precision::kBf16) {
+    return forward_bf16_path(input, pool);
+  }
   CF_TRACE_SCOPE("net/forward", "dnn");
   std::memcpy(input_.data(), input.data(), input.size() * sizeof(float));
   const Tensor* src = &input_;
+  const bool int8w = precision_ == Precision::kInt8Weights;
   for (std::size_t i = 0; i < net_->layer_count(); ++i) {
     const Layer& layer = net_->layer(i);
     CF_TRACE_SCOPE(layer.span_label_fwd().c_str(), layer.kind().c_str());
-    layer.forward(*src, activations_[i], exec_[i], pool);
+    if (int8w && layer.int8_weight_count() > 0) {
+      layer.forward_int8w(*src, activations_[i],
+                          net_->int8_weight_segment(i),
+                          net_->int8_scale_segment(i), exec_[i], pool);
+    } else {
+      layer.forward(*src, activations_[i], exec_[i], pool);
+    }
     src = &activations_[i];
   }
   forward_done_ = true;
   return activations_.back();
+}
+
+const Tensor& ExecContext::forward_bf16_path(const Tensor& input,
+                                             runtime::ThreadPool& pool) {
+  CF_TRACE_SCOPE("net/forward", "dnn");
+  bf16_from_f32(input.data(), input16_.data(), input.size());
+  const bf16_t* src = input16_.data();
+  bf16_t* dst = nullptr;
+  for (std::size_t i = 0; i < net_->layer_count(); ++i) {
+    const Layer& layer = net_->layer(i);
+    CF_TRACE_SCOPE(layer.span_label_fwd().c_str(), layer.kind().c_str());
+    dst = act16_arena_.data() + (i % 2 == 0 ? 0 : act16_even_);
+    layer.forward_bf16(src, dst, net_->bf16_param_segment(i), exec_[i],
+                       pool);
+    src = dst;
+  }
+  f32_from_bf16(dst, output_.data(), output_.size());
+  forward_done_ = true;
+  return output_;
 }
 
 void ExecContext::backward(const Tensor& dloss, runtime::ThreadPool& pool,
@@ -276,7 +351,9 @@ void ExecContext::reset_profiles() {
 }
 
 std::size_t ExecContext::total_bytes() const noexcept {
-  return input_.size() * sizeof(float) + activation_bytes() +
+  return input_.size() * sizeof(float) +
+         input16_.size() * sizeof(bf16_t) +
+         output_.size() * sizeof(float) + activation_bytes() +
          diff_arena_bytes() + scratch_bytes() + workspace_bytes() +
          grad_bytes();
 }

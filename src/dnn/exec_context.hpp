@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "dnn/layer.hpp"
+#include "dnn/precision.hpp"
 #include "runtime/aligned_buffer.hpp"
 
 namespace cf::dnn {
@@ -40,8 +41,14 @@ class ExecContext {
  public:
   /// Built by Network::make_context. The context holds a pointer to the
   /// network: the network must outlive it and stay put (heap-owned or
-  /// otherwise address-stable).
-  ExecContext(Network& net, ExecMode mode);
+  /// otherwise address-stable). Non-fp32 precisions are inference-only
+  /// and require the network to be prepared
+  /// (Network::prepare_inference_precision) — make_context enforces
+  /// both. In kBf16 the activation ping-pong arena and the input
+  /// staging copy are bf16 (half the bytes); the forward() return value
+  /// is still an fp32 tensor, widened from the last layer's output.
+  explicit ExecContext(Network& net, ExecMode mode,
+                       Precision precision = Precision::kFp32);
 
   ExecContext(ExecContext&&) = default;
   ExecContext& operator=(ExecContext&&) = default;
@@ -49,6 +56,7 @@ class ExecContext {
   ExecContext& operator=(const ExecContext&) = delete;
 
   ExecMode mode() const noexcept { return mode_; }
+  Precision precision() const noexcept { return precision_; }
 
   /// Runs the forward pass through this stream; the returned view stays
   /// valid until the next forward() on the same context.
@@ -128,14 +136,26 @@ class ExecContext {
  private:
   void build_training_buffers();
   void build_inference_buffers();
+  void build_inference_buffers_bf16();
+  const tensor::Tensor& forward_bf16_path(const tensor::Tensor& input,
+                                          runtime::ThreadPool& pool);
 
   Network* net_ = nullptr;
   ExecMode mode_ = ExecMode::kTraining;
+  Precision precision_ = Precision::kFp32;
 
   tensor::Tensor input_;
   std::vector<tensor::Tensor> activations_;  // output of each layer
   std::vector<tensor::Tensor> diffs_;        // d(loss)/d(activation)
   std::vector<LayerExecState> exec_;         // one per layer
+
+  // kBf16 stream storage: bf16 input staging, bf16 activation
+  // ping-pong arena (parity layout identical to act_arena_) and the
+  // fp32 widening of the last layer's output that forward() returns.
+  runtime::AlignedBuffer<bf16_t> input16_;
+  runtime::AlignedBuffer<bf16_t> act16_arena_;
+  std::size_t act16_even_ = 0;  // odd-parity base offset, in elements
+  tensor::Tensor output_;
 
   // Context-owned storage. act_arena_ backs the inference ping-pong
   // activations (training activations own per-layer storage);

@@ -29,6 +29,16 @@ class Flatten final : public Layer {
                 tensor::Tensor& dsrc, bool need_dsrc, LayerExecState& exec,
                 runtime::ThreadPool& pool) const override;
 
+  // bf16 pass-through (dnn/forward_rp.cpp): the reorder is a pure
+  // gather, so bf16 values move untouched — no conversion at all.
+  bool supports_precision(Precision p) const override {
+    static_cast<void>(p);
+    return true;
+  }
+  void forward_bf16(const bf16_t* src, bf16_t* dst,
+                    std::span<const bf16_t> params, LayerExecState& exec,
+                    runtime::ThreadPool& pool) const override;
+
  private:
   std::int64_t channels_ = 0;
   std::int64_t d_ = 0, h_ = 0, w_ = 0;

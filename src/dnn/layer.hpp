@@ -22,9 +22,11 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "dnn/precision.hpp"
 #include "runtime/aligned_buffer.hpp"
 #include "runtime/thread_pool.hpp"
 #include "runtime/timer.hpp"
@@ -187,6 +189,79 @@ class Layer {
                 tensor::Tensor& ddst, tensor::Tensor& dsrc, bool need_dsrc,
                 runtime::ThreadPool& pool) {
     backward(src, dst, ddst, dsrc, need_dsrc, standalone_state(), pool);
+  }
+
+  // --- Reduced-precision inference (DESIGN.md §2.5) -------------------
+
+  /// Which inference precisions this layer can execute. Every layer
+  /// trivially supports kInt8Weights — a layer without quantizable
+  /// weights just runs its fp32 forward (the mode only changes how
+  /// conv/dense weights are stored). kBf16 needs an explicit
+  /// forward_bf16 override, so the default declines it.
+  virtual bool supports_precision(Precision p) const {
+    return p == Precision::kFp32 || p == Precision::kInt8Weights;
+  }
+
+  /// bf16 forward: `src`/`dst` are raw buffers holding bf16 images of
+  /// exactly the tensors the fp32 forward would see (same shapes, same
+  /// blocked layouts); `params` is this layer's slice of the network's
+  /// bf16 arena (Network::bf16_param_segment) — a plain bf16 image of
+  /// the fp32 segment unless the layer repacked it (pack_weights_bf16).
+  /// Kernels widen on load, accumulate in fp32 and narrow with
+  /// round-to-nearest-even on store. Inference-only; the default
+  /// throws.
+  virtual void forward_bf16(const bf16_t* src, bf16_t* dst,
+                            std::span<const bf16_t> params,
+                            LayerExecState& exec,
+                            runtime::ThreadPool& pool) const {
+    static_cast<void>(src);
+    static_cast<void>(dst);
+    static_cast<void>(params);
+    static_cast<void>(exec);
+    static_cast<void>(pool);
+    throw std::logic_error("Layer::forward_bf16: " + name_ +
+                           " has no bf16 forward path");
+  }
+
+  /// Weights-only int8 forward: fp32 activations in and out, weights
+  /// read from the quantized segment with per-output-channel `scales`
+  /// (Network::int8_weight_segment / int8_scale_segment). The default
+  /// ignores the segments and falls through to the fp32 forward, so
+  /// parameterless layers run unchanged in kInt8Weights mode.
+  virtual void forward_int8w(const tensor::Tensor& src, tensor::Tensor& dst,
+                             std::span<const std::int8_t> qweights,
+                             std::span<const float> scales,
+                             LayerExecState& exec,
+                             runtime::ThreadPool& pool) const {
+    static_cast<void>(qweights);
+    static_cast<void>(scales);
+    forward(src, dst, exec, pool);
+  }
+
+  /// Invoked by Network::prepare_inference_precision after the plain
+  /// bf16 image of this layer's segment was built, with a mutable view
+  /// of that slice. A layer whose bf16 kernel wants a different weight
+  /// packing (e.g. the ic-pair-interleaved tiles the vdpbf16ps conv
+  /// kernels read) overwrites its weight portion in place — same
+  /// element count, layer-private layout, forward_bf16 is the only
+  /// reader. Default keeps the plain image.
+  virtual void pack_weights_bf16(std::span<bf16_t> segment) const {
+    static_cast<void>(segment);
+  }
+
+  /// int8 packing hooks for Network::prepare_inference_precision.
+  /// Layers with quantizable weights report how many int8 elements and
+  /// per-channel scales they need; parameterless layers report zero
+  /// and are skipped.
+  virtual std::size_t int8_weight_count() const { return 0; }
+  virtual std::size_t int8_scale_count() const { return 0; }
+  /// Calibrates per-output-channel symmetric scales from the current
+  /// fp32 weight maxima and fills `qweights` (size int8_weight_count)
+  /// and `scales` (size int8_scale_count).
+  virtual void quantize_weights_int8(std::span<std::int8_t> qweights,
+                                     std::span<float> scales) const {
+    static_cast<void>(qweights);
+    static_cast<void>(scales);
   }
 
   /// Floats of forward staging workspace this stream must provide

@@ -110,6 +110,109 @@ ExecContext Network::make_context(ExecMode mode) const {
   return ExecContext(const_cast<Network&>(*this), mode);
 }
 
+ExecContext Network::make_context(ExecMode mode, Precision precision) {
+  if (!finalized_) {
+    throw std::logic_error("Network::make_context: not finalized");
+  }
+  if (precision != Precision::kFp32 && mode != ExecMode::kInference) {
+    throw std::logic_error(
+        "Network::make_context: training contexts are fp32-only "
+        "(DESIGN.md §2.5)");
+  }
+  if (!precision_prepared(precision)) {
+    throw std::logic_error(
+        std::string("Network::make_context: network not prepared for ") +
+        std::string(to_string(precision)) +
+        " (call prepare_inference_precision after loading weights)");
+  }
+  return ExecContext(*this, mode, precision);
+}
+
+ExecContext Network::make_context(ExecMode mode, Precision precision) const {
+  if (mode != ExecMode::kInference) {
+    throw std::logic_error(
+        "Network::make_context: only inference contexts can be created "
+        "from a const Network");
+  }
+  if (!finalized_) {
+    throw std::logic_error("Network::make_context: not finalized");
+  }
+  if (!precision_prepared(precision)) {
+    throw std::logic_error(
+        std::string("Network::make_context: network not prepared for ") +
+        std::string(to_string(precision)) +
+        " (call prepare_inference_precision after loading weights)");
+  }
+  return ExecContext(const_cast<Network&>(*this), mode, precision);
+}
+
+void Network::prepare_inference_precision(Precision precision) {
+  if (!finalized_) {
+    throw std::logic_error(
+        "Network::prepare_inference_precision: not finalized");
+  }
+  if (precision == Precision::kFp32) return;  // always ready
+  for (const auto& layer : layers_) {
+    if (!layer->supports_precision(precision)) {
+      throw std::logic_error(
+          "Network::prepare_inference_precision: layer " + layer->name() +
+          " does not support " + std::string(to_string(precision)));
+    }
+  }
+  if (precision == Precision::kBf16) {
+    // bf16 image of the whole arena; segment offsets carry over 1:1.
+    if (bf16_arena_.size() != param_arena_.size()) {
+      bf16_arena_ = runtime::AlignedBuffer<bf16_t>(param_arena_.size());
+    }
+    bf16_from_f32(param_arena_.data(), bf16_arena_.data(),
+                  param_arena_.size());
+    // Layers whose bf16 kernels read a different weight packing (the
+    // dense layers' vdpbf16ps pair-interleaved tiles; convs keep the
+    // plain image and widen on load) repack their slice in place.
+    for (std::size_t i = 0; i < layers_.size(); ++i) {
+      if (segment_sizes_[i] == 0) continue;
+      layers_[i]->pack_weights_bf16(
+          {bf16_arena_.data() + segment_offsets_[i], segment_sizes_[i]});
+    }
+    bf16_prepared_ = true;
+    obs::Registry::global().gauge("dnn/precision/bf16_weight_bytes").set(
+        static_cast<double>(bf16_arena_.size() * sizeof(bf16_t)));
+    return;
+  }
+  // kInt8Weights: per-layer quant + scale tables.
+  int8_weight_offsets_.assign(layers_.size(), 0);
+  int8_weight_sizes_.assign(layers_.size(), 0);
+  int8_scale_offsets_.assign(layers_.size(), 0);
+  int8_scale_sizes_.assign(layers_.size(), 0);
+  std::size_t wtotal = 0, stotal = 0;
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    int8_weight_offsets_[i] = wtotal;
+    int8_weight_sizes_[i] = layers_[i]->int8_weight_count();
+    wtotal += int8_weight_sizes_[i];
+    int8_scale_offsets_[i] = stotal;
+    int8_scale_sizes_[i] = layers_[i]->int8_scale_count();
+    stotal += int8_scale_sizes_[i];
+  }
+  if (int8_arena_.size() != wtotal) {
+    int8_arena_ = runtime::AlignedBuffer<std::int8_t>(wtotal);
+  }
+  if (int8_scales_.size() != stotal) {
+    int8_scales_ = runtime::AlignedBuffer<float>(stotal);
+  }
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    if (int8_weight_sizes_[i] == 0) continue;
+    layers_[i]->quantize_weights_int8(
+        {int8_arena_.data() + int8_weight_offsets_[i],
+         int8_weight_sizes_[i]},
+        {int8_scales_.data() + int8_scale_offsets_[i],
+         int8_scale_sizes_[i]});
+  }
+  int8_prepared_ = true;
+  obs::Registry::global().gauge("dnn/precision/int8_weight_bytes").set(
+      static_cast<double>(int8_arena_.size() * sizeof(std::int8_t) +
+                          int8_scales_.size() * sizeof(float)));
+}
+
 std::size_t Network::activation_bytes() const noexcept {
   return mem_plan_.act_sum * sizeof(float);
 }

@@ -16,6 +16,7 @@
 
 #include "dnn/exec_context.hpp"
 #include "dnn/layer.hpp"
+#include "dnn/precision.hpp"
 #include "runtime/aligned_buffer.hpp"
 
 namespace cf::dnn {
@@ -70,6 +71,13 @@ class Network {
   /// outlive (and not move under) every context it handed out.
   ExecContext make_context(ExecMode mode);
 
+  /// Reduced-precision variant (DESIGN.md §2.5): the context runs the
+  /// forward pass in `precision`. Only inference contexts accept a
+  /// non-fp32 precision, and the network must have been prepared for it
+  /// (prepare_inference_precision) — both violations throw.
+  ExecContext make_context(ExecMode mode, Precision precision);
+  ExecContext make_context(ExecMode mode, Precision precision) const;
+
   /// Const overload for inference streams. A finalized Network is
   /// immutable during execution and an inference context only ever
   /// reads it (its mutating entry points — backward(), params(),
@@ -106,6 +114,49 @@ class Network {
   }
   std::size_t segment_size(std::size_t i) const {
     return segment_sizes_[i];
+  }
+
+  // --- Reduced-precision inference arenas (DESIGN.md §2.5) ------------
+
+  /// Packs the side arenas for `precision` from the *current* fp32
+  /// weights: a bf16 image of the whole param arena (same segment
+  /// offsets) for kBf16, or per-layer int8 quants + per-output-channel
+  /// scales for kInt8Weights. The fp32 arena is never modified. Must
+  /// run after finalize() and after the weights hold their real values
+  /// (init or checkpoint load — plan-time contents are zeros);
+  /// re-callable to re-pack after a weight reload. kFp32 is a no-op.
+  /// Throws if a layer declines the precision (supports_precision).
+  void prepare_inference_precision(Precision precision);
+
+  /// Whether contexts in `precision` can be created right now. kFp32 is
+  /// always ready; bf16/int8w require a prepare_inference_precision
+  /// call since the last finalize.
+  bool precision_prepared(Precision precision) const noexcept {
+    switch (precision) {
+      case Precision::kBf16:
+        return bf16_prepared_;
+      case Precision::kInt8Weights:
+        return int8_prepared_;
+      case Precision::kFp32:
+      default:
+        return true;
+    }
+  }
+
+  /// Layer i's slice of the bf16 param-arena image (same offsets as
+  /// param_segment; empty for parameterless layers).
+  std::span<const bf16_t> bf16_param_segment(std::size_t i) const {
+    return {bf16_arena_.data() + segment_offsets_[i], segment_sizes_[i]};
+  }
+  /// Layer i's int8 weight quants / per-output-channel scales (empty
+  /// for layers without quantizable weights).
+  std::span<const std::int8_t> int8_weight_segment(std::size_t i) const {
+    return {int8_arena_.data() + int8_weight_offsets_[i],
+            int8_weight_sizes_[i]};
+  }
+  std::span<const float> int8_scale_segment(std::size_t i) const {
+    return {int8_scales_.data() + int8_scale_offsets_[i],
+            int8_scale_sizes_[i]};
   }
 
   /// Total per-sample flops; `skip_first_bwd_data` drops the unneeded
@@ -156,6 +207,18 @@ class Network {
   runtime::AlignedBuffer<float> param_arena_;
   std::vector<std::size_t> segment_offsets_;  // per layer, in floats
   std::vector<std::size_t> segment_sizes_;
+  // Reduced-precision side arenas (prepare_inference_precision). The
+  // bf16 arena mirrors param_arena_ element-for-element; the int8
+  // arena/scales use their own per-layer offset tables.
+  runtime::AlignedBuffer<bf16_t> bf16_arena_;
+  runtime::AlignedBuffer<std::int8_t> int8_arena_;
+  runtime::AlignedBuffer<float> int8_scales_;
+  std::vector<std::size_t> int8_weight_offsets_;
+  std::vector<std::size_t> int8_weight_sizes_;
+  std::vector<std::size_t> int8_scale_offsets_;
+  std::vector<std::size_t> int8_scale_sizes_;
+  bool bf16_prepared_ = false;
+  bool int8_prepared_ = false;
   MemPlan mem_plan_;
   tensor::Shape input_shape_;
   tensor::Shape output_shape_;

@@ -1,0 +1,25 @@
+#include "dnn/precision.hpp"
+
+namespace cf::dnn {
+
+void bf16_from_f32(const float* src, bf16_t* dst, std::size_t n) noexcept {
+  std::size_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    bf16_store_16(dst + i, _mm512_loadu_ps(src + i));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = float_to_bf16(src[i]);
+}
+
+void f32_from_bf16(const bf16_t* src, float* dst, std::size_t n) noexcept {
+  std::size_t i = 0;
+#if defined(__AVX512F__)
+  for (; i + 16 <= n; i += 16) {
+    _mm512_storeu_ps(dst + i, bf16_load_16(src + i));
+  }
+#endif
+  for (; i < n; ++i) dst[i] = bf16_to_float(src[i]);
+}
+
+}  // namespace cf::dnn

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <cmath>
+#include <limits>
 
 #include "obs/jsonl.hpp"
 
@@ -82,6 +83,10 @@ HistogramSnapshot Histogram::snapshot() const {
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
+  if (snap.count > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
   return snap;
 }
 
@@ -91,6 +96,10 @@ void Histogram::reset() noexcept {
   }
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
 }
 
 MetricsSnapshot Registry::snapshot() const {
@@ -167,6 +176,12 @@ std::string Registry::to_json() const {
     append_quoted(out, name);
     out += ":{\"count\":";
     out += std::to_string(hist.count);
+    out += ",\"sum\":";
+    append_double(out, hist.sum);
+    out += ",\"min\":";
+    append_double(out, hist.min);
+    out += ",\"max\":";
+    append_double(out, hist.max);
     out += ",\"mean\":";
     append_double(out, hist.mean());
     out += ",\"p50\":";

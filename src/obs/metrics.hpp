@@ -21,6 +21,8 @@
 //    describe a serving latency tail; the inference service
 //    (SERVING.md) records its end-to-end latencies here. Lock-free
 //    relaxed atomics per bucket, same concurrency contract as Counter.
+//    Alongside the buckets it tracks exact count/sum/min/max, so the
+//    ~12%-resolution percentile estimates ship with exact anchors.
 //
 // Handles returned by the registry are stable for the process lifetime
 // (metrics are never deleted, only reset), so instrumented components
@@ -31,6 +33,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -118,6 +121,12 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Exact extremes of the observations (not bucket bounds); 0.0 when
+  /// the histogram is empty. They bound the bucket-resolution
+  /// percentile estimates — p99 == p999 at small counts just means
+  /// both quantiles landed in the max's bucket.
+  double min = 0.0;
+  double max = 0.0;
 
   double mean() const noexcept {
     return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -143,6 +152,16 @@ class Histogram {
     buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
+    double seen = min_.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !min_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
+    seen = max_.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !max_.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+    }
   }
 
   HistogramSnapshot snapshot() const;
@@ -157,6 +176,8 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 /// Point-in-time copy of every registered metric.

@@ -77,6 +77,12 @@ Server::Server(std::shared_ptr<const dnn::Network> network,
     throw std::invalid_argument(
         "serve::Server: requires a finalized Network");
   }
+  if (!network_->precision_prepared(config_.precision)) {
+    throw std::invalid_argument(
+        std::string("serve::Server: network not prepared for ") +
+        std::string(dnn::to_string(config_.precision)) +
+        " (call prepare_inference_precision before constructing)");
+  }
   auto& reg = obs::Registry::global();
   // Each server instance measures from zero, like a Pipeline does for
   // its metric_prefix.
@@ -92,6 +98,8 @@ Server::Server(std::shared_ptr<const dnn::Network> network,
   latency_hist_ = &reg.histogram(config_.metric_prefix + "/latency");
   reg.gauge(config_.metric_prefix + "/workers")
       .set(static_cast<double>(config_.workers));
+  reg.gauge(config_.metric_prefix + "/precision")
+      .set(static_cast<double>(config_.precision));
 
   former_ = std::thread(&Server::former_loop, this);
   workers_.reserve(config_.workers);
@@ -159,7 +167,7 @@ void Server::worker_loop(std::size_t worker_index) {
   // Per-stream state, built once: the lean forward-only context plus a
   // private worker pool. The Network is shared and read-only.
   dnn::ExecContext ctx =
-      network_->make_context(dnn::ExecMode::kInference);
+      network_->make_context(dnn::ExecMode::kInference, config_.precision);
   runtime::ThreadPool pool(config_.threads_per_worker);
 
   Batch batch;

@@ -60,6 +60,11 @@ struct ServerConfig {
   /// obs registry prefix for this server's metrics (reset at
   /// construction, like cf::data::Pipeline's metric_prefix).
   std::string metric_prefix = "serve";
+  /// Inference precision for every worker context (DESIGN.md §2.5).
+  /// Non-fp32 requires the shared Network to have been prepared via
+  /// prepare_inference_precision before the server is built; the
+  /// constructor rejects an unprepared mode.
+  dnn::Precision precision = dnn::Precision::kFp32;
 };
 
 /// Micro-batching inference server. Construction spawns the batch

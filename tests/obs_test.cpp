@@ -129,10 +129,34 @@ TEST(Metrics, HistogramClampsOutOfRangeAndResets) {
   EXPECT_EQ(snap.count, 3u);
   EXPECT_EQ(snap.buckets.front(), 2u);
   EXPECT_EQ(snap.buckets.back(), 1u);
+  // The exact extremes are untouched by bucket clamping.
+  EXPECT_DOUBLE_EQ(snap.min, -1.0);
+  EXPECT_DOUBLE_EQ(snap.max, 1e9);
   hist.reset();
   snap = hist.snapshot();
   EXPECT_EQ(snap.count, 0u);
   EXPECT_EQ(snap.percentile(0.99), 0.0);
+  EXPECT_EQ(snap.min, 0.0);  // empty histogram reports 0.0 anchors
+  EXPECT_EQ(snap.max, 0.0);
+}
+
+TEST(Metrics, HistogramExportsExactAnchors) {
+  Registry registry;
+  Histogram& hist = registry.histogram("lat");
+  hist.add(0.25);
+  hist.add(1.0);
+  hist.add(0.5);
+  const HistogramSnapshot snap = hist.snapshot();
+  EXPECT_EQ(snap.count, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 1.75);
+  EXPECT_DOUBLE_EQ(snap.min, 0.25);
+  EXPECT_DOUBLE_EQ(snap.max, 1.0);
+  // The stats sink carries the exact anchors next to the ~12%-bucket
+  // percentiles, so p99 == p999 at small counts is interpretable.
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"sum\":1.75"), std::string::npos);
+  EXPECT_NE(json.find("\"min\":0.25"), std::string::npos);
+  EXPECT_NE(json.find("\"max\":1"), std::string::npos);
 }
 
 TEST(Metrics, HistogramAggregatesUnderContention) {
@@ -151,6 +175,10 @@ TEST(Metrics, HistogramAggregatesUnderContention) {
   std::uint64_t bucket_total = 0;
   for (const std::uint64_t b : snap.buckets) bucket_total += b;
   EXPECT_EQ(bucket_total, snap.count);
+  // Every contended add() observed the same value; the CAS-maintained
+  // extremes must agree exactly.
+  EXPECT_DOUBLE_EQ(snap.min, 1e-3);
+  EXPECT_DOUBLE_EQ(snap.max, 1e-3);
 }
 
 TEST(Metrics, ResetPrefixCoversHistograms) {
