@@ -20,10 +20,17 @@
 // restores the unfused graph so the old breakdown shape — and the cost
 // of the extra activation sweeps — stays measurable.
 //
+// --threads-per-rank sizes each rank's private intra-op ThreadPool
+// (default 1 = serial kernels, the historical shape); 0 engages the
+// cost-model auto mode — the trainer budgets hardware_threads / ranks
+// and takes the dnn::CostModel's per-layer grains (DESIGN.md §2.6).
+// Either way the step stream is bitwise identical to the serial one.
+//
 //   ./bench_fig3_breakdown [--dhw=32] [--ranks=4] [--epochs=2]
 //                          [--sim-comm-us=100] [--bucket-kb=256]
-//                          [--no-fusion] [--no-memplan]
-//                          [--trace=trace.json] [--json=BENCH_fig3.json]
+//                          [--threads-per-rank=1] [--no-fusion]
+//                          [--no-memplan] [--trace=trace.json]
+//                          [--json=BENCH_fig3.json]
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +55,7 @@ int main(int argc, char** argv) {
   int epochs = 2;
   long sim_comm_us = 100;
   long bucket_kb = 256;
+  long threads_per_rank = 1;  // 0 = cost-model auto (DESIGN.md §2.6)
   bool fusion = true;
   bool memplan = true;
   std::string trace_path;
@@ -65,6 +73,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--bucket-kb=", 12) == 0) {
       bucket_kb = std::atol(argv[i] + 12);
+    }
+    if (std::strncmp(argv[i], "--threads-per-rank=", 19) == 0) {
+      threads_per_rank = std::atol(argv[i] + 19);
     }
     if (std::strcmp(argv[i], "--no-fusion") == 0) fusion = false;
     if (std::strcmp(argv[i], "--no-memplan") == 0) memplan = false;
@@ -101,6 +112,9 @@ int main(int argc, char** argv) {
         std::chrono::microseconds(sim_comm_us);
     config.fuse_eltwise = fusion;
     config.memplan = memplan;
+    config.threads_per_rank =
+        threads_per_rank < 0 ? 1
+                             : static_cast<std::size_t>(threads_per_rank);
     return config;
   };
 
@@ -120,10 +134,14 @@ int main(int argc, char** argv) {
   core::Trainer trainer(core::cosmoflow_scaled(dhw), train, val,
                         make_config(/*overlap=*/true));
   std::printf("overlapped run:      %s, %d ranks x %d epochs, "
-              "%ld KiB buckets, eltwise fusion %s, memory plan %s...\n\n",
+              "%ld KiB buckets, eltwise fusion %s, memory plan %s, "
+              "%s intra-op thread(s)/rank...\n\n",
               trainer.topology().name.c_str(), ranks, epochs, bucket_kb,
               fusion ? "ON" : "OFF (--no-fusion)",
-              memplan ? "ON" : "OFF (--no-memplan)");
+              memplan ? "ON" : "OFF (--no-memplan)",
+              threads_per_rank == 0
+                  ? "auto (cost model)"
+                  : std::to_string(threads_per_rank).c_str());
 #if COSMOFLOW_TELEMETRY_ENABLED
   obs::Tracer::global().clear();
 #endif
@@ -213,6 +231,8 @@ int main(int argc, char** argv) {
         .field("bucket_kb", static_cast<std::int64_t>(bucket_kb))
         .field("fused", fusion)
         .field("memplan", memplan)
+        .field("threads_per_rank",
+               static_cast<std::int64_t>(threads_per_rank))
         .field("peak_tensor_bytes",
                static_cast<std::int64_t>(
                    trainer.network(0).peak_tensor_bytes()));

@@ -23,14 +23,22 @@
 // regression MAE on the shared core::precision_eval fixture — the
 // same dataset the accuracy-tolerance test gates on.
 //
-// `scaling_valid` is false when the stream sweep oversubscribes the
-// hardware (streams > hardware threads): on a 1-core VM the
-// multi-stream rows measure time-slicing overhead, not scaling, and
-// must not be read as a regression.
+// `scaling_valid` is false when the sweep oversubscribes the hardware
+// (streams x threads-per-stream > hardware threads): on a 1-core VM
+// the multi-stream rows measure time-slicing overhead, not scaling,
+// and must not be read as a regression. Oversubscription also prints
+// a run-time WARNING so an interactive run can't miss it.
+//
+// `--cost-model` is the intra-op ablation (DESIGN.md §2.6): the
+// dnn::CostModel splits the hardware-thread budget into {streams,
+// threads_per_stream} and per-layer kernel grains; the chosen width
+// overrides --threads-per-stream and the grains are applied to every
+// context. Bitwise-neutral — the verification against the serial
+// reference is unchanged.
 //
 //   ./bench_inference_throughput [--dhw=32] [--streams=4]
-//       [--threads-per-stream=1] [--reps=16] [--rounds=4]
-//       [--json=BENCH_inference.json]
+//       [--threads-per-stream=1] [--cost-model] [--reps=16]
+//       [--rounds=4] [--json=BENCH_inference.json]
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -42,6 +50,7 @@
 
 #include "core/precision_eval.hpp"
 #include "core/topology.hpp"
+#include "dnn/cost_model.hpp"
 #include "obs/jsonl.hpp"
 #include "runtime/rng.hpp"
 #include "runtime/thread_pool.hpp"
@@ -68,6 +77,7 @@ int main(int argc, char** argv) {
   std::int64_t dhw = 32;
   int max_streams = 4;
   int threads_per_stream = 1;
+  bool use_cost_model = false;
   int reps = 16;
   int rounds = 4;
   std::string json_path;
@@ -79,6 +89,7 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--threads-per-stream=", 21) == 0) {
       threads_per_stream = std::atoi(argv[i] + 21);
     }
+    if (std::strcmp(argv[i], "--cost-model") == 0) use_cost_model = true;
     if (std::strncmp(argv[i], "--reps=", 7) == 0) {
       reps = std::atoi(argv[i] + 7);
     }
@@ -103,6 +114,37 @@ int main(int argc, char** argv) {
   const std::vector<dnn::Precision> precisions = {
       dnn::Precision::kFp32, dnn::Precision::kBf16,
       dnn::Precision::kInt8Weights};
+
+  // Cost-model ablation: the model splits the hardware budget into
+  // {streams, threads_per_stream} + per-layer grains; the chosen width
+  // overrides --threads-per-stream and the grains travel with every
+  // context created below (bitwise-neutral, DESIGN.md §2.6).
+  dnn::IntraopPlan plan;
+  if (use_cost_model) {
+    const dnn::CostModel cost_model(net);
+    plan = cost_model.choose(
+        hardware_threads > 0 ? hardware_threads : 1,
+        static_cast<std::size_t>(max_streams));
+    threads_per_stream = static_cast<int>(plan.threads_per_stream);
+    std::printf("cost model: chose %zu stream(s) x %zu thread(s), "
+                "predicted parallel efficiency %.2f\n\n",
+                plan.streams, plan.threads_per_stream,
+                plan.predicted_efficiency);
+  }
+  const auto make_ctx = [&](dnn::Precision p) {
+    return use_cost_model
+               ? net.make_context(dnn::ExecMode::kInference, p, plan)
+               : net.make_context(dnn::ExecMode::kInference, p);
+  };
+  if (static_cast<unsigned long long>(max_streams) *
+          static_cast<unsigned long long>(threads_per_stream) >
+      hardware_threads) {
+    std::printf("WARNING: %d streams x %d thread(s)/stream oversubscribe "
+                "%u hardware thread(s) — the multi-stream rows will "
+                "measure time-slicing, not scaling (scaling_valid will "
+                "be false)\n\n",
+                max_streams, threads_per_stream, hardware_threads);
+  }
   {
     dnn::ExecContext probe = net.make_context(dnn::ExecMode::kInference);
     std::printf("per-stream context: %.2f MB total (%.2f MB planned "
@@ -123,7 +165,7 @@ int main(int argc, char** argv) {
   }
   std::vector<std::vector<std::vector<float>>> expected;  // [prec][stream]
   for (const dnn::Precision p : precisions) {
-    dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference, p);
+    dnn::ExecContext ctx = make_ctx(p);
     runtime::ThreadPool pool(static_cast<std::size_t>(threads_per_stream));
     std::vector<std::vector<float>> per_stream;
     for (int s = 0; s < max_streams; ++s) {
@@ -141,7 +183,7 @@ int main(int argc, char** argv) {
     runtime::ThreadPool pool(static_cast<std::size_t>(threads_per_stream));
     std::vector<std::vector<float>> preds;  // [prec] flattened
     for (const dnn::Precision p : precisions) {
-      dnn::ExecContext ctx = net.make_context(dnn::ExecMode::kInference, p);
+      dnn::ExecContext ctx = make_ctx(p);
       std::vector<float> flat;
       for (const tensor::Tensor& in : eval_inputs) {
         const std::vector<float> out = ctx.forward(in, pool).to_vector();
@@ -167,8 +209,7 @@ int main(int argc, char** argv) {
     std::vector<std::unique_ptr<runtime::ThreadPool>> pools;
     ctxs.reserve(static_cast<std::size_t>(streams));
     for (int s = 0; s < streams; ++s) {
-      ctxs.push_back(
-          net.make_context(dnn::ExecMode::kInference, precision));
+      ctxs.push_back(make_ctx(precision));
       pools.push_back(std::make_unique<runtime::ThreadPool>(
           static_cast<std::size_t>(threads_per_stream)));
     }
@@ -234,12 +275,14 @@ int main(int argc, char** argv) {
               speedup_bf16, speedup_int8w);
 
   const bool scaling_valid =
-      static_cast<unsigned>(max_streams) <= hardware_threads;
+      static_cast<unsigned long long>(max_streams) *
+          static_cast<unsigned long long>(threads_per_stream) <=
+      hardware_threads;
   if (!scaling_valid) {
-    std::printf("scaling_valid: false — %d streams oversubscribe %u "
-                "hardware thread(s); multi-stream rows measure "
-                "time-slicing, not scaling\n",
-                max_streams, hardware_threads);
+    std::printf("scaling_valid: false — %d streams x %d thread(s) "
+                "oversubscribe %u hardware thread(s); multi-stream rows "
+                "measure time-slicing, not scaling\n",
+                max_streams, threads_per_stream, hardware_threads);
   }
 
   if (!json_path.empty()) {
@@ -250,6 +293,7 @@ int main(int argc, char** argv) {
         .field("reps", reps)
         .field("rounds", rounds)
         .field("threads_per_stream", threads_per_stream)
+        .field("cost_model", use_cost_model)
         .field("hardware_threads",
                static_cast<std::int64_t>(hardware_threads))
         .field("scaling_valid", scaling_valid);

@@ -28,6 +28,14 @@
 //       [--max-batch=8] [--max-delay-us=2000] [--queue-capacity=64]
 //       [--requests=384] [--clients=4] [--precision=fp32|bf16|int8w]
 //       [--smoke] [--json=BENCH_serve.json]
+//
+// --threads-per-worker=0 selects the server's cost-model auto mode
+// (DESIGN.md §2.6): the dnn::CostModel splits the hardware-thread
+// budget across the workers and applies its per-layer grains to every
+// worker context. Like bench_inference_throughput, the JSON records
+// hardware_threads and a scaling_valid flag — false when workers x
+// threads oversubscribe the machine, where throughput rows measure
+// time-slicing rather than capacity.
 #include <atomic>
 #include <chrono>
 #include <cmath>
@@ -41,6 +49,7 @@
 #include <vector>
 
 #include "core/topology.hpp"
+#include "dnn/cost_model.hpp"
 #include "dnn/precision.hpp"
 #include "obs/jsonl.hpp"
 #include "obs/metrics.hpp"
@@ -180,15 +189,21 @@ int main(int argc, char** argv) {
   }
   if (clients == 0) clients = 1;
 
+  const unsigned hardware_threads = std::thread::hardware_concurrency();
+  const bool threads_auto = config.threads_per_worker == 0;
   std::printf("=== bench_serve: micro-batching inference service under "
               "closed-loop / poisson / bursty traffic ===\n");
-  std::printf("(cosmoflow_scaled(%lld), %zu workers x %zu threads, "
+  std::printf("(cosmoflow_scaled(%lld), %zu workers x %s threads, "
               "max_batch %zu, max_delay %.0f us, queue %zu, %zu requests "
-              "per phase, %zu clients, %s inference)\n\n",
+              "per phase, %zu clients, %s inference, %u hardware "
+              "threads)\n\n",
               static_cast<long long>(dhw), config.workers,
-              config.threads_per_worker, config.max_batch,
-              config.max_delay_seconds * 1e6, config.queue_capacity,
-              requests, clients, dnn::to_string(config.precision).data());
+              threads_auto
+                  ? "auto"
+                  : std::to_string(config.threads_per_worker).c_str(),
+              config.max_batch, config.max_delay_seconds * 1e6,
+              config.queue_capacity, requests, clients,
+              dnn::to_string(config.precision).data(), hardware_threads);
 
   // Reduced-precision side arenas are packed on the mutable handle
   // before the const shared view is taken — the Server only accepts a
@@ -200,6 +215,20 @@ int main(int argc, char** argv) {
   }
   const std::shared_ptr<const dnn::Network> network = mutable_network;
 
+  // Resolve the auto width locally too (the Server repeats this in its
+  // constructor): calibration must run with the same per-worker thread
+  // count the server will use, or capacity is mis-estimated.
+  std::size_t resolved_threads = config.threads_per_worker;
+  if (threads_auto) {
+    const dnn::CostModel cost_model(*network);
+    const dnn::IntraopPlan plan = cost_model.choose(
+        runtime::ThreadPool::default_num_threads(), config.workers);
+    resolved_threads = plan.threads_per_stream;
+    std::printf("cost model: auto resolved to %zu thread(s) per worker "
+                "(predicted parallel efficiency %.2f)\n\n",
+                resolved_threads, plan.predicted_efficiency);
+  }
+
   // Input pool + serial reference bits, and service-time calibration
   // on the same context (the open-loop phases derive their arrival
   // rates from the measured per-request cost).
@@ -208,7 +237,7 @@ int main(int argc, char** argv) {
   {
     dnn::ExecContext ctx = network->make_context(
         dnn::ExecMode::kInference, config.precision);
-    runtime::ThreadPool pool(config.threads_per_worker);
+    runtime::ThreadPool pool(resolved_threads);
     constexpr std::size_t kPool = 8;
     for (std::size_t i = 0; i < kPool; ++i) {
       runtime::Rng rng(97, i);
@@ -239,7 +268,7 @@ int main(int argc, char** argv) {
       threads.emplace_back([&, w] {
         dnn::ExecContext ctx = network->make_context(
             dnn::ExecMode::kInference, config.precision);
-        runtime::ThreadPool pool(config.threads_per_worker);
+        runtime::ThreadPool pool(resolved_threads);
         for (std::size_t r = 0; r < kCalibReps; ++r) {
           ctx.forward(workload.inputs[(w + r) % workload.inputs.size()],
                       pool);
@@ -253,6 +282,18 @@ int main(int argc, char** argv) {
   std::printf("calibration: %.3f ms/request serial, ~%.1f req/s "
               "aggregate capacity across %zu concurrent workers\n\n",
               service_seconds * 1e3, capacity, config.workers);
+  const bool scaling_valid =
+      static_cast<unsigned long long>(config.workers) *
+          static_cast<unsigned long long>(
+              resolved_threads == 0 ? 1 : resolved_threads) <=
+      (hardware_threads == 0 ? 1u : hardware_threads);
+  if (!scaling_valid) {
+    std::printf("WARNING: %zu workers x %zu thread(s)/worker "
+                "oversubscribe %u hardware thread(s) — throughput rows "
+                "measure time-slicing, not capacity (scaling_valid will "
+                "be false)\n\n",
+                config.workers, resolved_threads, hardware_threads);
+  }
 
   std::atomic<int> mismatches{0};
   std::vector<PhaseResult> results;
@@ -364,7 +405,11 @@ int main(int argc, char** argv) {
         .field("dhw", static_cast<std::int64_t>(dhw))
         .field("workers", static_cast<std::int64_t>(config.workers))
         .field("threads_per_worker",
-               static_cast<std::int64_t>(config.threads_per_worker))
+               static_cast<std::int64_t>(resolved_threads))
+        .field("threads_auto", threads_auto)
+        .field("hardware_threads",
+               static_cast<std::int64_t>(hardware_threads))
+        .field("scaling_valid", scaling_valid)
         .field("max_batch", static_cast<std::int64_t>(config.max_batch))
         .field("max_delay_us", config.max_delay_seconds * 1e6)
         .field("queue_capacity",

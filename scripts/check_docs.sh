@@ -13,7 +13,10 @@
 #      exists without a written account of what it measures;
 #   4. every bench/example binary that parses a --precision flag must
 #      have that flag documented in EXPERIMENTS.md next to its name,
-#      so the reduced-precision ablations stay discoverable.
+#      so the reduced-precision ablations stay discoverable;
+#   5. likewise for the intra-op threading ablation flags: a binary
+#      parsing --cost-model or a --threads-per-* flag must be named in
+#      EXPERIMENTS.md alongside documentation of that flag.
 #
 # Usage: check_docs.sh [repo_root]
 set -u
@@ -83,6 +86,28 @@ for src in bench/*.cpp examples/*.cpp; do
          "mentions $name" >&2
     fail=1
   fi
+done
+
+# Intra-op threading ablations (DESIGN.md §2.6): any binary parsing
+# --cost-model or a --threads-per-{stream,worker,rank} flag must be
+# documented in EXPERIMENTS.md together with the flag it parses.
+for src in bench/*.cpp examples/*.cpp; do
+  [ -e "$src" ] || continue
+  name="$(basename "$src" .cpp)"
+  for flag in --cost-model --threads-per-stream --threads-per-worker \
+              --threads-per-rank; do
+    grep -q -- "$flag" "$src" || continue
+    if ! grep -q -- "$flag" EXPERIMENTS.md; then
+      echo "FAIL: $name parses $flag but EXPERIMENTS.md never" \
+           "documents the flag" >&2
+      fail=1
+    fi
+    if ! grep -qw "$name" EXPERIMENTS.md; then
+      echo "FAIL: $name parses $flag but EXPERIMENTS.md never" \
+           "mentions $name" >&2
+      fail=1
+    fi
+  done
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -41,7 +41,7 @@ run_one() {
       # stack-local accumulator rows.
       env_name="ASAN_OPTIONS"
       env_value="halt_on_error=1 detect_stack_use_after_return=1"
-      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*'
+      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*:Intraop*.*:*/Intraop*.*'
       ;;
     tsan)
       cmake_flag="-DCOSMOFLOW_TSAN=ON"
@@ -50,7 +50,7 @@ run_one() {
       # reports.
       env_name="TSAN_OPTIONS"
       env_value="halt_on_error=1 second_deadlock_stack=1"
-      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*'
+      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*:Intraop*.*:*/Intraop*.*'
       ;;
     ubsan)
       cmake_flag="-DCOSMOFLOW_UBSAN=ON"
@@ -58,7 +58,7 @@ run_one() {
       # a log line; print_stacktrace makes it actionable.
       env_name="UBSAN_OPTIONS"
       env_value="halt_on_error=1 print_stacktrace=1"
-      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*'
+      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*:Intraop*.*:*/Intraop*.*'
       ;;
     *)
       echo "unknown sanitizer '$san' (expected asan, tsan or ubsan)" >&2
@@ -75,12 +75,17 @@ run_one() {
     "$build_dir/tests/cosmoflow_tests" --gtest_filter="$filter"
 
   # The serving path under real traffic: three short traffic phases
-  # with client, former and worker threads all live at once.
+  # with client, former and worker threads all live at once. The third
+  # run exercises the cost-model auto mode (--threads-per-worker=0):
+  # plan resolution in the Server constructor plus grain-carrying
+  # worker contexts, under the same concurrent traffic.
   if [ "$san" = "tsan" ]; then
     cmake --build "$build_dir" --target bench_serve -j "$(nproc)"
     env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke
     env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke \
       --precision=bf16
+    env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke \
+      --threads-per-worker=0
   fi
 
   echo "$san: clean"

@@ -7,6 +7,7 @@
 
 #include "cosmo/simulation.hpp"
 #include "data/augment.hpp"
+#include "dnn/cost_model.hpp"
 #include "dnn/loss.hpp"
 #include "obs/telemetry.hpp"
 
@@ -62,7 +63,8 @@ void Trainer::rank_body(comm::RankHandle& rank,
                         const data::SampleSource& train,
                         const data::SampleSource& val) {
   const int r = rank.rank();
-  runtime::ThreadPool pool(config_.threads_per_rank);
+  const std::size_t threads_per_rank = resolved_threads_per_rank();
+  runtime::ThreadPool pool(threads_per_rank);
 
   obs::Registry& registry = obs::Registry::global();
   obs::Stat& opt_stat =
@@ -84,6 +86,16 @@ void Trainer::rank_body(comm::RankHandle& rank,
   auto ctx_ptr = std::make_unique<dnn::ExecContext>(
       network.make_context(dnn::ExecMode::kTraining));
   dnn::ExecContext& ctx = *ctx_ptr;
+  if (config_.threads_per_rank == 0) {
+    // Auto mode: one stream per rank is fixed by the data-parallel
+    // layout, so the cost model spends the whole per-rank budget on
+    // intra-op threads and tunes the per-layer grains for that width.
+    // Grains are bitwise-neutral, and every rank derives the identical
+    // plan (same geometry, same budget), so replicas stay bit-equal.
+    const dnn::CostModel cost_model(network, {}, /*training=*/true);
+    ctx.apply_intraop(cost_model.choose(threads_per_rank,
+                                        /*max_streams=*/1));
+  }
   contexts_[static_cast<std::size_t>(r)] = std::move(ctx_ptr);
 
   const std::int64_t decay_epochs =
@@ -358,10 +370,17 @@ dnn::ExecContext& Trainer::context(int rank) {
   return *ctx;
 }
 
+std::size_t Trainer::resolved_threads_per_rank() const {
+  if (config_.threads_per_rank != 0) return config_.threads_per_rank;
+  const std::size_t hw = runtime::ThreadPool::default_num_threads();
+  return std::max<std::size_t>(
+      1, hw / static_cast<std::size_t>(std::max(1, config_.nranks)));
+}
+
 runtime::ThreadPool& Trainer::inference_pool() {
   if (!inference_pool_) {
     inference_pool_ =
-        std::make_unique<runtime::ThreadPool>(config_.threads_per_rank);
+        std::make_unique<runtime::ThreadPool>(resolved_threads_per_rank());
   }
   return *inference_pool_;
 }
@@ -370,6 +389,11 @@ dnn::ExecContext& Trainer::inference_context() {
   if (!inference_ctx_) {
     inference_ctx_ = std::make_unique<dnn::ExecContext>(
         network(0).make_context(dnn::ExecMode::kInference));
+    if (config_.threads_per_rank == 0) {
+      const dnn::CostModel cost_model(network(0));
+      inference_ctx_->apply_intraop(cost_model.choose(
+          resolved_threads_per_rank(), /*max_streams=*/1));
+    }
   }
   return *inference_ctx_;
 }

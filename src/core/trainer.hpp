@@ -54,6 +54,11 @@ struct TrainerConfig {
   OptimizerKind optimizer = OptimizerKind::kAdamLarc;
   double sgd_momentum = 0.9;  // used by kSgdMomentum only
 
+  /// Intra-op threads in each rank's private ThreadPool. 0 = auto: the
+  /// per-rank budget becomes hardware_threads / nranks (at least 1) and
+  /// the dnn::CostModel picks the per-layer grains for that width
+  /// (DESIGN.md §2.6). Any value is bitwise-identical to 1 — threading
+  /// only re-partitions the kernels' fixed job grids.
   std::size_t threads_per_rank = 1;
   /// Fuse Conv3d/Dense → LeakyRelu pairs into the producer kernels'
   /// epilogues (MKL-DNN post-op style). Bitwise identical to the
@@ -147,6 +152,9 @@ class Trainer {
  private:
   void rank_body(comm::RankHandle& rank, const data::SampleSource& train,
                  const data::SampleSource& val);
+  /// config_.threads_per_rank, with 0 resolved to the cost-model auto
+  /// budget: hardware_threads / nranks, at least 1.
+  std::size_t resolved_threads_per_rank() const;
   /// Shared pool for predict()/evaluate(), built on first use (the
   /// training pools are per-rank and die with rank_body).
   runtime::ThreadPool& inference_pool();

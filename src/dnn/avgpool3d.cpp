@@ -90,7 +90,8 @@ void AvgPool3d::forward(const Tensor& src, Tensor& dst,
             }
           }
         }
-      });
+      },
+      exec.intraop_grain);
 }
 
 void AvgPool3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
@@ -171,7 +172,8 @@ void AvgPool3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
               }
             }
           }
-        });
+        },
+        exec.intraop_grain);
     return;
   }
 
@@ -209,7 +211,8 @@ void AvgPool3d::backward(const Tensor& src, Tensor& ddst, Tensor& dsrc,
             }
           }
         }
-      });
+      },
+      exec.intraop_grain);
 }
 
 void avgpool3d_forward_reference(const Tensor& src, std::int64_t kernel,

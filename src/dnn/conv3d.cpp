@@ -479,7 +479,7 @@ namespace {
 void copy_padded_blocked(const Tensor& src, float* padded, const PadSpec& pd,
                          const PadSpec& ph, const PadSpec& pw,
                          std::int64_t hp, std::int64_t wp,
-                         runtime::ThreadPool& pool) {
+                         runtime::ThreadPool& pool, std::size_t grain) {
   const std::int64_t cb = src.shape()[0];
   const std::int64_t d = src.shape()[1];
   const std::int64_t h = src.shape()[2];
@@ -504,13 +504,15 @@ void copy_padded_blocked(const Tensor& src, float* padded, const PadSpec& pd,
                                   sizeof(float));
           }
         }
-      });
+      },
+      grain);
 }
 
 /// Plain-layout variant for the first layer.
 void copy_padded_plain(const Tensor& src, float* padded, const PadSpec& pd,
                        const PadSpec& ph, const PadSpec& pw, std::int64_t hp,
-                       std::int64_t wp, runtime::ThreadPool& pool) {
+                       std::int64_t wp, runtime::ThreadPool& pool,
+                       std::size_t grain) {
   const std::int64_t c = src.shape()[0];
   const std::int64_t d = src.shape()[1];
   const std::int64_t h = src.shape()[2];
@@ -533,7 +535,8 @@ void copy_padded_plain(const Tensor& src, float* padded, const PadSpec& pd,
                         static_cast<std::size_t>(w) * sizeof(float));
           }
         }
-      });
+      },
+      grain);
 }
 
 }  // namespace
@@ -555,10 +558,10 @@ void Conv3d::stage_padded_src(const Tensor& src, LayerExecState& exec,
   }
   if (plain_input_) {
     copy_padded_plain(src, exec.workspace.data(), pad_d_, pad_h_, pad_w_,
-                      ph_, pw_, pool);
+                      ph_, pw_, pool, exec.intraop_grain);
   } else {
     copy_padded_blocked(src, exec.workspace.data(), pad_d_, pad_h_, pad_w_,
-                        ph_, pw_, pool);
+                        ph_, pw_, pool, exec.intraop_grain);
   }
 }
 
@@ -570,9 +573,11 @@ void Conv3d::forward(const Tensor& src, Tensor& dst, LayerExecState& exec,
   }
   stage_padded_src(src, exec, pool);
   if (plain_input_) {
-    forward_plain_src(src, dst, exec.workspace.data(), pool);
+    forward_plain_src(src, dst, exec.workspace.data(), pool,
+                      exec.intraop_grain);
   } else {
-    forward_blocked(src, dst, exec.workspace.data(), pool);
+    forward_blocked(src, dst, exec.workspace.data(), pool,
+                    exec.intraop_grain);
   }
 }
 
@@ -606,18 +611,19 @@ void Conv3d::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
       // One sweep masks ddst with the LeakyReLU derivative *in place*
       // (ddst is consumed — Layer contract) and accumulates the bias
       // gradient from the already-masked values.
-      mask_bias_grad_pass(dst, ddst, exec.grads[1], pool);
+      mask_bias_grad_pass(dst, ddst, exec.grads[1], pool,
+                          exec.intraop_grain);
     } else {
-      bias_grad_pass(ddst, exec.grads[1], pool);
+      bias_grad_pass(ddst, exec.grads[1], pool, exec.intraop_grain);
     }
     // The padded source copy in the stream's workspace is still valid
     // from this stream's forward().
     if (plain_input_) {
       backward_weights_plain_src(ddst, exec.workspace.data(),
-                                 exec.grads[0], pool);
+                                 exec.grads[0], pool, exec.intraop_grain);
     } else {
       backward_weights_blocked(ddst, exec.workspace.data(), exec.grads[0],
-                               pool);
+                               pool, exec.intraop_grain);
     }
   }
   if (!need_dsrc) return;
@@ -629,12 +635,14 @@ void Conv3d::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
   if (plain_input_) {
     backward_data_plain_src(ddst, dsrc, pool);
   } else {
-    backward_data_blocked(ddst, dsrc, exec.scratch, pool);
+    backward_data_blocked(ddst, dsrc, exec.scratch, pool,
+                          exec.intraop_grain);
   }
 }
 
 void Conv3d::bias_grad_pass(const Tensor& ddst, Tensor& bias_grad,
-                            runtime::ThreadPool& pool) const {
+                            runtime::ThreadPool& pool,
+                            std::size_t grain) const {
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t voxels = out_d_ * out_h_ * out_w_;
   pool.parallel_for(
@@ -653,12 +661,14 @@ void Conv3d::bias_grad_pass(const Tensor& ddst, Tensor& bias_grad,
             bg[oc] += static_cast<float>(acc[oc]);
           }
         }
-      });
+      },
+      grain);
 }
 
 void Conv3d::mask_bias_grad_pass(const Tensor& dst, Tensor& ddst,
                                  Tensor& bias_grad,
-                                 runtime::ThreadPool& pool) const {
+                                 runtime::ThreadPool& pool,
+                                 std::size_t grain) const {
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t voxels = out_d_ * out_h_ * out_w_;
   const float slope = slope_;
@@ -684,12 +694,14 @@ void Conv3d::mask_bias_grad_pass(const Tensor& dst, Tensor& ddst,
             bg[oc] += static_cast<float>(acc[oc]);
           }
         }
-      });
+      },
+      grain);
 }
 
 void Conv3d::forward_blocked(const Tensor& /*src*/, Tensor& dst,
                              const float* padded,
-                             runtime::ThreadPool& pool) const {
+                             runtime::ThreadPool& pool,
+                             std::size_t grain) const {
   const std::int64_t icb_count = config_.in_channels / kB;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
@@ -743,7 +755,8 @@ void Conv3d::forward_blocked(const Tensor& /*src*/, Tensor& dst,
             }
           }
         }
-      });
+      },
+      grain);
 }
 
 #if defined(__AVX512F__)
@@ -805,7 +818,8 @@ inline void micro_fwd_row_ic1(float* __restrict dst_row,
 
 void Conv3d::forward_plain_src(const Tensor& /*src*/, Tensor& dst,
                                const float* padded,
-                               runtime::ThreadPool& pool) const {
+                               runtime::ThreadPool& pool,
+                               std::size_t grain) const {
   const std::int64_t ic_count = config_.in_channels;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
@@ -850,7 +864,8 @@ void Conv3d::forward_plain_src(const Tensor& /*src*/, Tensor& dst,
               if (fused_) apply_eltwise_row(drow, out_w_ * kB, slope_);
             }
           }
-        });
+        },
+        grain);
     return;
   }
 #endif  // __AVX512F__
@@ -903,13 +918,15 @@ void Conv3d::forward_plain_src(const Tensor& /*src*/, Tensor& dst,
             }
           }
         }
-      });
+      },
+      grain);
 }
 
 void Conv3d::backward_weights_blocked(const Tensor& ddst,
                                       const float* padded,
                                       Tensor& weight_grad,
-                                      runtime::ThreadPool& pool) const {
+                                      runtime::ThreadPool& pool,
+                                      std::size_t grain) const {
   const std::int64_t icb_count = config_.in_channels / kB;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
@@ -955,13 +972,15 @@ void Conv3d::backward_weights_blocked(const Tensor& ddst,
             }
           }
         }
-      });
+      },
+      grain);
 }
 
 void Conv3d::backward_weights_plain_src(const Tensor& ddst,
                                         const float* padded,
                                         Tensor& weight_grad,
-                                        runtime::ThreadPool& pool) const {
+                                        runtime::ThreadPool& pool,
+                                        std::size_t grain) const {
   const std::int64_t ic_count = config_.in_channels;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
@@ -1080,12 +1099,14 @@ void Conv3d::backward_weights_plain_src(const Tensor& ddst,
             }
           }
         }
-      });
+      },
+      grain);
 }
 
 void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
                                    std::span<float> scratch,
-                                   runtime::ThreadPool& pool) const {
+                                   runtime::ThreadPool& pool,
+                                   std::size_t grain) const {
   const std::int64_t icb_count = config_.in_channels / kB;
   const std::int64_t ocb_count = config_.out_channels / kB;
   const std::int64_t k = config_.kernel;
@@ -1101,8 +1122,8 @@ void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
   // ic rows — the exact mirror of the forward kernel's access pattern.
   float* const wt_base = scratch.data();
   const std::int64_t tiles = ocb_count * icb_count * k * k * k;
-  const std::size_t transpose_grain =
-      weights_.size() <= 4096 ? static_cast<std::size_t>(tiles) : 1;
+  const std::size_t transpose_grain = std::max<std::size_t>(
+      weights_.size() <= 4096 ? static_cast<std::size_t>(tiles) : 1, grain);
   pool.parallel_for(
       static_cast<std::size_t>(tiles),
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -1192,7 +1213,8 @@ void Conv3d::backward_data_blocked(const Tensor& ddst, Tensor& dsrc,
                             sizeof(float));
           }
         }
-      });
+      },
+      grain);
 }
 
 void Conv3d::backward_data_plain_src(const Tensor& ddst, Tensor& dsrc,

@@ -139,28 +139,37 @@ class Conv3d final : public Layer {
   bool input_is_plain() const noexcept { return plain_input_; }
 
  private:
+  // The trailing `grain` on each pass is the stream's per-layer
+  // intra-op grain (LayerExecState::intraop_grain) — forwarded to
+  // parallel_for as the minimum jobs per chunk. It only changes how the
+  // fixed job grid is partitioned, never the per-job arithmetic, so any
+  // value is bitwise-equivalent (DESIGN.md §2.6).
   void forward_blocked(const tensor::Tensor& src, tensor::Tensor& dst,
-                       const float* padded,
-                       runtime::ThreadPool& pool) const;
+                       const float* padded, runtime::ThreadPool& pool,
+                       std::size_t grain) const;
   void forward_plain_src(const tensor::Tensor& src, tensor::Tensor& dst,
-                         const float* padded,
-                         runtime::ThreadPool& pool) const;
+                         const float* padded, runtime::ThreadPool& pool,
+                         std::size_t grain) const;
   void bias_grad_pass(const tensor::Tensor& ddst, tensor::Tensor& bias_grad,
-                      runtime::ThreadPool& pool) const;
+                      runtime::ThreadPool& pool, std::size_t grain) const;
   void mask_bias_grad_pass(const tensor::Tensor& dst, tensor::Tensor& ddst,
                            tensor::Tensor& bias_grad,
-                           runtime::ThreadPool& pool) const;
+                           runtime::ThreadPool& pool,
+                           std::size_t grain) const;
   void backward_weights_blocked(const tensor::Tensor& ddst,
                                 const float* padded,
                                 tensor::Tensor& weight_grad,
-                                runtime::ThreadPool& pool) const;
+                                runtime::ThreadPool& pool,
+                                std::size_t grain) const;
   void backward_weights_plain_src(const tensor::Tensor& ddst,
                                   const float* padded,
                                   tensor::Tensor& weight_grad,
-                                  runtime::ThreadPool& pool) const;
+                                  runtime::ThreadPool& pool,
+                                  std::size_t grain) const;
   void backward_data_blocked(const tensor::Tensor& ddst,
                              tensor::Tensor& dsrc, std::span<float> scratch,
-                             runtime::ThreadPool& pool) const;
+                             runtime::ThreadPool& pool,
+                             std::size_t grain) const;
   void backward_data_plain_src(const tensor::Tensor& ddst,
                                tensor::Tensor& dsrc,
                                runtime::ThreadPool& pool) const;

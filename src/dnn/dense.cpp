@@ -1,5 +1,6 @@
 #include "dnn/dense.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
@@ -87,7 +88,8 @@ void Dense::forward(const Tensor& src, Tensor& dst, LayerExecState& exec,
       (static_cast<std::size_t>(in_) + chunks - 1) / chunks;
   std::vector<std::vector<float>> partial(
       chunks, std::vector<float>(static_cast<std::size_t>(out_), 0.0f));
-  const std::size_t grain = in_ * out_ <= kSerialWorkLimit ? chunks : 1;
+  const std::size_t grain = std::max<std::size_t>(
+      in_ * out_ <= kSerialWorkLimit ? chunks : 1, exec.intraop_grain);
   pool.parallel_for(
       chunks,
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -143,8 +145,9 @@ void Dense::backward(const Tensor& src, const Tensor& dst, Tensor& ddst,
   }
   Tensor& weight_grad = exec.grads[0];
   Tensor& bias_grad = exec.grads[1];
-  const std::size_t grain =
-      in_ * out_ <= kSerialWorkLimit ? static_cast<std::size_t>(in_) : 1;
+  const std::size_t grain = std::max<std::size_t>(
+      in_ * out_ <= kSerialWorkLimit ? static_cast<std::size_t>(in_) : 1,
+      exec.intraop_grain);
   const float* d = ddst.data();
   {
     CF_TRACE_SCOPE(span_label_bww().c_str(), "dense");

@@ -1,8 +1,11 @@
 #include "dnn/exec_context.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
+#include "dnn/cost_model.hpp"
 #include "dnn/network.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
@@ -33,6 +36,25 @@ ExecContext::ExecContext(Network& net, ExecMode mode, Precision precision)
   reg.gauge("dnn/ctx/activation_bytes")
       .set(static_cast<double>(activation_bytes()));
   reg.gauge("dnn/ctx/total_bytes").set(static_cast<double>(total_bytes()));
+}
+
+void ExecContext::apply_intraop(const IntraopPlan& plan) {
+  if (plan.grains.size() != exec_.size()) {
+    throw std::invalid_argument(
+        "ExecContext::apply_intraop: plan has " +
+        std::to_string(plan.grains.size()) + " grains for " +
+        std::to_string(exec_.size()) + " layers");
+  }
+  std::size_t max_grain = 1;
+  for (std::size_t i = 0; i < exec_.size(); ++i) {
+    exec_[i].intraop_grain = std::max<std::size_t>(1, plan.grains[i]);
+    max_grain = std::max(max_grain, exec_[i].intraop_grain);
+  }
+  auto& reg = obs::Registry::global();
+  reg.gauge("dnn/intraop/threads")
+      .set(static_cast<double>(plan.threads_per_stream));
+  reg.gauge("dnn/intraop/grain").set(static_cast<double>(max_grain));
+  reg.gauge("dnn/intraop/par_efficiency").set(plan.predicted_efficiency);
 }
 
 void ExecContext::build_training_buffers() {

@@ -34,6 +34,7 @@
 namespace cf::dnn {
 
 class Network;
+struct IntraopPlan;
 
 enum class ExecMode { kTraining, kInference };
 
@@ -80,6 +81,20 @@ class ExecContext {
                 const GradReadyCallback& grad_ready = {});
 
   void zero_grads();
+
+  /// Applies a cost-model intra-op plan to this stream (DESIGN.md
+  /// §2.6): copies the per-layer grains into each LayerExecState and
+  /// publishes the dnn/intraop/* gauges. The grain only changes how the
+  /// kernels' fixed job grids are partitioned across the stream's
+  /// ThreadPool, never what any job computes, so applying (or not
+  /// applying) a plan is bitwise-neutral. Plans whose grain list does
+  /// not match this network's layer count throw.
+  void apply_intraop(const IntraopPlan& plan);
+
+  /// The per-layer grain currently applied (1 until apply_intraop).
+  std::size_t intraop_grain(std::size_t i) const {
+    return exec_[i].intraop_grain;
+  }
 
   /// Parameter views pairing the network's (shared) values with this
   /// context's gradients, in layer order — the optimizer input.

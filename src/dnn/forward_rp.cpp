@@ -451,7 +451,7 @@ void copy_padded_blocked_w(const bf16_t* src, float* padded,
                            std::int64_t w, const PadSpec& pd,
                            const PadSpec& ph, const PadSpec& pw,
                            std::int64_t hp, std::int64_t wp,
-                           runtime::ThreadPool& pool) {
+                           runtime::ThreadPool& pool, std::size_t grain) {
   pool.parallel_for(
       static_cast<std::size_t>(cb * d),
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -469,14 +469,15 @@ void copy_padded_blocked_w(const bf16_t* src, float* padded,
             f32_from_bf16(s, t, static_cast<std::size_t>(w) * kB);
           }
         }
-      });
+      },
+      grain);
 }
 
 void copy_padded_plain_w(const bf16_t* src, float* padded, std::int64_t c,
                          std::int64_t d, std::int64_t h, std::int64_t w,
                          const PadSpec& pd, const PadSpec& ph,
                          const PadSpec& pw, std::int64_t hp, std::int64_t wp,
-                         runtime::ThreadPool& pool) {
+                         runtime::ThreadPool& pool, std::size_t grain) {
   pool.parallel_for(
       static_cast<std::size_t>(c * d),
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -493,7 +494,8 @@ void copy_padded_plain_w(const bf16_t* src, float* padded, std::int64_t c,
             f32_from_bf16(s, t, static_cast<std::size_t>(w));
           }
         }
-      });
+      },
+      grain);
 }
 
 }  // namespace
@@ -525,10 +527,12 @@ void Conv3d::forward_bf16(const bf16_t* src, bf16_t* dst,
   const std::int64_t ic = config_.in_channels;
   if (plain_input_) {
     copy_padded_plain_w(src, padded, ic, in_d_, in_h_, in_w_, pad_d_,
-                        pad_h_, pad_w_, ph_, pw_, pool);
+                        pad_h_, pad_w_, ph_, pw_, pool,
+                        exec.intraop_grain);
   } else {
     copy_padded_blocked_w(src, padded, ic / kB, in_d_, in_h_, in_w_,
-                          pad_d_, pad_h_, pad_w_, ph_, pw_, pool);
+                          pad_d_, pad_h_, pad_w_, ph_, pw_, pool,
+                          exec.intraop_grain);
   }
 
   const bf16_t* wbase = params.data();  // segment = weights then bias
@@ -580,7 +584,8 @@ void Conv3d::forward_bf16(const bf16_t* src, bf16_t* dst,
                                        k, out_w_, stride, fused, slope);
               }
             }
-          });
+          },
+          exec.intraop_grain);
       return;
     }
 #endif  // __AVX512F__
@@ -666,7 +671,8 @@ void Conv3d::forward_bf16(const bf16_t* src, bf16_t* dst,
                             static_cast<std::size_t>(out_w_) * kB);
             }
           }
-        });
+        },
+        exec.intraop_grain);
     return;
   }
 
@@ -738,7 +744,8 @@ void Conv3d::forward_bf16(const bf16_t* src, bf16_t* dst,
             }
           }
         }
-      });
+      },
+      exec.intraop_grain);
 #else
   // Scalar tier: same (icb, kd, kh, kw) tap order over the fp32-staged
   // source, weights widened per access.
@@ -780,7 +787,8 @@ void Conv3d::forward_bf16(const bf16_t* src, bf16_t* dst,
                 static_cast<std::size_t>(out_w_) * kB);
           }
         }
-      });
+      },
+      exec.intraop_grain);
 #endif  // __AVX512F__
 }
 
@@ -894,7 +902,8 @@ void Conv3d::forward_int8w(const Tensor& src, Tensor& dst,
                               sizeof(float));
             }
           }
-        });
+        },
+        exec.intraop_grain);
     return;
   }
 
@@ -949,7 +958,8 @@ void Conv3d::forward_int8w(const Tensor& src, Tensor& dst,
                             sizeof(float));
           }
         }
-      });
+      },
+      exec.intraop_grain);
 }
 
 void Conv3d::quantize_weights_int8(std::span<std::int8_t> qweights,
@@ -1009,7 +1019,8 @@ void Dense::forward_bf16(const bf16_t* src, bf16_t* dst,
 #endif
   std::vector<std::vector<float>> partial(
       chunks, std::vector<float>(static_cast<std::size_t>(out_), 0.0f));
-  const std::size_t grain = in_ * out_ <= kSerialWorkLimit ? chunks : 1;
+  const std::size_t grain = std::max<std::size_t>(
+      in_ * out_ <= kSerialWorkLimit ? chunks : 1, exec.intraop_grain);
   pool.parallel_for(
       chunks,
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -1090,7 +1101,8 @@ void Dense::forward_int8w(const Tensor& src, Tensor& dst,
       (static_cast<std::size_t>(in_) + chunks - 1) / chunks;
   std::vector<std::vector<float>> partial(
       chunks, std::vector<float>(static_cast<std::size_t>(out_), 0.0f));
-  const std::size_t grain = in_ * out_ <= kSerialWorkLimit ? chunks : 1;
+  const std::size_t grain = std::max<std::size_t>(
+      in_ * out_ <= kSerialWorkLimit ? chunks : 1, exec.intraop_grain);
   pool.parallel_for(
       chunks,
       [&](std::size_t begin, std::size_t end, std::size_t) {
@@ -1246,7 +1258,8 @@ void AvgPool3d::forward_bf16(const bf16_t* src, bf16_t* dst,
             }
           }
         }
-      });
+      },
+      exec.intraop_grain);
 }
 
 // --- Flatten ----------------------------------------------------------
@@ -1258,8 +1271,9 @@ void Flatten::forward_bf16(const bf16_t* src, bf16_t* dst,
   static_cast<void>(params);  // parameterless
   const runtime::ScopedTimer timer(exec.timers.fwd);
   const std::int64_t spatial = d_ * h_ * w_;
-  const std::size_t grain =
-      channels_ * spatial <= 4096 ? static_cast<std::size_t>(channels_) : 1;
+  const std::size_t grain = std::max<std::size_t>(
+      channels_ * spatial <= 4096 ? static_cast<std::size_t>(channels_) : 1,
+      exec.intraop_grain);
   pool.parallel_for(
       static_cast<std::size_t>(channels_),
       [&](std::size_t begin, std::size_t end, std::size_t) {

@@ -110,6 +110,14 @@ struct LayerExecState {
   /// Gradient tensors, parallel to param_specs(). Accumulated into by
   /// backward — callers zero them per step.
   std::vector<tensor::Tensor> grads;
+
+  /// Minimum job-grid items per parallel_for chunk for this layer's
+  /// kernels (ThreadPool grain semantics). 1 = spread maximally; the
+  /// cost model raises it when per-chunk dispatch overhead would eat
+  /// the win (ExecContext::apply_intraop_plan). Purely a partitioning
+  /// hint: every kernel decomposition is deterministic, so any value
+  /// yields bitwise-identical results (DESIGN.md §2.6).
+  std::size_t intraop_grain = 1;
 };
 
 class Layer {

@@ -146,6 +146,20 @@ ExecContext Network::make_context(ExecMode mode, Precision precision) const {
   return ExecContext(const_cast<Network&>(*this), mode, precision);
 }
 
+ExecContext Network::make_context(ExecMode mode, Precision precision,
+                                  const IntraopPlan& plan) {
+  ExecContext ctx = make_context(mode, precision);
+  ctx.apply_intraop(plan);
+  return ctx;
+}
+
+ExecContext Network::make_context(ExecMode mode, Precision precision,
+                                  const IntraopPlan& plan) const {
+  ExecContext ctx = make_context(mode, precision);
+  ctx.apply_intraop(plan);
+  return ctx;
+}
+
 void Network::prepare_inference_precision(Precision precision) {
   if (!finalized_) {
     throw std::logic_error(

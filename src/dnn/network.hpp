@@ -78,6 +78,16 @@ class Network {
   ExecContext make_context(ExecMode mode, Precision precision);
   ExecContext make_context(ExecMode mode, Precision precision) const;
 
+  /// Cost-model variants (DESIGN.md §2.6): the returned context has the
+  /// plan's per-layer grains applied (ExecContext::apply_intraop) so
+  /// its kernels partition for plan.threads_per_stream threads. The
+  /// plan is advisory and bitwise-neutral — callers still own the
+  /// ThreadPool sizing.
+  ExecContext make_context(ExecMode mode, Precision precision,
+                           const IntraopPlan& plan);
+  ExecContext make_context(ExecMode mode, Precision precision,
+                           const IntraopPlan& plan) const;
+
   /// Const overload for inference streams. A finalized Network is
   /// immutable during execution and an inference context only ever
   /// reads it (its mutating entry points — backward(), params(),

@@ -1,11 +1,34 @@
 #include "runtime/thread_pool.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
 
 namespace cf::runtime {
+
+namespace {
+
+/// Set while this thread is executing a parallel_for body — on a pool
+/// worker or on the dispatching caller. Global across pools on purpose:
+/// dispatching to a *different* pool from inside a region would
+/// oversubscribe the core budget just as surely as re-entering the same
+/// pool would deadlock its single task slot.
+thread_local bool tls_in_parallel_region = false;
+
+struct RegionGuard {
+  RegionGuard() noexcept { tls_in_parallel_region = true; }
+  ~RegionGuard() { tls_in_parallel_region = false; }
+  RegionGuard(const RegionGuard&) = delete;
+  RegionGuard& operator=(const RegionGuard&) = delete;
+};
+
+}  // namespace
+
+bool ThreadPool::in_parallel_region() noexcept {
+  return tls_in_parallel_region;
+}
 
 std::size_t ThreadPool::default_num_threads() {
   if (const char* env = std::getenv("COSMOFLOW_NUM_THREADS")) {
@@ -40,17 +63,19 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::chunk_bounds(std::size_t total, std::size_t worker,
                               std::size_t* begin, std::size_t* end) const {
-  const std::size_t base = total / num_threads_;
-  const std::size_t remainder = total % num_threads_;
+  const std::size_t base = total / task_.chunks;
+  const std::size_t remainder = total % task_.chunks;
   *begin = worker * base + std::min(worker, remainder);
   *end = *begin + base + (worker < remainder ? 1 : 0);
 }
 
 void ThreadPool::run_chunk(std::size_t worker) {
+  if (worker >= task_.chunks) return;
   std::size_t begin = 0;
   std::size_t end = 0;
   chunk_bounds(task_.total, worker, &begin, &end);
   if (begin >= end) return;
+  const RegionGuard region;
   task_.invoke(task_.ctx, begin, end, worker);
 }
 
@@ -82,7 +107,27 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
 void ThreadPool::dispatch(std::size_t total, void* ctx, TaskInvoke invoke,
                           std::size_t grain_threshold) {
   if (total == 0) return;
-  if (num_threads_ == 1 || total <= std::max<std::size_t>(1, grain_threshold)) {
+  if (tls_in_parallel_region) {
+    // Nested dispatch from inside a running body: the pool's single
+    // task slot is (or may be) occupied, so queueing would deadlock and
+    // spawning would oversubscribe. Run the body serially instead —
+    // identical range, identical result — and flag the nesting in
+    // debug builds so callers fix it rather than lean on the fallback.
+    assert(!"ThreadPool::parallel_for called from inside a parallel "
+            "region; running serially");
+    invoke(ctx, 0, total, 0);
+    return;
+  }
+  // grain = minimum items per chunk: a range shorter than two grains
+  // runs serially, and a range of K grains spreads over at most K
+  // workers. The chunk count depends only on (total, grain,
+  // num_threads) — never on runtime load — so partitioning stays a
+  // pure function (deterministic-reduction rule, DESIGN.md §2.1).
+  const std::size_t grain = std::max<std::size_t>(1, grain_threshold);
+  const std::size_t chunks =
+      std::min(num_threads_, std::max<std::size_t>(1, total / grain));
+  if (chunks == 1) {
+    const RegionGuard region;
     invoke(ctx, 0, total, 0);
     return;
   }
@@ -91,6 +136,7 @@ void ThreadPool::dispatch(std::size_t total, void* ctx, TaskInvoke invoke,
     task_.ctx = ctx;
     task_.invoke = invoke;
     task_.total = total;
+    task_.chunks = chunks;
     pending_ = num_threads_ - 1;
     first_error_ = nullptr;
     ++generation_;

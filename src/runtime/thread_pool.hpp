@@ -32,19 +32,31 @@ class ThreadPool {
   std::size_t num_threads() const noexcept { return num_threads_; }
 
   /// Run body(begin, end, worker) over [0, total) split into
-  /// num_threads contiguous chunks. Blocks until every chunk is done.
-  /// Exceptions thrown by `body` are rethrown on the caller (first one
-  /// wins). The callable is captured by reference — parallel_for
-  /// returns only after every chunk finished, so it outlives the
-  /// dispatch — which keeps the hot path free of std::function
-  /// allocation/copying (one pointer + one function pointer are stored
-  /// under the mutex instead).
+  /// min(num_threads, total / grain) contiguous chunks — `grain` is the
+  /// minimum number of items a chunk is worth dispatching for, so a
+  /// small range on a wide pool collapses to few (or one) chunks
+  /// instead of paying a wake per thread. Blocks until every chunk is
+  /// done. Exceptions thrown by `body` are rethrown on the caller
+  /// (first one wins). The callable is captured by reference —
+  /// parallel_for returns only after every chunk finished, so it
+  /// outlives the dispatch — which keeps the hot path free of
+  /// std::function allocation/copying (one pointer + one function
+  /// pointer are stored under the mutex instead).
   ///
-  /// When `total <= grain_threshold` the body runs serially on the
+  /// When the chunk count comes out 1 the body runs serially on the
   /// caller over the whole range — the dispatch/wake machinery costs
   /// more than a tiny elementwise loop saves. The serial path executes
   /// the identical body over [0, total), so results cannot depend on
-  /// which path was taken.
+  /// which path was taken. NOTE: the chunk count never depends on which
+  /// worker is free — for a fixed (total, grain, num_threads) the
+  /// partition is a pure function, which is what keeps threaded
+  /// reductions bitwise-reproducible (DESIGN.md §2.1/§2.6).
+  ///
+  /// Calling parallel_for from inside a body already running on this or
+  /// any other pool (a nested region) falls back to serial execution of
+  /// the nested body on the calling thread instead of deadlocking on
+  /// the pool's single task slot or oversubscribing cores; a debug
+  /// assert flags the nesting so it gets fixed rather than relied on.
   template <typename Body>
   void parallel_for(std::size_t total, Body&& body,
                     std::size_t grain_threshold = 1) {
@@ -74,6 +86,11 @@ class ThreadPool {
 
   static std::size_t default_num_threads();
 
+  /// True while the calling thread is executing a parallel_for body (on
+  /// any pool). Used by the nested-dispatch guard and exposed so tests
+  /// and kernels can verify the serial-fallback contract.
+  static bool in_parallel_region() noexcept;
+
  private:
   /// Type-erased borrowed callable: valid only while the dispatching
   /// parallel_for is blocked, which is exactly the workers' window.
@@ -83,6 +100,7 @@ class ThreadPool {
     void* ctx = nullptr;
     TaskInvoke invoke = nullptr;
     std::size_t total = 0;
+    std::size_t chunks = 0;
   };
 
   void dispatch(std::size_t total, void* ctx, TaskInvoke invoke,

@@ -20,7 +20,8 @@ double seconds_between(Clock::time_point from, Clock::time_point to) {
 
 ServerConfig sanitized(ServerConfig config) {
   if (config.workers == 0) config.workers = 1;
-  if (config.threads_per_worker == 0) config.threads_per_worker = 1;
+  // threads_per_worker == 0 is meaningful (cost-model auto) and is
+  // resolved in the Server constructor once the network is known.
   if (config.max_batch == 0) config.max_batch = 1;
   if (config.max_delay_seconds < 0.0) config.max_delay_seconds = 0.0;
   if (config.queue_capacity == 0) config.queue_capacity = 1;
@@ -83,6 +84,17 @@ Server::Server(std::shared_ptr<const dnn::Network> network,
         std::string(dnn::to_string(config_.precision)) +
         " (call prepare_inference_precision before constructing)");
   }
+  if (config_.threads_per_worker == 0) {
+    // Cost-model auto mode (DESIGN.md §2.6): split the machine's
+    // hardware-thread budget across the worker streams and take the
+    // model's per-layer grains. Resolved here, before any worker thread
+    // starts, so worker_loop sees a concrete thread count.
+    const dnn::CostModel cost_model(*network_);
+    intraop_plan_ = cost_model.choose(
+        runtime::ThreadPool::default_num_threads(), config_.workers);
+    config_.threads_per_worker = intraop_plan_.threads_per_stream;
+    intraop_auto_ = true;
+  }
   auto& reg = obs::Registry::global();
   // Each server instance measures from zero, like a Pipeline does for
   // its metric_prefix.
@@ -98,6 +110,8 @@ Server::Server(std::shared_ptr<const dnn::Network> network,
   latency_hist_ = &reg.histogram(config_.metric_prefix + "/latency");
   reg.gauge(config_.metric_prefix + "/workers")
       .set(static_cast<double>(config_.workers));
+  reg.gauge(config_.metric_prefix + "/threads_per_worker")
+      .set(static_cast<double>(config_.threads_per_worker));
   reg.gauge(config_.metric_prefix + "/precision")
       .set(static_cast<double>(config_.precision));
 
@@ -167,7 +181,11 @@ void Server::worker_loop(std::size_t worker_index) {
   // Per-stream state, built once: the lean forward-only context plus a
   // private worker pool. The Network is shared and read-only.
   dnn::ExecContext ctx =
-      network_->make_context(dnn::ExecMode::kInference, config_.precision);
+      intraop_auto_
+          ? network_->make_context(dnn::ExecMode::kInference,
+                                   config_.precision, intraop_plan_)
+          : network_->make_context(dnn::ExecMode::kInference,
+                                   config_.precision);
   runtime::ThreadPool pool(config_.threads_per_worker);
 
   Batch batch;

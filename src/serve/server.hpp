@@ -35,6 +35,7 @@
 #include <thread>
 #include <vector>
 
+#include "dnn/cost_model.hpp"
 #include "dnn/network.hpp"
 #include "obs/metrics.hpp"
 #include "serve/request_queue.hpp"
@@ -45,7 +46,11 @@ namespace cf::serve {
 struct ServerConfig {
   /// Worker streams; each owns one inference ExecContext + ThreadPool.
   std::size_t workers = 2;
-  /// Intra-op threads per worker stream (1 = serial kernels).
+  /// Intra-op threads per worker stream (1 = serial kernels). 0 = auto:
+  /// the dnn::CostModel splits the machine's hardware-thread budget
+  /// across the configured workers and picks the per-layer kernel
+  /// grains for that width (DESIGN.md §2.6). On a 1-core host auto
+  /// resolves to 1 thread per worker.
   std::size_t threads_per_worker = 1;
   /// Batch former size budget: flush as soon as this many requests
   /// have been coalesced.
@@ -129,6 +134,12 @@ class Server {
   ServerConfig config_;
   RequestQueue queue_;
   BatchQueue batch_queue_;
+
+  // Cost-model plan applied to every worker context when the config
+  // asked for auto threading (threads_per_worker == 0). Resolved once
+  // in the constructor, before any worker thread starts.
+  dnn::IntraopPlan intraop_plan_;
+  bool intraop_auto_ = false;
 
   // Metric handles, resolved once at construction (OBSERVABILITY.md).
   obs::Counter* accepted_ = nullptr;
