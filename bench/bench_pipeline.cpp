@@ -1,0 +1,434 @@
+// Zero-copy data path benchmark (DESIGN.md §2.7): CRC32-C kernel
+// throughput and end-to-end shard→batch samples/s, with the ablations
+// that justify each piece.
+//
+// Three measurements:
+//
+//  * CRC32-C kernels — GB/s of the table / slice-by-8 / SSE4.2
+//    hardware implementations over one large buffer, after verifying
+//    all available kernels agree bitwise on random and adversarial
+//    (every short length, every misalignment) inputs. The hardware
+//    kernel's target is >= 4x the table baseline. The selected
+//    implementation's throughput is published on the
+//    data/pipeline/crc_gbps gauge (OBSERVABILITY.md).
+//  * shard→batch — samples/s draining a Pipeline over cfrecord shards
+//    written to a temp directory, one warmup epoch then timed epochs,
+//    for the full zero-copy configuration (mmap + pooled buffers +
+//    dispatched CRC) and each ablation: --no-mmap (stream reads),
+//    --no-pool (allocate per sample), --crc=table, and the seed path
+//    (all three off — the pre-§2.7 configuration). Target: the
+//    zero-copy path >= 1.25x the seed path. Every configuration's
+//    delivered sample stream is hashed and must match the seed path's
+//    bytes exactly — the byte-identity invariant the tests pin.
+//  * steady-state allocations — the data/pipeline/pool_allocs gauge
+//    must not move across the timed epochs of a pooled run (after the
+//    warmup epoch every buffer is recycled).
+//
+//   ./bench_pipeline [--dhw=16] [--sims=12] [--io-threads=2]
+//       [--epochs=4] [--queue-capacity=8] [--no-mmap] [--no-pool]
+//       [--crc=auto|hw|slice8|table] [--smoke]
+//       [--json=BENCH_pipeline.json]
+//
+// --no-mmap / --no-pool / --crc pin the *main* configuration (the
+// ablation grid is always measured); --smoke shrinks everything for
+// the sanitizer legs.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/dataset_gen.hpp"
+#include "data/crc32.hpp"
+#include "data/dataset.hpp"
+#include "data/pipeline.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/rng.hpp"
+#include "runtime/thread_pool.hpp"
+#include "runtime/timer.hpp"
+
+#ifndef COSMOFLOW_GIT_SHA
+#define COSMOFLOW_GIT_SHA "unknown"
+#endif
+
+namespace {
+
+using namespace cf;
+
+// FNV-1a over the delivered sample stream — order-sensitive, so it
+// certifies both bytes and delivery order.
+struct StreamHash {
+  std::uint64_t h = 1469598103934665603ull;
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  }
+};
+
+struct CrcResult {
+  data::CrcImpl impl;
+  double gbps = 0.0;
+};
+
+// One pipeline configuration's measurement.
+struct RunResult {
+  std::string name;
+  bool mmap = false;
+  bool pool = false;
+  data::CrcImpl crc = data::CrcImpl::kTable;
+  double samples_per_s = 0.0;
+  double gbs = 0.0;
+  double allocs_delta = 0.0;  // pool_allocs movement over timed epochs
+  std::uint64_t stream_hash = 0;
+};
+
+std::vector<CrcResult> crc_section(bool smoke, data::CrcImpl selected) {
+  const std::size_t buf_size = smoke ? (4u << 20) : (64u << 20);
+  std::vector<std::uint8_t> buf(buf_size);
+  runtime::Rng rng(12345);
+  for (auto& b : buf) {
+    b = static_cast<std::uint8_t>(rng.uniform_index(256));
+  }
+
+  std::vector<data::CrcImpl> impls{data::CrcImpl::kTable,
+                                   data::CrcImpl::kSlice8};
+  if (data::crc32c_hardware_available()) {
+    impls.push_back(data::CrcImpl::kHardware);
+  }
+
+  // Agreement first: random buffer, then every length 0..64 at every
+  // offset 0..8 (the tails and misalignments where kernels diverge if
+  // they are going to).
+  const std::uint32_t reference =
+      data::crc32c_with(data::CrcImpl::kTable, buf);
+  for (const data::CrcImpl impl : impls) {
+    if (data::crc32c_with(impl, buf) != reference) {
+      throw std::runtime_error(std::string("crc32c kernel ") +
+                               data::to_string(impl) +
+                               " disagrees with the table reference");
+    }
+    for (std::size_t off = 0; off <= 8; ++off) {
+      for (std::size_t len = 0; len <= 64; ++len) {
+        const std::span<const std::uint8_t> window{buf.data() + off, len};
+        if (data::crc32c_with(impl, window) !=
+            data::crc32c_with(data::CrcImpl::kTable, window)) {
+          throw std::runtime_error(
+              std::string("crc32c kernel ") + data::to_string(impl) +
+              " disagrees on a short/misaligned input");
+        }
+      }
+    }
+  }
+  std::printf("all CRC32-C kernels agree bitwise (random %zu MB + every "
+              "length<=64 at every offset<=8)\n\n",
+              buf_size >> 20);
+
+  std::printf("%-8s %12s\n", "kernel", "GB/s");
+  std::vector<CrcResult> results;
+  const int reps = smoke ? 2 : 4;
+  volatile std::uint32_t sink = 0;
+  for (const data::CrcImpl impl : impls) {
+    const runtime::Stopwatch watch;
+    for (int r = 0; r < reps; ++r) {
+      sink = data::crc32c_with(impl, buf);
+    }
+    const double seconds = watch.elapsed_seconds();
+    CrcResult res;
+    res.impl = impl;
+    res.gbps = static_cast<double>(buf_size) * reps / seconds / 1e9;
+    std::printf("%-8s %12.2f\n", data::to_string(impl), res.gbps);
+    results.push_back(res);
+  }
+  (void)sink;
+
+  for (const CrcResult& res : results) {
+    if (res.impl == selected) {
+      obs::Registry::global()
+          .gauge("data/pipeline/crc_gbps")
+          .set(res.gbps);
+    }
+  }
+  return results;
+}
+
+RunResult run_pipeline(const std::string& name,
+                       const std::vector<std::string>& shards, bool mmap,
+                       bool pool, data::CrcImpl crc,
+                       std::size_t io_threads, std::size_t queue_capacity,
+                       int epochs) {
+  data::set_crc32c_impl(crc);
+  data::CfrecordSource source(
+      shards, mmap ? data::ReaderMode::kAuto : data::ReaderMode::kStream);
+
+  data::PipelineConfig config;
+  config.io_threads = io_threads;
+  config.queue_capacity = queue_capacity;
+  config.pool = pool;
+  config.metric_prefix = "data/pipeline/bench";
+  data::Pipeline pipeline(source, config);
+
+  std::vector<std::size_t> indices(source.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+
+  auto& reg = obs::Registry::global();
+  RunResult result;
+  result.name = name;
+  result.mmap = source.mapped();
+  result.pool = pool;
+  result.crc = crc;
+
+  data::Sample sample;
+  StreamHash hash;
+  std::size_t total = 0;
+  std::uint64_t bytes = 0;
+
+  // Warmup epoch: fills the pool (and the page cache) and feeds the
+  // identity hash — the bytes delivered while warming up must match
+  // the steady state's too.
+  pipeline.start_epoch(indices);
+  while (pipeline.next(sample)) {
+    hash.update(sample.volume.data(), sample.volume.size() * sizeof(float));
+    hash.update(sample.target.data(), sizeof(sample.target));
+  }
+
+  const double allocs_before =
+      reg.gauge("data/pipeline/pool_allocs").value();
+  const runtime::Stopwatch watch;
+  for (int e = 0; e < epochs; ++e) {
+    pipeline.start_epoch(indices);
+    while (pipeline.next(sample)) {
+      hash.update(sample.volume.data(),
+                  sample.volume.size() * sizeof(float));
+      hash.update(sample.target.data(), sizeof(sample.target));
+      ++total;
+      bytes += sample.volume.size() * sizeof(float);
+    }
+  }
+  const double seconds = watch.elapsed_seconds();
+  result.allocs_delta =
+      reg.gauge("data/pipeline/pool_allocs").value() - allocs_before;
+  result.samples_per_s = static_cast<double>(total) / seconds;
+  result.gbs = static_cast<double>(bytes) / seconds / 1e9;
+  result.stream_hash = hash.h;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int64_t dhw = 16;
+  std::size_t sims = 12;
+  std::size_t io_threads = 2;
+  std::size_t queue_capacity = 8;
+  int epochs = 4;
+  bool main_mmap = true;
+  bool main_pool = true;
+  std::string crc_flag = "auto";
+  bool smoke = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dhw=", 6) == 0) dhw = std::atoll(argv[i] + 6);
+    if (std::strncmp(argv[i], "--sims=", 7) == 0) {
+      sims = static_cast<std::size_t>(std::atoll(argv[i] + 7));
+    }
+    if (std::strncmp(argv[i], "--io-threads=", 13) == 0) {
+      io_threads = static_cast<std::size_t>(std::atoi(argv[i] + 13));
+    }
+    if (std::strncmp(argv[i], "--queue-capacity=", 17) == 0) {
+      queue_capacity = static_cast<std::size_t>(std::atoi(argv[i] + 17));
+    }
+    if (std::strncmp(argv[i], "--epochs=", 9) == 0) {
+      epochs = std::atoi(argv[i] + 9);
+    }
+    if (std::strcmp(argv[i], "--no-mmap") == 0) main_mmap = false;
+    if (std::strcmp(argv[i], "--no-pool") == 0) main_pool = false;
+    if (std::strncmp(argv[i], "--crc=", 6) == 0) crc_flag = argv[i] + 6;
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (smoke) {
+    dhw = 8;
+    sims = 4;
+    epochs = 2;
+  }
+  if (epochs < 1) epochs = 1;
+
+  data::CrcImpl main_crc = data::crc32c_impl();  // the auto dispatch
+  if (crc_flag == "hw") {
+    main_crc = data::CrcImpl::kHardware;
+  } else if (crc_flag == "slice8") {
+    main_crc = data::CrcImpl::kSlice8;
+  } else if (crc_flag == "table") {
+    main_crc = data::CrcImpl::kTable;
+  } else if (crc_flag != "auto") {
+    std::printf("unknown --crc=%s (auto|hw|slice8|table)\n",
+                crc_flag.c_str());
+    return 1;
+  }
+  if (main_crc == data::CrcImpl::kHardware &&
+      !data::crc32c_hardware_available()) {
+    std::printf("--crc=hw requested but SSE4.2 is unavailable\n");
+    return 1;
+  }
+
+  std::printf("=== bench_pipeline: zero-copy data path (DESIGN.md §2.7) "
+              "===\n");
+  std::printf("(sub-volume %lld^3, %zu simulations, %zu io thread(s), "
+              "queue %zu, %d timed epoch(s), main config: %s + %s + "
+              "crc=%s)\n\n",
+              static_cast<long long>(dhw), sims, io_threads,
+              queue_capacity, epochs, main_mmap ? "mmap" : "stream",
+              main_pool ? "pool" : "no-pool", data::to_string(main_crc));
+
+  std::printf("--- CRC32-C kernels ---\n");
+  const std::vector<CrcResult> crc_results =
+      crc_section(smoke, main_crc);
+  double table_gbps = 0.0, hw_gbps = 0.0, slice8_gbps = 0.0;
+  for (const CrcResult& r : crc_results) {
+    if (r.impl == data::CrcImpl::kTable) table_gbps = r.gbps;
+    if (r.impl == data::CrcImpl::kSlice8) slice8_gbps = r.gbps;
+    if (r.impl == data::CrcImpl::kHardware) hw_gbps = r.gbps;
+  }
+  if (hw_gbps > 0.0) {
+    std::printf("hardware vs table: %.1fx (target >= 4x)\n",
+                hw_gbps / table_gbps);
+  }
+  std::printf("\n");
+
+  // Dataset: generate sub-volumes and shard them to a temp directory.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("bench_pipeline_" + std::to_string(::getpid()));
+  std::vector<std::string> shards;
+  std::size_t n_samples = 0;
+  {
+    runtime::ThreadPool gen_pool;
+    core::DatasetGenConfig gen;
+    gen.simulations = sims;
+    gen.sim.grid = {16, 128.0};
+    gen.sim.voxels = static_cast<std::size_t>(2 * dhw);
+    gen.seed = 29;
+    core::GeneratedDataset dataset = core::generate_dataset(gen, gen_pool);
+    n_samples = dataset.train.size();
+    shards = data::write_shards(dataset.train, dir.string(), "bench",
+                                /*samples_per_shard=*/16,
+                                /*shuffle_seed=*/7);
+  }
+  std::printf("--- shard→batch: %zu samples across %zu shard(s) ---\n",
+              n_samples, shards.size());
+
+  // The grid: the main configuration plus each single ablation plus
+  // the all-off seed path.
+  std::vector<RunResult> runs;
+  runs.push_back(run_pipeline("zero-copy", shards, main_mmap, main_pool,
+                              main_crc, io_threads, queue_capacity,
+                              epochs));
+  runs.push_back(run_pipeline("no-mmap", shards, false, main_pool,
+                              main_crc, io_threads, queue_capacity,
+                              epochs));
+  runs.push_back(run_pipeline("no-pool", shards, main_mmap, false,
+                              main_crc, io_threads, queue_capacity,
+                              epochs));
+  runs.push_back(run_pipeline("crc-table", shards, main_mmap, main_pool,
+                              data::CrcImpl::kTable, io_threads,
+                              queue_capacity, epochs));
+  runs.push_back(run_pipeline("seed-path", shards, false, false,
+                              data::CrcImpl::kTable, io_threads,
+                              queue_capacity, epochs));
+  data::set_crc32c_impl(main_crc);
+
+  std::printf("%-10s %6s %6s %-7s %14s %8s %12s\n", "config", "mmap",
+              "pool", "crc", "samples/s", "GB/s", "pool allocs");
+  for (const RunResult& r : runs) {
+    std::printf("%-10s %6s %6s %-7s %14.0f %8.2f %12.0f\n",
+                r.name.c_str(), r.mmap ? "yes" : "no",
+                r.pool ? "yes" : "no", data::to_string(r.crc),
+                r.samples_per_s, r.gbs, r.allocs_delta);
+  }
+
+  // Byte-identity across every configuration — the invariant the
+  // tests pin, re-checked on the bench's own workload.
+  bool identity_ok = true;
+  for (const RunResult& r : runs) {
+    if (r.stream_hash != runs.front().stream_hash) identity_ok = false;
+  }
+  if (!identity_ok) {
+    std::filesystem::remove_all(dir);
+    throw std::runtime_error(
+        "delivered sample streams diverged across configurations");
+  }
+  std::printf("\nall configurations delivered byte-identical sample "
+              "streams (hash %016llx)\n",
+              static_cast<unsigned long long>(runs.front().stream_hash));
+
+  const double speedup = runs.front().samples_per_s /
+                         runs.back().samples_per_s;
+  std::printf("zero-copy vs seed path: %.2fx (target >= 1.25x)\n",
+              speedup);
+  // Steady state: allocations are bounded by the peak number of
+  // buffers in flight (ring + one per producer + one at the consumer),
+  // never by the sample count. A delta past that bound means recycling
+  // is broken.
+  const double alloc_bound =
+      static_cast<double>(queue_capacity + io_threads + 1);
+  if (main_pool && runs.front().allocs_delta > alloc_bound) {
+    std::printf("WARNING: pool_allocs moved by %.0f during the timed "
+                "epochs of the pooled run (bound: %.0f) — buffer "
+                "recycling is not reaching steady state\n",
+                runs.front().allocs_delta, alloc_bound);
+  }
+
+  if (!json_path.empty()) {
+    obs::JsonObject rec;
+    rec.field("bench", "pipeline")
+        .field("commit", COSMOFLOW_GIT_SHA)
+        .field("dhw", static_cast<std::int64_t>(dhw))
+        .field("samples", static_cast<std::int64_t>(n_samples))
+        .field("shards", static_cast<std::int64_t>(shards.size()))
+        .field("io_threads", static_cast<std::int64_t>(io_threads))
+        .field("queue_capacity",
+               static_cast<std::int64_t>(queue_capacity))
+        .field("epochs", static_cast<std::int64_t>(epochs))
+        .field("crc", data::to_string(main_crc))
+        .field("crc_table_gbps", table_gbps)
+        .field("crc_slice8_gbps", slice8_gbps)
+        .field("crc_hw_gbps", hw_gbps)
+        .field("crc_hw_vs_table",
+               hw_gbps > 0.0 ? hw_gbps / table_gbps : 0.0)
+        .field("identity_ok", identity_ok)
+        .field("speedup_vs_seed", speedup);
+    for (const RunResult& r : runs) {
+      std::string base = r.name;
+      for (char& ch : base) {
+        if (ch == '-') ch = '_';
+      }
+      rec.field(base + "_samples_per_s", r.samples_per_s)
+          .field(base + "_gbs", r.gbs)
+          .field(base + "_pool_allocs_delta", r.allocs_delta);
+    }
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::printf("FAILED to write json to %s\n", json_path.c_str());
+      std::filesystem::remove_all(dir);
+      return 1;
+    }
+    const std::string line = rec.str() + "\n";
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fclose(out);
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  std::filesystem::remove_all(dir);
+  std::printf(
+      "\nshape targets: hardware CRC >= 4x table; zero-copy shard→batch "
+      ">= 1.25x the seed path; the pooled runs' pool_allocs stay within "
+      "the in-flight bound across the timed epochs (no per-sample "
+      "allocations); every configuration's sample stream hashes "
+      "identically.\n");
+  return 0;
+}

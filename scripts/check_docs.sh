@@ -16,6 +16,9 @@
 #      so the reduced-precision ablations stay discoverable;
 #   5. likewise for the intra-op threading ablation flags: a binary
 #      parsing --cost-model or a --threads-per-* flag must be named in
+#      EXPERIMENTS.md alongside documentation of that flag;
+#   6. likewise for the zero-copy data-path ablation flags: a binary
+#      parsing --no-mmap, --no-pool or --crc= must be named in
 #      EXPERIMENTS.md alongside documentation of that flag.
 #
 # Usage: check_docs.sh [repo_root]
@@ -96,6 +99,27 @@ for src in bench/*.cpp examples/*.cpp; do
   name="$(basename "$src" .cpp)"
   for flag in --cost-model --threads-per-stream --threads-per-worker \
               --threads-per-rank; do
+    grep -q -- "$flag" "$src" || continue
+    if ! grep -q -- "$flag" EXPERIMENTS.md; then
+      echo "FAIL: $name parses $flag but EXPERIMENTS.md never" \
+           "documents the flag" >&2
+      fail=1
+    fi
+    if ! grep -qw "$name" EXPERIMENTS.md; then
+      echo "FAIL: $name parses $flag but EXPERIMENTS.md never" \
+           "mentions $name" >&2
+      fail=1
+    fi
+  done
+done
+
+# Zero-copy data-path ablations (DESIGN.md §2.7): any binary parsing
+# --no-mmap, --no-pool or --crc= must be documented in EXPERIMENTS.md
+# together with the flag it parses.
+for src in bench/*.cpp examples/*.cpp; do
+  [ -e "$src" ] || continue
+  name="$(basename "$src" .cpp)"
+  for flag in --no-mmap --no-pool --crc=; do
     grep -q -- "$flag" "$src" || continue
     if ! grep -q -- "$flag" EXPERIMENTS.md; then
       echo "FAIL: $name parses $flag but EXPERIMENTS.md never" \

@@ -41,7 +41,12 @@ run_one() {
       # stack-local accumulator rows.
       env_name="ASAN_OPTIONS"
       env_value="halt_on_error=1 detect_stack_use_after_return=1"
-      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*:Intraop*.*:*/Intraop*.*'
+      # Crc32c/Cfrecord/CfrecordFuzz ride this leg: the slice-by-8 and
+      # SSE4.2 CRC kernels read the buffer 8 bytes at a time, mmap
+      # views hand out raw page-cache pointers, and the fuzz suite's
+      # corrupt length fields must never drive an out-of-bounds read
+      # or oversized allocation.
+      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Crc32c*.*:Cfrecord*.*:CfrecordFuzz*.*:SampleSerialization*.*:DataPath*.*'
       ;;
     tsan)
       cmake_flag="-DCOSMOFLOW_TSAN=ON"
@@ -50,7 +55,11 @@ run_one() {
       # reports.
       env_name="TSAN_OPTIONS"
       env_value="halt_on_error=1 second_deadlock_stack=1"
-      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*:Intraop*.*:*/Intraop*.*'
+      # Pipeline/PipelinePool/DataPath ride this leg: producer threads
+      # racing on the ring reorder buffer, the mutex-guarded
+      # SamplePool recycle path, and mapped shard readers shared
+      # across I/O threads (concurrent const view_at).
+      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Pipeline*.*:PipelinePool*.*:DataPath*.*'
       ;;
     ubsan)
       cmake_flag="-DCOSMOFLOW_UBSAN=ON"
@@ -58,7 +67,9 @@ run_one() {
       # a log line; print_stacktrace makes it actionable.
       env_name="UBSAN_OPTIONS"
       env_value="halt_on_error=1 print_stacktrace=1"
-      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*:Intraop*.*:*/Intraop*.*'
+      # The CRC kernels' word loads and the cfrecord framing offsets
+      # are exactly the unsigned/pointer arithmetic UBSan checks.
+      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Crc32c*.*:Cfrecord*.*:CfrecordFuzz*.*'
       ;;
     *)
       echo "unknown sanitizer '$san' (expected asan, tsan or ubsan)" >&2
@@ -86,6 +97,18 @@ run_one() {
       --precision=bf16
     env "$env_name=$env_value" "$build_dir/bench/bench_serve" --smoke \
       --threads-per-worker=0
+  fi
+
+  # The whole zero-copy data path under instrumentation: mmap parse,
+  # CRC kernels, pooled ring, end-to-end byte-identity check across the
+  # ablation grid. The TSan leg forces io_threads >= 2 so producers
+  # genuinely race on the ring and the pool.
+  cmake --build "$build_dir" --target bench_pipeline -j "$(nproc)"
+  if [ "$san" = "tsan" ]; then
+    env "$env_name=$env_value" "$build_dir/bench/bench_pipeline" --smoke \
+      --io-threads=2
+  else
+    env "$env_name=$env_value" "$build_dir/bench/bench_pipeline" --smoke
   fi
 
   echo "$san: clean"

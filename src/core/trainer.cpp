@@ -207,14 +207,28 @@ void Trainer::rank_body(comm::RankHandle& rank,
     while (steps < steps_per_epoch_ && train_pipeline.next(sample)) {
       CF_TRACE_SCOPE("train/step", "train");
       const runtime::Stopwatch step_watch;
+      // Stage the sample straight into the context's input buffer,
+      // with the orientation folded into that single copy — no
+      // clone-per-step, no second staging memcpy inside forward. The
+      // staged bytes match the seed path (orient in place, then copy)
+      // exactly, so the trajectory is bitwise-unchanged.
+      const std::span<float> staged = ctx.input_staging();
+      if (static_cast<std::size_t>(sample.volume.size()) !=
+          staged.size()) {
+        throw std::invalid_argument(
+            "Trainer: sample volume does not match network input shape");
+      }
       if (config_.augment) {
-        data::orient_volume(
-            sample.volume,
+        data::orient_volume_into(
+            sample.volume, staged,
             static_cast<std::uint32_t>(
                 augment_rng.uniform_index(data::kOrientationCount)));
+      } else {
+        std::memcpy(staged.data(), sample.volume.data(),
+                    staged.size() * sizeof(float));
       }
       // Local gradients (Algorithm 2, line 3).
-      const Tensor& output = ctx.forward(sample.volume, pool);
+      const Tensor& output = ctx.forward_staged(pool);
       for (std::int64_t i = 0; i < n_outputs; ++i) {
         target[static_cast<std::size_t>(i)] =
             sample.target[static_cast<std::size_t>(i)];
@@ -301,7 +315,16 @@ void Trainer::rank_body(comm::RankHandle& rank,
           val.size(), config_.nranks, r, /*epoch_seed=*/0,
           /*shuffle=*/false));
       while (val_pipeline.next(sample)) {
-        const Tensor& output = ctx.forward(sample.volume, pool);
+        const std::span<float> staged = ctx.input_staging();
+        if (static_cast<std::size_t>(sample.volume.size()) !=
+            staged.size()) {
+          throw std::invalid_argument(
+              "Trainer: sample volume does not match network input "
+              "shape");
+        }
+        std::memcpy(staged.data(), sample.volume.data(),
+                    staged.size() * sizeof(float));
+        const Tensor& output = ctx.forward_staged(pool);
         for (std::int64_t i = 0; i < n_outputs; ++i) {
           target[static_cast<std::size_t>(i)] =
               sample.target[static_cast<std::size_t>(i)];

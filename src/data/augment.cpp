@@ -1,6 +1,7 @@
 #include "data/augment.hpp"
 
 #include <array>
+#include <cstring>
 #include <stdexcept>
 
 namespace cf::data {
@@ -16,9 +17,7 @@ constexpr std::array<std::array<int, 3>, 6> kPermutations{{
     {2, 1, 0},
 }};
 
-}  // namespace
-
-void orient_volume(tensor::Tensor& volume, std::uint32_t code) {
+void check_cubic(const tensor::Tensor& volume, std::uint32_t code) {
   if (code >= kOrientationCount) {
     throw std::invalid_argument("orient_volume: code out of range");
   }
@@ -27,15 +26,12 @@ void orient_volume(tensor::Tensor& volume, std::uint32_t code) {
       volume.shape()[1] != volume.shape()[3]) {
     throw std::invalid_argument("orient_volume: expected cubic {1,N,N,N}");
   }
-  if (code == 0) return;
+}
 
-  const std::int64_t n = volume.shape()[1];
+void gather_oriented(const float* src, float* dst, std::int64_t n,
+                     std::uint32_t code) {
   const std::uint32_t mirror = code % 8;
   const auto& perm = kPermutations[code / 8];
-
-  tensor::Tensor source = volume.clone();
-  const float* src = source.data();
-  float* dst = volume.data();
   for (std::int64_t z = 0; z < n; ++z) {
     for (std::int64_t y = 0; y < n; ++y) {
       for (std::int64_t x = 0; x < n; ++x) {
@@ -54,6 +50,28 @@ void orient_volume(tensor::Tensor& volume, std::uint32_t code) {
       }
     }
   }
+}
+
+}  // namespace
+
+void orient_volume(tensor::Tensor& volume, std::uint32_t code) {
+  check_cubic(volume, code);
+  if (code == 0) return;
+  const tensor::Tensor source = volume.clone();
+  gather_oriented(source.data(), volume.data(), volume.shape()[1], code);
+}
+
+void orient_volume_into(const tensor::Tensor& src, std::span<float> dst,
+                        std::uint32_t code) {
+  check_cubic(src, code);
+  if (dst.size() != static_cast<std::size_t>(src.size())) {
+    throw std::invalid_argument("orient_volume_into: dst size mismatch");
+  }
+  if (code == 0) {
+    std::memcpy(dst.data(), src.data(), dst.size() * sizeof(float));
+    return;
+  }
+  gather_oriented(src.data(), dst.data(), src.shape()[1], code);
 }
 
 }  // namespace cf::data

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "tensor/tensor.hpp"
 
@@ -22,5 +23,13 @@ inline constexpr std::uint32_t kOrientationCount = 48;
 /// `code` in [0, 48): code % 8 selects the mirror mask (bit per axis),
 /// code / 8 the axis permutation. Code 0 is the identity.
 void orient_volume(tensor::Tensor& volume, std::uint32_t code);
+
+/// Gather form: writes the re-oriented volume into `dst` (n^3 floats,
+/// must not alias `src`) without touching `src`. Lets the Trainer fold
+/// augmentation into its one staging copy into the network input —
+/// the in-place form's clone-per-step disappears. Same codes, same
+/// result as orient_volume.
+void orient_volume_into(const tensor::Tensor& src, std::span<float> dst,
+                        std::uint32_t code);
 
 }  // namespace cf::data

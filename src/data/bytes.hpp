@@ -1,0 +1,48 @@
+// Little-endian scalar packing shared by the cfrecord framing and the
+// sample serializer. On little-endian hosts (every target we build
+// for) the load/store compiles to a single memcpy the optimizer folds
+// into a plain word access; the shift loop is kept as the portable
+// fallback so the on-disk format stays LE everywhere.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace cf::data {
+
+template <typename T>
+inline T load_le(const std::uint8_t* bytes) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    T value;
+    std::memcpy(&value, bytes, sizeof(T));
+    return value;
+  } else {
+    T value = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      value |= static_cast<T>(bytes[i]) << (8 * i);
+    }
+    return value;
+  }
+}
+
+template <typename T>
+inline void store_le(std::uint8_t* bytes, T value) noexcept {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(bytes, &value, sizeof(T));
+  } else {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+  }
+}
+
+template <typename T>
+inline void append_le(std::vector<std::uint8_t>& out, T value) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(T));
+  store_le(out.data() + at, value);
+}
+
+}  // namespace cf::data

@@ -1,28 +1,25 @@
 #include "data/cfrecord.hpp"
 
 #include <cstring>
+#include <filesystem>
 
+#include "data/bytes.hpp"
 #include "data/crc32.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define COSMOFLOW_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 namespace cf::data {
 
 namespace {
 
-template <typename T>
-void append_le(std::vector<std::uint8_t>& out, T value) {
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-}
-
-template <typename T>
-T load_le(const std::uint8_t* bytes) {
-  T value = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    value |= static_cast<T>(bytes[i]) << (8 * i);
-  }
-  return value;
-}
+constexpr std::size_t kHeaderBytes = 12;  // u64 length + u32 masked crc
+constexpr std::size_t kFooterBytes = 4;   // u32 masked payload crc
 
 }  // namespace
 
@@ -43,21 +40,21 @@ RecordWriter::~RecordWriter() {
 
 void RecordWriter::write(std::span<const std::uint8_t> payload) {
   if (closed_) throw std::logic_error("RecordWriter: writer closed");
-  std::vector<std::uint8_t> header;
-  header.reserve(12);
-  append_le<std::uint64_t>(header, payload.size());
-  const std::uint32_t length_crc =
-      mask_crc(crc32c({header.data(), 8}));
-  append_le<std::uint32_t>(header, length_crc);
-
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(reinterpret_cast<const char*>(payload.data()),
-             static_cast<std::streamsize>(payload.size()));
-  std::vector<std::uint8_t> footer;
-  append_le<std::uint32_t>(footer, mask_crc(crc32c(payload)));
-  out_.write(reinterpret_cast<const char*>(footer.data()),
-             static_cast<std::streamsize>(footer.size()));
+  // Assemble the whole frame in scratch and issue a single write: one
+  // ofstream call (and at most one syscall) per record instead of
+  // three, and the buffer's capacity is reused across records.
+  frame_.resize(kHeaderBytes + payload.size() + kFooterBytes);
+  store_le<std::uint64_t>(frame_.data(), payload.size());
+  store_le<std::uint32_t>(frame_.data() + 8,
+                          mask_crc(crc32c({frame_.data(), 8})));
+  if (!payload.empty()) {
+    std::memcpy(frame_.data() + kHeaderBytes, payload.data(),
+                payload.size());
+  }
+  store_le<std::uint32_t>(frame_.data() + kHeaderBytes + payload.size(),
+                          mask_crc(crc32c(payload)));
+  out_.write(reinterpret_cast<const char*>(frame_.data()),
+             static_cast<std::streamsize>(frame_.size()));
   if (!out_) {
     throw std::runtime_error("RecordWriter: write failed for " + path_);
   }
@@ -74,24 +71,119 @@ void RecordWriter::close() {
   out_.close();
 }
 
-RecordReader::RecordReader(const std::string& path)
-    : in_(path, std::ios::binary), path_(path) {
+RecordReader::RecordReader(const std::string& path, ReaderMode mode)
+    : path_(path) {
+#ifdef COSMOFLOW_HAVE_MMAP
+  if (mode != ReaderMode::kStream) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && S_ISREG(st.st_mode)) {
+        map_size_ = static_cast<std::size_t>(st.st_size);
+        file_size_ = map_size_;
+        if (map_size_ == 0) {
+          // An empty shard is a valid mapped reader with no records
+          // (mmap itself rejects zero-length maps).
+          static const std::uint8_t kEmptyFile = 0;
+          map_data_ = &kEmptyFile;
+        } else {
+          void* p = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE,
+                           fd, 0);
+          if (p != MAP_FAILED) {
+            map_data_ = static_cast<const std::uint8_t*>(p);
+          }
+        }
+      }
+      ::close(fd);
+    }
+    if (mapped()) return;
+    if (mode == ReaderMode::kMmap) {
+      throw std::runtime_error("RecordReader: cannot mmap " + path);
+    }
+  }
+#else
+  if (mode == ReaderMode::kMmap) {
+    throw std::runtime_error(
+        "RecordReader: mmap unsupported on this platform (" + path + ")");
+  }
+#endif
+  in_.open(path, std::ios::binary);
   if (!in_) {
     throw std::runtime_error("RecordReader: cannot open " + path);
   }
+  std::error_code ec;
+  file_size_ = std::filesystem::file_size(path, ec);
+  if (ec) {
+    throw std::runtime_error("RecordReader: cannot stat " + path);
+  }
+}
+
+RecordReader::~RecordReader() {
+#ifdef COSMOFLOW_HAVE_MMAP
+  if (map_data_ != nullptr && map_size_ > 0) {
+    ::munmap(const_cast<std::uint8_t*>(map_data_), map_size_);
+  }
+#endif
+}
+
+std::span<const std::uint8_t> RecordReader::parse_mapped(
+    std::uint64_t offset, std::uint64_t* next) const {
+  if (offset > map_size_) {
+    throw CorruptRecordError(path_ + ": no record at offset " +
+                             std::to_string(offset));
+  }
+  const std::uint64_t remaining = map_size_ - offset;
+  if (remaining < kHeaderBytes) {
+    throw CorruptRecordError(path_ + ": truncated record header");
+  }
+  const std::uint8_t* frame = map_data_ + offset;
+  const std::uint64_t length = load_le<std::uint64_t>(frame);
+  const std::uint32_t length_crc = load_le<std::uint32_t>(frame + 8);
+  if (mask_crc(crc32c({frame, 8})) != length_crc) {
+    throw CorruptRecordError(path_ + ": length checksum mismatch");
+  }
+  // Bound the claimed length against the bytes actually present
+  // before touching the payload — a crafted length field must fail as
+  // corruption, never drive a huge read.
+  if (remaining - kHeaderBytes < kFooterBytes ||
+      length > remaining - kHeaderBytes - kFooterBytes) {
+    throw CorruptRecordError(path_ + ": truncated record payload");
+  }
+  const std::span<const std::uint8_t> payload{frame + kHeaderBytes,
+                                              length};
+  const std::uint32_t payload_crc =
+      load_le<std::uint32_t>(frame + kHeaderBytes + length);
+  if (mask_crc(crc32c(payload)) != payload_crc) {
+    throw CorruptRecordError(path_ + ": payload checksum mismatch");
+  }
+  if (next != nullptr) {
+    *next = offset + kHeaderBytes + length + kFooterBytes;
+  }
+  return payload;
 }
 
 bool RecordReader::read_one(std::vector<std::uint8_t>& payload) {
-  std::uint8_t header[12];
-  in_.read(reinterpret_cast<char*>(header), 12);
+  std::uint8_t header[kHeaderBytes];
+  const std::uint64_t offset = static_cast<std::uint64_t>(in_.tellg());
+  in_.read(reinterpret_cast<char*>(header), kHeaderBytes);
   if (in_.gcount() == 0 && in_.eof()) return false;  // clean EOF
-  if (in_.gcount() != 12) {
+  if (in_.gcount() != kHeaderBytes) {
     throw CorruptRecordError(path_ + ": truncated record header");
   }
   const std::uint64_t length = load_le<std::uint64_t>(header);
   const std::uint32_t length_crc = load_le<std::uint32_t>(header + 8);
   if (mask_crc(crc32c({header, 8})) != length_crc) {
     throw CorruptRecordError(path_ + ": length checksum mismatch");
+  }
+  // Validate the claimed length against the remaining file size before
+  // resizing — a corrupt-but-checksum-matching length field must raise
+  // CorruptRecordError, not attempt a multi-GB allocation.
+  const std::uint64_t remaining =
+      file_size_ > offset + kHeaderBytes
+          ? file_size_ - offset - kHeaderBytes
+          : 0;
+  if (remaining < kFooterBytes || length > remaining - kFooterBytes) {
+    throw CorruptRecordError(path_ + ": truncated record payload");
   }
   payload.resize(length);
   if (length > 0) {
@@ -101,9 +193,9 @@ bool RecordReader::read_one(std::vector<std::uint8_t>& payload) {
       throw CorruptRecordError(path_ + ": truncated record payload");
     }
   }
-  std::uint8_t footer[4];
-  in_.read(reinterpret_cast<char*>(footer), 4);
-  if (in_.gcount() != 4) {
+  std::uint8_t footer[kFooterBytes];
+  in_.read(reinterpret_cast<char*>(footer), kFooterBytes);
+  if (in_.gcount() != kFooterBytes) {
     throw CorruptRecordError(path_ + ": truncated record footer");
   }
   if (mask_crc(crc32c(payload)) != load_le<std::uint32_t>(footer)) {
@@ -113,13 +205,45 @@ bool RecordReader::read_one(std::vector<std::uint8_t>& payload) {
 }
 
 bool RecordReader::read(std::vector<std::uint8_t>& payload) {
+  if (mapped()) {
+    if (cursor_ >= map_size_) return false;
+    std::uint64_t next = 0;
+    const auto view = parse_mapped(cursor_, &next);
+    payload.assign(view.begin(), view.end());
+    cursor_ = next;
+    return true;
+  }
   return read_one(payload);
 }
 
+bool RecordReader::read_view(std::span<const std::uint8_t>* payload) {
+  if (mapped()) {
+    if (cursor_ >= map_size_) return false;
+    std::uint64_t next = 0;
+    *payload = parse_mapped(cursor_, &next);
+    cursor_ = next;
+    return true;
+  }
+  if (!read_one(scratch_)) return false;
+  *payload = scratch_;
+  return true;
+}
+
 std::vector<std::uint64_t> RecordReader::build_index() {
+  std::vector<std::uint64_t> offsets;
+  if (mapped()) {
+    std::uint64_t offset = 0;
+    while (offset < map_size_) {
+      std::uint64_t next = 0;
+      parse_mapped(offset, &next);  // validating scan, zero copies
+      offsets.push_back(offset);
+      offset = next;
+    }
+    cursor_ = 0;
+    return offsets;
+  }
   in_.clear();
   in_.seekg(0);
-  std::vector<std::uint64_t> offsets;
   std::vector<std::uint8_t> payload;
   for (;;) {
     const std::uint64_t offset = static_cast<std::uint64_t>(in_.tellg());
@@ -133,12 +257,34 @@ std::vector<std::uint64_t> RecordReader::build_index() {
 
 void RecordReader::read_at(std::uint64_t offset,
                            std::vector<std::uint8_t>& payload) {
+  if (mapped()) {
+    if (offset >= map_size_) {
+      throw CorruptRecordError(path_ + ": no record at offset " +
+                               std::to_string(offset));
+    }
+    const auto view = parse_mapped(offset, nullptr);
+    payload.assign(view.begin(), view.end());
+    return;
+  }
   in_.clear();
   in_.seekg(static_cast<std::streamoff>(offset));
   if (!in_ || !read_one(payload)) {
     throw CorruptRecordError(path_ + ": no record at offset " +
                              std::to_string(offset));
   }
+}
+
+std::span<const std::uint8_t> RecordReader::view_at(
+    std::uint64_t offset) const {
+  if (!mapped()) {
+    throw std::logic_error(
+        "RecordReader::view_at: stream-mode reader has no mapped views");
+  }
+  if (offset >= map_size_) {
+    throw CorruptRecordError(path_ + ": no record at offset " +
+                             std::to_string(offset));
+  }
+  return parse_mapped(offset, nullptr);
 }
 
 }  // namespace cf::data

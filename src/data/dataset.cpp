@@ -24,6 +24,13 @@ class InMemoryReader final : public SampleReader {
     return samples_[index].clone();
   }
 
+  void get_into(std::size_t index, Sample& out) override {
+    if (index >= samples_.size()) {
+      throw std::out_of_range("InMemoryReader: index out of range");
+    }
+    out.copy_from(samples_[index]);
+  }
+
  private:
   const std::vector<Sample>& samples_;
 };
@@ -41,19 +48,32 @@ namespace {
 
 class CfrecordReaderImpl final : public SampleReader {
  public:
-  CfrecordReaderImpl(const std::vector<std::string>* paths,
-                     const std::vector<std::pair<std::uint32_t,
-                                                 std::uint64_t>>* index)
-      : paths_(paths), index_(index) {}
+  CfrecordReaderImpl(
+      const std::vector<std::string>* paths,
+      const std::vector<std::pair<std::uint32_t, std::uint64_t>>* index,
+      const std::vector<std::unique_ptr<RecordReader>>* shared)
+      : paths_(paths), index_(index), shared_(shared) {}
 
   Sample get(std::size_t index) override {
+    Sample sample;
+    get_into(index, sample);
+    return sample;
+  }
+
+  void get_into(std::size_t index, Sample& out) override {
     if (index >= index_->size()) {
       throw std::out_of_range("CfrecordReader: index out of range");
     }
     const auto [shard, offset] = (*index_)[index];
+    if (!shared_->empty()) {
+      // Mapped shard shared across all readers: deserialize straight
+      // from the page-cache view, no intermediate payload copy.
+      deserialize_sample_into((*shared_)[shard]->view_at(offset), out);
+      return;
+    }
     RecordReader& reader = open(shard);
     reader.read_at(offset, payload_);
-    return deserialize_sample(payload_);
+    deserialize_sample_into(payload_, out);
   }
 
  private:
@@ -62,7 +82,7 @@ class CfrecordReaderImpl final : public SampleReader {
     if (it == readers_.end()) {
       it = readers_
                .emplace(shard, std::make_unique<RecordReader>(
-                                   (*paths_)[shard]))
+                                   (*paths_)[shard], ReaderMode::kStream))
                .first;
     }
     return *it->second;
@@ -70,27 +90,39 @@ class CfrecordReaderImpl final : public SampleReader {
 
   const std::vector<std::string>* paths_;
   const std::vector<std::pair<std::uint32_t, std::uint64_t>>* index_;
+  const std::vector<std::unique_ptr<RecordReader>>* shared_;
   std::unordered_map<std::uint32_t, std::unique_ptr<RecordReader>> readers_;
   std::vector<std::uint8_t> payload_;
 };
 
 }  // namespace
 
-CfrecordSource::CfrecordSource(std::vector<std::string> shard_paths)
+CfrecordSource::CfrecordSource(std::vector<std::string> shard_paths,
+                               ReaderMode mode)
     : paths_(std::move(shard_paths)) {
   if (paths_.empty()) {
     throw std::invalid_argument("CfrecordSource: no shard paths");
   }
+  // One validating scan per shard builds the shared index; the readers
+  // opened for the scan are kept (and shared by every SampleReader)
+  // when all of them mapped, discarded otherwise so every shard goes
+  // through the same code path.
+  shared_readers_.reserve(paths_.size());
+  bool all_mapped = true;
   for (std::size_t s = 0; s < paths_.size(); ++s) {
-    RecordReader reader(paths_[s]);
-    for (const std::uint64_t offset : reader.build_index()) {
+    auto reader = std::make_unique<RecordReader>(paths_[s], mode);
+    for (const std::uint64_t offset : reader->build_index()) {
       index_.push_back({static_cast<std::uint32_t>(s), offset});
     }
+    all_mapped = all_mapped && reader->mapped();
+    shared_readers_.push_back(std::move(reader));
   }
+  if (!all_mapped) shared_readers_.clear();
 }
 
 std::unique_ptr<SampleReader> CfrecordSource::make_reader() const {
-  return std::make_unique<CfrecordReaderImpl>(&paths_, &index_);
+  return std::make_unique<CfrecordReaderImpl>(&paths_, &index_,
+                                              &shared_readers_);
 }
 
 std::vector<std::string> write_shards(const std::vector<Sample>& samples,

@@ -17,11 +17,20 @@
 namespace cf::data {
 
 /// A thread's private reading handle; SampleSource::make_reader gives
-/// every I/O thread its own (file handles are not shareable).
+/// every I/O thread its own. (Stream-mode file handles are not
+/// shareable; a mapped shard is shared by every reader — see
+/// CfrecordSource.)
 class SampleReader {
  public:
   virtual ~SampleReader() = default;
   virtual Sample get(std::size_t index) = 0;
+
+  /// Allocation-free variant: deserializes sample `index` into `out`,
+  /// reusing its volume storage when the shape matches (the pooled
+  /// pipeline's steady state). Byte-identical to get().
+  virtual void get_into(std::size_t index, Sample& out) {
+    out = get(index);
+  }
 };
 
 class SampleSource {
@@ -46,20 +55,34 @@ class InMemorySource final : public SampleSource {
 };
 
 /// Samples stored across cfrecord shards; an index (shard, offset) per
-/// sample is built at construction by a validating scan.
+/// sample is built *once* at construction by a validating scan and
+/// shared by every reader. In mmap mode (the default where supported)
+/// the shard mappings built for that scan are kept and shared too —
+/// view_at() is const and thread-safe — so readers deserialize
+/// straight out of the page cache with zero per-reader file handles
+/// and zero payload copies. In stream mode (ReaderMode::kStream, the
+/// `--no-mmap` ablation) each reader opens private ifstream handles
+/// but still reuses the prebuilt index.
 class CfrecordSource final : public SampleSource {
  public:
-  explicit CfrecordSource(std::vector<std::string> shard_paths);
+  explicit CfrecordSource(std::vector<std::string> shard_paths,
+                          ReaderMode mode = ReaderMode::kAuto);
 
   std::size_t size() const override { return index_.size(); }
   std::unique_ptr<SampleReader> make_reader() const override;
 
   std::size_t shard_count() const noexcept { return paths_.size(); }
+  /// True when every shard is memory-mapped and shared across readers.
+  bool mapped() const noexcept { return !shared_readers_.empty(); }
 
  private:
   std::vector<std::string> paths_;
   /// (shard, byte offset) per sample.
   std::vector<std::pair<std::uint32_t, std::uint64_t>> index_;
+  /// Mapped shard readers shared by all SampleReaders (mmap mode
+  /// only; empty in stream mode). Only the const, thread-safe
+  /// view_at() is called through these after construction.
+  std::vector<std::unique_ptr<RecordReader>> shared_readers_;
 };
 
 /// Writes `samples` into fixed-size cfrecord shards under `directory`

@@ -19,6 +19,7 @@ Pipeline::Pipeline(const SampleSource& source, PipelineConfig config)
   wait_stat_->reset();  // a new pipeline starts a fresh measurement
   samples_counter_ = &registry.counter("data/pipeline/samples_prefetched");
   bytes_counter_ = &registry.counter("data/pipeline/bytes_prefetched");
+  ring_.resize(config_.queue_capacity);
   producers_.reserve(config_.io_threads);
   for (std::size_t t = 0; t < config_.io_threads; ++t) {
     producers_.emplace_back([this, t] { producer_loop(t); });
@@ -51,13 +52,18 @@ void Pipeline::start_epoch(std::vector<std::size_t> indices) {
 bool Pipeline::next(Sample& out) {
   CF_TRACE_SCOPE("io/wait_sample", "io");
   const obs::ScopedStatTimer timer(*wait_stat_);
+  // Recycle the caller's previous buffer before blocking so a producer
+  // can reuse it while we wait (pool has its own lock).
+  if (config_.pool && out.volume.size() > 0) {
+    pool_.release(std::move(out));
+    out = Sample{};
+  }
   std::unique_lock lock(mutex_);
   if (consumed_ == indices_.size()) return false;  // epoch exhausted
-  queue_not_empty_.wait(lock, [&] {
-    return !ready_.empty() && ready_.begin()->first == consumed_;
-  });
-  out = std::move(ready_.begin()->second);
-  ready_.erase(ready_.begin());
+  Slot& slot = ring_[consumed_ % config_.queue_capacity];
+  queue_not_empty_.wait(lock, [&] { return slot.full; });
+  out = std::move(slot.sample);
+  slot.full = false;
   ++consumed_;
   lock.unlock();
   queue_not_full_.notify_all();
@@ -84,10 +90,10 @@ void Pipeline::producer_loop(std::size_t /*thread_index*/) {
       index = indices_[cursor_++];
       if (cursor_ >= indices_.size()) seen_epoch = epoch_;
     }
-    Sample sample;
+    Sample sample = config_.pool ? pool_.acquire() : Sample{};
     {
       CF_TRACE_SCOPE("io/read_sample", "io");
-      sample = reader->get(index);
+      reader->get_into(index, sample);
       if (config_.injected_read_delay > 0.0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
             config_.injected_read_delay));
@@ -99,16 +105,21 @@ void Pipeline::producer_loop(std::size_t /*thread_index*/) {
     {
       std::unique_lock lock(mutex_);
       // Backpressure: at most queue_capacity positions may be in
-      // flight beyond the consumer. The producer holding the very next
-      // position is never blocked, so there is no deadlock.
+      // flight beyond the consumer, so slot position % capacity is
+      // free once its previous occupant (position - capacity) has been
+      // consumed — exactly the wait condition. The producer holding
+      // the very next position is never blocked, so there is no
+      // deadlock.
       queue_not_full_.wait(lock, [&] {
         return stopping_ ||
                position < consumed_ + config_.queue_capacity;
       });
       if (stopping_) return;
-      ready_.emplace(position, std::move(sample));
+      Slot& slot = ring_[position % config_.queue_capacity];
+      slot.sample = std::move(sample);
+      slot.full = true;
     }
-    queue_not_empty_.notify_one();
+    queue_not_empty_.notify_all();
   }
 }
 

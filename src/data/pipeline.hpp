@@ -14,7 +14,6 @@
 #pragma once
 
 #include <condition_variable>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -22,6 +21,7 @@
 #include <vector>
 
 #include "data/dataset.hpp"
+#include "data/sample_pool.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/timer.hpp"
 
@@ -33,6 +33,10 @@ struct PipelineConfig {
   /// Injected per-read delay in seconds (filesystem model hook for the
   /// I/O experiments); 0 disables.
   double injected_read_delay = 0.0;
+  /// Recycle sample buffers through a SamplePool (steady state: zero
+  /// allocations per sample). False is the `--no-pool` ablation;
+  /// delivered bytes are identical either way.
+  bool pool = true;
   /// obs registry prefix for this pipeline's metrics; the consumer
   /// wait Stat is `<metric_prefix>/wait` (reset at construction). The
   /// Trainer names its pipelines per rank and split, e.g.
@@ -53,6 +57,9 @@ class Pipeline {
   void start_epoch(std::vector<std::size_t> indices);
 
   /// Pops the next sample; returns false when the epoch is exhausted.
+  /// When pooling is enabled, `out`'s previous buffer is recycled into
+  /// the pool first — callers reuse one Sample across next() calls and
+  /// must not hold references into the buffer they passed in.
   bool next(Sample& out);
 
   /// Time spent blocked inside next() (unhidden I/O) — a snapshot of
@@ -70,9 +77,16 @@ class Pipeline {
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
   std::condition_variable epoch_started_;
-  /// Reorder buffer keyed by epoch position; next() pops positions in
-  /// strict sequence.
-  std::map<std::size_t, Sample> ready_;
+  /// Fixed-ring reorder buffer: epoch position p lives in slot
+  /// p % queue_capacity. The backpressure invariant (at most
+  /// queue_capacity positions in flight beyond the consumer) makes the
+  /// mapping collision-free, so the seed's std::map (a node allocation
+  /// per sample) becomes queue_capacity slots allocated once.
+  struct Slot {
+    Sample sample;
+    bool full = false;
+  };
+  std::vector<Slot> ring_;
   std::vector<std::size_t> indices_;
   std::size_t cursor_ = 0;
   std::size_t consumed_ = 0;
@@ -82,6 +96,7 @@ class Pipeline {
   obs::Stat* wait_stat_ = nullptr;        // <metric_prefix>/wait
   obs::Counter* samples_counter_ = nullptr;  // data/pipeline/samples_prefetched
   obs::Counter* bytes_counter_ = nullptr;    // data/pipeline/bytes_prefetched
+  SamplePool pool_;  // buffer recycling (config_.pool)
   std::vector<std::thread> producers_;
 };
 

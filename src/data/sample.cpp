@@ -3,30 +3,26 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "data/bytes.hpp"
+
 namespace cf::data {
 
 namespace {
 
 constexpr std::uint32_t kMagic = 0x43464C57u;  // "CFLW"
 constexpr std::uint32_t kVersion = 1;
-
-template <typename T>
-void append_le(std::vector<std::uint8_t>& out, T value) {
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    out.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
-  }
-}
-
-template <typename T>
-T load_le(const std::uint8_t* bytes) {
-  T value = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    value |= static_cast<T>(bytes[i]) << (8 * i);
-  }
-  return value;
-}
+constexpr std::size_t kHeader = 4 + 4 + 3 * 8 + 3 * 4;
 
 }  // namespace
+
+void Sample::copy_from(const Sample& other) {
+  if (volume.shape() != other.volume.shape() || !volume.owns_storage()) {
+    volume = tensor::Tensor(other.volume.shape());
+  }
+  std::memcpy(volume.data(), other.volume.data(),
+              other.volume.size() * sizeof(float));
+  target = other.target;
+}
 
 std::vector<std::uint8_t> serialize_sample(const Sample& sample) {
   if (sample.volume.shape().rank() != 4 || sample.volume.shape()[0] != 1) {
@@ -35,7 +31,7 @@ std::vector<std::uint8_t> serialize_sample(const Sample& sample) {
   }
   std::vector<std::uint8_t> out;
   const std::size_t voxel_bytes = sample.volume.size() * sizeof(float);
-  out.reserve(4 + 4 + 3 * 8 + 3 * 4 + voxel_bytes);
+  out.reserve(kHeader + voxel_bytes);
   append_le<std::uint32_t>(out, kMagic);
   append_le<std::uint32_t>(out, kVersion);
   for (std::size_t axis = 1; axis < 4; ++axis) {
@@ -54,8 +50,8 @@ std::vector<std::uint8_t> serialize_sample(const Sample& sample) {
   return out;
 }
 
-Sample deserialize_sample(std::span<const std::uint8_t> payload) {
-  constexpr std::size_t kHeader = 4 + 4 + 3 * 8 + 3 * 4;
+void deserialize_sample_into(std::span<const std::uint8_t> payload,
+                             Sample& out) {
   if (payload.size() < kHeader) {
     throw std::invalid_argument("deserialize_sample: payload too short");
   }
@@ -73,18 +69,28 @@ Sample deserialize_sample(std::span<const std::uint8_t> payload) {
       throw std::invalid_argument("deserialize_sample: bad dimension");
     }
   }
-  Sample sample;
   for (int i = 0; i < 3; ++i) {
     const std::uint32_t bits = load_le<std::uint32_t>(p + 32 + 4 * i);
-    std::memcpy(&sample.target[static_cast<std::size_t>(i)], &bits, 4);
+    std::memcpy(&out.target[static_cast<std::size_t>(i)], &bits, 4);
   }
   const std::size_t voxels =
       static_cast<std::size_t>(dims[0] * dims[1] * dims[2]);
   if (payload.size() != kHeader + voxels * sizeof(float)) {
     throw std::invalid_argument("deserialize_sample: size mismatch");
   }
-  sample.volume = tensor::Tensor(tensor::Shape{1, dims[0], dims[1], dims[2]});
-  std::memcpy(sample.volume.data(), p + kHeader, voxels * sizeof(float));
+  const tensor::Shape shape{1, dims[0], dims[1], dims[2]};
+  // Steady state of the pooled pipeline: the recycled slot already has
+  // a matching buffer, so the voxel memcpy is the only byte movement.
+  if (out.volume.shape() != shape || !out.volume.owns_storage()) {
+    out.volume = tensor::Tensor(shape);
+  }
+  std::memcpy(out.volume.data(), p + kHeader, voxels * sizeof(float));
+  return;
+}
+
+Sample deserialize_sample(std::span<const std::uint8_t> payload) {
+  Sample sample;
+  deserialize_sample_into(payload, sample);
   return sample;
 }
 

@@ -25,6 +25,10 @@ struct Sample {
     copy.target = target;
     return copy;
   }
+
+  /// In-place deep copy: reuses this sample's volume storage when the
+  /// shapes match (no allocation), reallocating only on shape change.
+  void copy_from(const Sample& other);
 };
 
 /// Serializes a sample into a record payload (little-endian, self-
@@ -34,5 +38,13 @@ std::vector<std::uint8_t> serialize_sample(const Sample& sample);
 /// Inverse of serialize_sample; throws std::invalid_argument on
 /// malformed payloads.
 Sample deserialize_sample(std::span<const std::uint8_t> payload);
+
+/// Allocation-free inverse of serialize_sample: deserializes into
+/// `out`, reusing its volume storage when the shape matches (the
+/// steady state of a pooled pipeline — see data/sample_pool.hpp) and
+/// allocating only on first use or shape change. The result is
+/// byte-identical to deserialize_sample's.
+void deserialize_sample_into(std::span<const std::uint8_t> payload,
+                             Sample& out);
 
 }  // namespace cf::data

@@ -1,0 +1,59 @@
+#include "data/sample_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace cf::data {
+
+namespace {
+
+// Process-wide cumulative counts backing the last-write-wins gauges;
+// shared by every pool so concurrent pools (train + val pipelines)
+// don't stomp each other's totals.
+std::atomic<std::int64_t> g_hits{0};
+std::atomic<std::int64_t> g_allocs{0};
+
+obs::Gauge& hits_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("data/pipeline/pool_hits");
+  return g;
+}
+
+obs::Gauge& allocs_gauge() {
+  static obs::Gauge& g =
+      obs::Registry::global().gauge("data/pipeline/pool_allocs");
+  return g;
+}
+
+}  // namespace
+
+Sample SamplePool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      Sample sample = std::move(free_.back());
+      free_.pop_back();
+      hits_gauge().set(static_cast<double>(
+          g_hits.fetch_add(1, std::memory_order_relaxed) + 1));
+      return sample;
+    }
+  }
+  allocs_gauge().set(static_cast<double>(
+      g_allocs.fetch_add(1, std::memory_order_relaxed) + 1));
+  return Sample{};
+}
+
+void SamplePool::release(Sample&& sample) {
+  if (sample.volume.size() == 0 || !sample.volume.owns_storage()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(sample));
+}
+
+std::size_t SamplePool::free_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return free_.size();
+}
+
+}  // namespace cf::data

@@ -1,0 +1,54 @@
+// SamplePool — recycled sample buffers for the zero-copy data path.
+//
+// The seed pipeline allocated a fresh volume tensor for every sample it
+// prefetched (~1 MB per 64^3 sub-volume, thousands of times per
+// epoch). The pool closes that loop: the consumer hands each drained
+// sample's buffer back, producers re-acquire it, and
+// deserialize_sample_into() reuses the storage when the shape matches —
+// so after a one-epoch warmup the steady state performs zero
+// allocations per sample (a property tests/pipeline_test.cpp pins).
+//
+// Accounting lives in two process-wide obs gauges (OBSERVABILITY.md):
+//
+//   data/pipeline/pool_hits    cumulative acquires served by a
+//                              recycled buffer
+//   data/pipeline/pool_allocs  cumulative acquires that started from
+//                              an empty sample (a fresh allocation on
+//                              first deserialize)
+//
+// Totals are cumulative across every pool in the process (Gauge is
+// last-write-wins, so per-pool counts would stomp each other).
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "data/sample.hpp"
+
+namespace cf::data {
+
+class SamplePool {
+ public:
+  SamplePool() = default;
+
+  SamplePool(const SamplePool&) = delete;
+  SamplePool& operator=(const SamplePool&) = delete;
+
+  /// Pops a recycled sample (its volume storage intact, contents
+  /// stale) or, when the free list is empty, returns an empty sample
+  /// whose first deserialize allocates. Thread-safe.
+  Sample acquire();
+
+  /// Returns a sample's buffer to the free list. Samples without
+  /// owning volume storage are dropped (nothing to recycle).
+  /// Thread-safe.
+  void release(Sample&& sample);
+
+  std::size_t free_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Sample> free_;
+};
+
+}  // namespace cf::data

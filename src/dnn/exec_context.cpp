@@ -233,9 +233,40 @@ const Tensor& ExecContext::forward(const Tensor& input,
   if (precision_ == Precision::kBf16) {
     return forward_bf16_path(input, pool);
   }
-  CF_TRACE_SCOPE("net/forward", "dnn");
+  if (mode_ == ExecMode::kInference) {
+    // Nothing re-reads the input after the first layer in inference
+    // mode (no backward), so the staging copy is pure overhead: run
+    // the layer loop straight off the caller's tensor. Every Tensor's
+    // storage is 64-byte aligned, so the kernels see identical
+    // alignment and the outputs are bitwise-identical.
+    return run_forward(input, pool);
+  }
   std::memcpy(input_.data(), input.data(), input.size() * sizeof(float));
-  const Tensor* src = &input_;
+  return run_forward(input_, pool);
+}
+
+std::span<float> ExecContext::input_staging() {
+  if (input_.size() == 0) {
+    throw std::logic_error(
+        "ExecContext::input_staging: bf16 context has no fp32 input "
+        "buffer");
+  }
+  return {input_.data(), static_cast<std::size_t>(input_.size())};
+}
+
+const Tensor& ExecContext::forward_staged(runtime::ThreadPool& pool) {
+  if (input_.size() == 0) {
+    throw std::logic_error(
+        "ExecContext::forward_staged: bf16 context has no fp32 input "
+        "buffer");
+  }
+  return run_forward(input_, pool);
+}
+
+const Tensor& ExecContext::run_forward(const Tensor& staged,
+                                       runtime::ThreadPool& pool) {
+  CF_TRACE_SCOPE("net/forward", "dnn");
+  const Tensor* src = &staged;
   const bool int8w = precision_ == Precision::kInt8Weights;
   for (std::size_t i = 0; i < net_->layer_count(); ++i) {
     const Layer& layer = net_->layer(i);

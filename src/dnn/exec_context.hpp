@@ -60,9 +60,25 @@ class ExecContext {
   Precision precision() const noexcept { return precision_; }
 
   /// Runs the forward pass through this stream; the returned view stays
-  /// valid until the next forward() on the same context.
+  /// valid until the next forward() on the same context. Training
+  /// contexts stage `input` into the context-owned input copy first
+  /// (backward re-reads it); fp32/int8w *inference* contexts skip that
+  /// staging copy entirely and read `input` in place — `input` must
+  /// stay alive and unmodified until forward returns.
   const tensor::Tensor& forward(const tensor::Tensor& input,
                                 runtime::ThreadPool& pool);
+
+  /// The context-owned input staging buffer (shape = network input
+  /// shape). Callers that assemble the network input anyway — the
+  /// Trainer's batch gather, with augmentation folded in — write it
+  /// directly and call forward_staged(), eliminating forward()'s
+  /// staging memcpy. fp32/int8w only: a bf16 context has no fp32 input
+  /// buffer (throws std::logic_error).
+  std::span<float> input_staging();
+
+  /// forward() over the bytes already written into input_staging();
+  /// bitwise-identical to forward(t, pool) with t holding those bytes.
+  const tensor::Tensor& forward_staged(runtime::ThreadPool& pool);
 
   /// Invoked by backward() right after layer `i`'s backward pass (its
   /// bwd_weights included) finishes, i.e. the moment grad_segment(i)
@@ -154,6 +170,9 @@ class ExecContext {
   void build_inference_buffers_bf16();
   const tensor::Tensor& forward_bf16_path(const tensor::Tensor& input,
                                           runtime::ThreadPool& pool);
+  /// The fp32/int8w layer loop over an already-staged input tensor.
+  const tensor::Tensor& run_forward(const tensor::Tensor& staged,
+                                    runtime::ThreadPool& pool);
 
   Network* net_ = nullptr;
   ExecMode mode_ = ExecMode::kTraining;

@@ -1,7 +1,9 @@
 // Tests for orientation augmentation (data/augment.hpp).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "data/augment.hpp"
 #include "runtime/rng.hpp"
@@ -80,6 +82,31 @@ TEST(OrientVolume, MirrorBit0FlipsDepthAxis) {
   EXPECT_FLOAT_EQ(volume.at({0, 0, 0, 0}), 4.0f);
   EXPECT_FLOAT_EQ(volume.at({0, 0, 0, 1}), 5.0f);
   EXPECT_FLOAT_EQ(volume.at({0, 1, 1, 0}), 2.0f);
+}
+
+TEST(OrientVolumeInto, MatchesInPlaceOrientForEveryCode) {
+  // The trainer's fused gather (augment folded into the staging copy)
+  // must produce exactly the bytes of the two-step clone + in-place
+  // orient it replaces.
+  Tensor volume = random_volume(4, 7);
+  std::vector<float> dst(volume.size());
+  for (std::uint32_t code = 0; code < kOrientationCount; ++code) {
+    Tensor expected = volume.clone();
+    orient_volume(expected, code);
+    std::fill(dst.begin(), dst.end(), -1.0f);
+    orient_volume_into(volume, dst, code);
+    EXPECT_EQ(tensor::max_abs_diff(dst, expected.values()), 0.0f)
+        << "code " << code;
+  }
+}
+
+TEST(OrientVolumeInto, RejectsMismatchedDestination) {
+  Tensor volume = random_volume(4, 8);
+  std::vector<float> wrong(volume.size() - 1);
+  EXPECT_THROW(orient_volume_into(volume, wrong, 0), std::invalid_argument);
+  EXPECT_THROW(orient_volume_into(volume, wrong, 5), std::invalid_argument);
+  std::vector<float> dst(volume.size());
+  EXPECT_THROW(orient_volume_into(volume, dst, 48), std::invalid_argument);
 }
 
 TEST(OrientVolume, RejectsBadInputs) {

@@ -3,10 +3,12 @@
 // pipeline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <set>
+#include <span>
 
 #include "data/cfrecord.hpp"
 #include "data/crc32.hpp"
@@ -64,6 +66,75 @@ TEST(Crc32c, KnownVectors) {
 TEST(Crc32c, MaskRoundTrip) {
   for (const std::uint32_t crc : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu}) {
     EXPECT_EQ(unmask_crc(mask_crc(crc)), crc);
+  }
+}
+
+std::vector<CrcImpl> available_impls() {
+  std::vector<CrcImpl> impls{CrcImpl::kTable, CrcImpl::kSlice8};
+  if (crc32c_hardware_available()) impls.push_back(CrcImpl::kHardware);
+  return impls;
+}
+
+TEST(Crc32c, AllKernelsAgreeOnRandomInputs) {
+  runtime::Rng rng(42);
+  for (const std::size_t size : {1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u,
+                                 4096u, 65537u}) {
+    std::vector<std::uint8_t> buf(size);
+    for (auto& b : buf) {
+      b = static_cast<std::uint8_t>(rng.uniform_index(256));
+    }
+    const std::uint32_t reference = crc32c_with(CrcImpl::kTable, buf);
+    for (const CrcImpl impl : available_impls()) {
+      EXPECT_EQ(crc32c_with(impl, buf), reference)
+          << to_string(impl) << " size " << size;
+    }
+  }
+}
+
+TEST(Crc32c, AllKernelsAgreeOnAdversarialInputs) {
+  // Every length 0..64 at every offset 0..8 — the word-at-a-time
+  // kernels' tail and misalignment handling — over pessimal byte
+  // patterns (all-zero, all-ones, ramp).
+  std::vector<std::uint8_t> backing(96);
+  const auto sweep = [&] {
+    for (std::size_t off = 0; off <= 8; ++off) {
+      for (std::size_t len = 0; len <= 64; ++len) {
+        const std::span<const std::uint8_t> window{backing.data() + off,
+                                                   len};
+        const std::uint32_t reference =
+            crc32c_with(CrcImpl::kTable, window);
+        for (const CrcImpl impl : available_impls()) {
+          ASSERT_EQ(crc32c_with(impl, window), reference)
+              << to_string(impl) << " off " << off << " len " << len;
+        }
+      }
+    }
+  };
+  std::fill(backing.begin(), backing.end(), std::uint8_t{0});
+  sweep();
+  std::fill(backing.begin(), backing.end(), std::uint8_t{0xFF});
+  sweep();
+  for (std::size_t i = 0; i < backing.size(); ++i) {
+    backing[i] = static_cast<std::uint8_t>(i * 37);
+  }
+  sweep();
+}
+
+TEST(Crc32c, DispatchIsSwitchableAndConsistent) {
+  const CrcImpl before = crc32c_impl();
+  const std::vector<std::uint8_t> bytes{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const std::uint32_t reference = crc32c(bytes);
+  for (const CrcImpl impl : available_impls()) {
+    set_crc32c_impl(impl);
+    EXPECT_EQ(crc32c_impl(), impl);
+    EXPECT_EQ(crc32c(bytes), reference);
+  }
+  set_crc32c_impl(before);
+  if (!crc32c_hardware_available()) {
+    EXPECT_THROW(set_crc32c_impl(CrcImpl::kHardware),
+                 std::invalid_argument);
+    EXPECT_THROW(crc32c_with(CrcImpl::kHardware, bytes),
+                 std::invalid_argument);
   }
 }
 
@@ -166,6 +237,118 @@ TEST(Cfrecord, DetectsLengthCorruption) {
   EXPECT_THROW(reader.read(payload), CorruptRecordError);
 }
 
+TEST(Cfrecord, MmapModeRoundTripAndViews) {
+  TempDir dir;
+  const std::string path = (dir.path() / "t.cfrecord").string();
+  std::vector<std::vector<std::uint8_t>> records = {
+      {1, 2, 3}, {}, std::vector<std::uint8_t>(1000, 42)};
+  {
+    RecordWriter writer(path);
+    for (const auto& r : records) writer.write(r);
+    writer.close();
+  }
+  RecordReader reader(path, ReaderMode::kMmap);
+  ASSERT_TRUE(reader.mapped());
+  std::span<const std::uint8_t> view;
+  for (const auto& expected : records) {
+    ASSERT_TRUE(reader.read_view(&view));
+    EXPECT_TRUE(std::equal(view.begin(), view.end(), expected.begin(),
+                           expected.end()));
+  }
+  EXPECT_FALSE(reader.read_view(&view));
+
+  // build_index + view_at random access; views are stable (they point
+  // into the mapping, not scratch).
+  const auto offsets = reader.build_index();
+  ASSERT_EQ(offsets.size(), records.size());
+  const auto v2 = reader.view_at(offsets[2]);
+  const auto v0 = reader.view_at(offsets[0]);
+  EXPECT_EQ(v2.size(), 1000u);
+  EXPECT_EQ(v2[0], 42);
+  EXPECT_EQ(v0.size(), 3u);
+  EXPECT_EQ(v0[0], 1);
+  EXPECT_THROW(reader.view_at(offsets[2] + 1), CorruptRecordError);
+
+  // Stream mode has no mapped views.
+  RecordReader stream(path, ReaderMode::kStream);
+  EXPECT_FALSE(stream.mapped());
+  EXPECT_THROW(stream.view_at(0), std::logic_error);
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(stream.read(payload));
+  EXPECT_EQ(payload, records[0]);
+}
+
+TEST(Cfrecord, StreamAndMmapModesDeliverIdenticalBytes) {
+  TempDir dir;
+  const std::string path = (dir.path() / "t.cfrecord").string();
+  runtime::Rng rng(77);
+  std::vector<std::vector<std::uint8_t>> records;
+  {
+    RecordWriter writer(path);
+    for (int i = 0; i < 17; ++i) {
+      std::vector<std::uint8_t> payload(rng.uniform_index(200));
+      for (auto& b : payload) {
+        b = static_cast<std::uint8_t>(rng.uniform_index(256));
+      }
+      writer.write(payload);
+      records.push_back(std::move(payload));
+    }
+    writer.close();
+  }
+  RecordReader mapped(path, ReaderMode::kMmap);
+  RecordReader stream(path, ReaderMode::kStream);
+  std::vector<std::uint8_t> a;
+  std::vector<std::uint8_t> b;
+  for (const auto& expected : records) {
+    ASSERT_TRUE(mapped.read(a));
+    ASSERT_TRUE(stream.read(b));
+    EXPECT_EQ(a, expected);
+    EXPECT_EQ(b, expected);
+  }
+  EXPECT_FALSE(mapped.read(a));
+  EXPECT_FALSE(stream.read(b));
+}
+
+TEST(Cfrecord, EmptyFileIsACleanEndInBothModes) {
+  TempDir dir;
+  const std::string path = (dir.path() / "empty.cfrecord").string();
+  { std::ofstream touch(path, std::ios::binary); }
+  for (const ReaderMode mode : {ReaderMode::kMmap, ReaderMode::kStream}) {
+    RecordReader reader(path, mode);
+    std::vector<std::uint8_t> payload;
+    EXPECT_FALSE(reader.read(payload));
+    EXPECT_TRUE(reader.build_index().empty());
+  }
+}
+
+TEST(Cfrecord, CraftedHugeLengthIsCorruptionNotAllocation) {
+  // A length field of multiple GB whose own checksum *matches* must be
+  // rejected by the remaining-file-size bound before any payload
+  // buffer is sized — the attack the length CRC alone cannot catch.
+  TempDir dir;
+  const std::string path = (dir.path() / "t.cfrecord").string();
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::uint8_t header[12];
+    const std::uint64_t huge = 1ull << 40;  // 1 TB claim
+    for (std::size_t i = 0; i < 8; ++i) {
+      header[i] = static_cast<std::uint8_t>(huge >> (8 * i));
+    }
+    const std::uint32_t masked = mask_crc(crc32c({header, 8}));
+    for (std::size_t i = 0; i < 4; ++i) {
+      header[8 + i] = static_cast<std::uint8_t>(masked >> (8 * i));
+    }
+    out.write(reinterpret_cast<const char*>(header), 12);
+    const char junk[32] = {0};
+    out.write(junk, sizeof(junk));
+  }
+  for (const ReaderMode mode : {ReaderMode::kMmap, ReaderMode::kStream}) {
+    RecordReader reader(path, mode);
+    std::vector<std::uint8_t> payload;
+    EXPECT_THROW(reader.read(payload), CorruptRecordError);
+  }
+}
+
 TEST(SampleSerialization, RoundTrip) {
   const Sample sample = make_sample(5, 6);
   const auto payload = serialize_sample(sample);
@@ -189,6 +372,36 @@ TEST(SampleSerialization, RejectsMalformedPayloads) {
 
   std::vector<std::uint8_t> tiny(8, 0);
   EXPECT_THROW(deserialize_sample(tiny), std::invalid_argument);
+}
+
+TEST(SampleSerialization, DeserializeIntoReusesStorage) {
+  const Sample sample = make_sample(5, 6);
+  const auto payload = serialize_sample(sample);
+
+  // Matching shape: the destination tensor's storage must be reused.
+  Sample out = make_sample(99, 6);
+  const float* storage = out.volume.data();
+  deserialize_sample_into(payload, out);
+  EXPECT_EQ(out.volume.data(), storage);
+  EXPECT_EQ(out.volume.shape(), sample.volume.shape());
+  EXPECT_EQ(tensor::max_abs_diff(out.volume.values(),
+                                 sample.volume.values()),
+            0.0f);
+  EXPECT_EQ(out.target, sample.target);
+
+  // Mismatched shape: reallocates, still correct.
+  Sample small = make_sample(98, 3);
+  deserialize_sample_into(payload, small);
+  EXPECT_EQ(small.volume.shape(), sample.volume.shape());
+  EXPECT_EQ(tensor::max_abs_diff(small.volume.values(),
+                                 sample.volume.values()),
+            0.0f);
+
+  // Empty destination works too.
+  Sample fresh;
+  deserialize_sample_into(payload, fresh);
+  EXPECT_EQ(fresh.volume.shape(), sample.volume.shape());
+  EXPECT_EQ(fresh.target, sample.target);
 }
 
 TEST(InMemorySource, ReadsClones) {
