@@ -26,15 +26,21 @@
 // and takes the dnn::CostModel's per-layer grains (DESIGN.md §2.6).
 // Either way the step stream is bitwise identical to the serial one.
 //
-//   ./bench_fig3_breakdown [--dhw=32] [--ranks=4] [--epochs=2]
-//                          [--sim-comm-us=100] [--bucket-kb=256]
-//                          [--threads-per-rank=1] [--no-fusion]
-//                          [--no-memplan] [--trace=trace.json]
-//                          [--json=BENCH_fig3.json]
+//   ./bench_fig3_breakdown [--dhw=32] [--preset=NAME] [--ranks=4]
+//                          [--epochs=2] [--sim-comm-us=100]
+//                          [--bucket-kb=256] [--threads-per-rank=1]
+//                          [--no-fusion] [--no-memplan]
+//                          [--trace=trace.json] [--json=BENCH_fig3.json]
+//
+// --preset picks a stock topology by name (core::preset_topology;
+// cosmoflow-128 is the paper's canonical network) and sizes the
+// generated dataset to match; without it --dhw selects the scaled
+// variant for that input size.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -60,8 +66,10 @@ int main(int argc, char** argv) {
   bool memplan = true;
   std::string trace_path;
   std::string json_path;
+  std::string preset;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--dhw=", 6) == 0) dhw = std::atoll(argv[i] + 6);
+    if (std::strncmp(argv[i], "--preset=", 9) == 0) preset = argv[i] + 9;
     if (std::strncmp(argv[i], "--ranks=", 8) == 0) {
       ranks = std::atoi(argv[i] + 8);
     }
@@ -89,6 +97,16 @@ int main(int argc, char** argv) {
 
   std::printf("=== bench_fig3_breakdown: single-node profile by stage "
               "===\n\n");
+
+  core::TopologyConfig topology;
+  try {
+    topology = preset.empty() ? core::cosmoflow_scaled(dhw)
+                              : core::preset_topology(preset);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  dhw = topology.input_dhw;  // the generated dataset must match
 
   runtime::ThreadPool pool;
   core::DatasetGenConfig gen;
@@ -120,7 +138,7 @@ int main(int argc, char** argv) {
 
   // Baseline: sequential allreduce after backward; its entire comm
   // time sits on the critical path.
-  core::Trainer baseline(core::cosmoflow_scaled(dhw), train, val,
+  core::Trainer baseline(topology, train, val,
                          make_config(/*overlap=*/false));
   std::printf("sequential baseline: %s, %d ranks x %d epochs on %zu "
               "samples (sim comm %ld us/chunk)...\n",
@@ -131,7 +149,7 @@ int main(int argc, char** argv) {
   const double sync_comm = sync_breakdown.seconds.at("comm");
 
   // Measured run: overlapped bucketed allreduce (the default path).
-  core::Trainer trainer(core::cosmoflow_scaled(dhw), train, val,
+  core::Trainer trainer(topology, train, val,
                         make_config(/*overlap=*/true));
   std::printf("overlapped run:      %s, %d ranks x %d epochs, "
               "%ld KiB buckets, eltwise fusion %s, memory plan %s, "

@@ -16,6 +16,7 @@
 // coalescing bucket size.
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 
 #include "core/checkpoint.hpp"
 #include "core/topology.hpp"
@@ -45,8 +46,8 @@ int main(int argc, char** argv) {
   using namespace cf;
   const examples::Flags flags(
       argc, argv,
-      "usage: train_cosmoflow --data=DIR [--ranks=N] [--epochs=N] "
-      "[--base-lr=F] [--min-lr=F] [--checkpoint=PATH] "
+      "usage: train_cosmoflow --data=DIR [--preset=NAME] [--ranks=N] "
+      "[--epochs=N] [--base-lr=F] [--min-lr=F] [--checkpoint=PATH] "
       "[--optimizer=adamlarc|adam|sgd] [--trace=PATH] "
       "[--step-log=PATH] [--no-overlap] [--no-memplan] [--bucket-kb=N]");
 
@@ -93,7 +94,27 @@ int main(int argc, char** argv) {
     config.optimizer = core::OptimizerKind::kSgdMomentum;
   }
 
-  const core::TopologyConfig topology = core::topology_for_input(dhw);
+  // --preset picks a stock topology by name (cosmoflow-128 for the
+  // paper's canonical network); the default infers one from the data's
+  // input size. Either way the network must match the shards.
+  const std::string preset = flags.get_string("preset", "");
+  core::TopologyConfig topology;
+  try {
+    topology = preset.empty() ? core::topology_for_input(dhw)
+                              : core::preset_topology(preset);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (topology.input_dhw != dhw) {
+    std::fprintf(stderr,
+                 "preset %s expects %lld^3 input but the dataset holds "
+                 "%lld^3 volumes\n",
+                 topology.name.c_str(),
+                 static_cast<long long>(topology.input_dhw),
+                 static_cast<long long>(dhw));
+    return 1;
+  }
   {
     dnn::Network probe = core::build_network(topology, 0);
     std::printf("training %s (%lld params, %.2f Gflop/sample) on %d "

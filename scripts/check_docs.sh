@@ -19,7 +19,11 @@
 #      EXPERIMENTS.md alongside documentation of that flag;
 #   6. likewise for the zero-copy data-path ablation flags: a binary
 #      parsing --no-mmap, --no-pool or --crc= must be named in
-#      EXPERIMENTS.md alongside documentation of that flag.
+#      EXPERIMENTS.md alongside documentation of that flag;
+#   7. likewise for the stock-topology selector: a binary parsing
+#      --preset= must be named in EXPERIMENTS.md alongside
+#      documentation of that flag, so the preset names (cosmoflow-128
+#      et al.) stay discoverable.
 #
 # Usage: check_docs.sh [repo_root]
 set -u
@@ -132,6 +136,24 @@ for src in bench/*.cpp examples/*.cpp; do
       fail=1
     fi
   done
+done
+
+# Stock topology presets: any binary parsing --preset= must be
+# documented in EXPERIMENTS.md together with the flag.
+for src in bench/*.cpp examples/*.cpp; do
+  [ -e "$src" ] || continue
+  name="$(basename "$src" .cpp)"
+  grep -q -- '--preset=' "$src" || continue
+  if ! grep -q -- "--preset" EXPERIMENTS.md; then
+    echo "FAIL: $name parses --preset but EXPERIMENTS.md never" \
+         "documents the flag" >&2
+    fail=1
+  fi
+  if ! grep -qw "$name" EXPERIMENTS.md; then
+    echo "FAIL: $name parses --preset but EXPERIMENTS.md never" \
+         "mentions $name" >&2
+    fail=1
+  fi
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -46,7 +46,10 @@ run_one() {
       # views hand out raw page-cache pointers, and the fuzz suite's
       # corrupt length fields must never drive an out-of-bounds read
       # or oversized allocation.
-      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Crc32c*.*:Cfrecord*.*:CfrecordFuzz*.*:SampleSerialization*.*:DataPath*.*'
+      # Graph*.* rides every leg: slot-colored act/diff arenas, the
+      # shared fan-in accumulation buffer, and shape-view weight
+      # aliasing are all raw-offset arena arithmetic.
+      filter='Memplan*.*:Network*.*:Context*.*:Blocked*.*:Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:AvgPool*.*:Flatten*.*:Threads/ConvThreadInvariance*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Graph*.*:Crc32c*.*:Cfrecord*.*:CfrecordFuzz*.*:SampleSerialization*.*:DataPath*.*'
       ;;
     tsan)
       cmake_flag="-DCOSMOFLOW_TSAN=ON"
@@ -59,7 +62,12 @@ run_one() {
       # racing on the ring reorder buffer, the mutex-guarded
       # SamplePool recycle path, and mapped shard readers shared
       # across I/O threads (concurrent const view_at).
-      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Pipeline*.*:PipelinePool*.*:DataPath*.*'
+      # Graph*.* rides this leg for the concurrent per-shape-context
+      # smoke: parent + two shape views running inference from separate
+      # threads over one shared weight arena
+      # (GraphShapeView.ConcurrentPerShapeInference), plus the
+      # multi-head serving path in GraphResidual.TrainsAndServes.
+      filter='MlComm*.*:MlCommAsync*.*:ThreadPool*.*:OverlapBitwise*.*:OverlapTelemetry*.*:TrainerDeterminism*.*:Context.ConcurrentInferenceStreamsMatchSerial:Context.InferenceForwardBitwiseMatchesTraining:Serve*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Graph*.*:Pipeline*.*:PipelinePool*.*:DataPath*.*'
       ;;
     ubsan)
       cmake_flag="-DCOSMOFLOW_UBSAN=ON"
@@ -69,7 +77,7 @@ run_one() {
       env_value="halt_on_error=1 print_stacktrace=1"
       # The CRC kernels' word loads and the cfrecord framing offsets
       # are exactly the unsigned/pointer arithmetic UBSan checks.
-      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Crc32c*.*:Cfrecord*.*:CfrecordFuzz*.*'
+      filter='Shapes/FusedConvVsUnfused*.*:FusedDenseVsUnfused*.*:Fusion*.*:Blocked*.*:Threads/ConvThreadInvariance*.*:Adam*.*:LarcFixture*.*:LarcAdamIntegration*.*:SgdMomentum*.*:Network*.*:Context*.*:Flatten*.*:Precision*.*:Intraop*.*:*/Intraop*.*:Graph*.*:Crc32c*.*:Cfrecord*.*:CfrecordFuzz*.*'
       ;;
     *)
       echo "unknown sanitizer '$san' (expected asan, tsan or ubsan)" >&2

@@ -17,7 +17,7 @@ constexpr std::uint32_t kVersion = 1;
 }  // namespace
 
 void save_checkpoint(const std::string& path, const std::string& topology,
-                     dnn::Network& network) {
+                     const dnn::Network& network) {
   const std::size_t count = static_cast<std::size_t>(network.param_count());
   std::vector<float> params(count);
   network.copy_params_to(params);

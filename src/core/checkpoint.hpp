@@ -11,7 +11,7 @@ namespace cf::core {
 
 /// Writes the network's parameters to `path`. Throws on I/O errors.
 void save_checkpoint(const std::string& path, const std::string& topology,
-                     dnn::Network& network);
+                     const dnn::Network& network);
 
 /// Loads parameters saved with save_checkpoint into `network`. Throws
 /// if the topology name or parameter count does not match.

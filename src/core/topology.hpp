@@ -55,6 +55,31 @@ TopologyConfig cosmoflow_scaled(std::int64_t input_dhw);
 /// for 128, the scaled variants otherwise.
 TopologyConfig topology_for_input(std::int64_t input_dhw);
 
+/// Looks up a stock topology by preset name — the --preset flag of
+/// train_cosmoflow and bench_fig3_breakdown: "cosmoflow-128" (the
+/// paper's canonical network), "cosmoflow-64" / "-32" / "-16" / "-8"
+/// (the scaled variants) or "ravanbakhsh-64". Throws on unknown names.
+TopologyConfig preset_topology(const std::string& name);
+
+/// A residual / multi-head variant exercising the graph IR end to end
+/// (DESIGN.md §2.8): two conv+pool stages into a residual block
+/// (conv -> act -> conv, summed with the block input via Add, then
+/// activated), a GlobalAvgPool — making the dense head input-size
+/// agnostic, the enabler for Network::make_shape_view — a dense trunk
+/// and one dense output head per head_outputs entry.
+struct ResidualTopologyConfig {
+  std::string name = "cosmoflow-residual";
+  std::int64_t input_dhw = 32;
+  std::int64_t width = 32;  // residual block channels (multiple of 16)
+  std::int64_t trunk = 64;  // dense trunk width
+  /// Output widths, one dense head per entry.
+  std::vector<std::int64_t> head_outputs = {3, 1};
+  float leaky_slope = 0.01f;
+};
+
+/// The stock residual demo topology (32^3 input, heads {3, 1}).
+ResidualTopologyConfig cosmoflow_residual();
+
 /// Builds and finalizes the network; parameters are deterministically
 /// initialized (He for convs, Xavier for dense) from `seed`. By default
 /// the network fuses every Conv3d/Dense → LeakyRelu pair into the
@@ -66,7 +91,16 @@ TopologyConfig topology_for_input(std::int64_t input_dhw);
 dnn::Network build_network(const TopologyConfig& config, std::uint64_t seed,
                            bool fuse_eltwise = true, bool memplan = true);
 
+/// Builds, finalizes and deterministically initializes the residual
+/// multi-head network (same RNG streaming as build_network: He for
+/// convs, Xavier for dense, one stream per layer in schedule order).
+dnn::Network build_residual_network(const ResidualTopologyConfig& config,
+                                    std::uint64_t seed,
+                                    bool fuse_eltwise = true,
+                                    bool memplan = true);
+
 /// Input tensor shape of a topology: plain {1, dhw, dhw, dhw}.
 tensor::Shape input_shape(const TopologyConfig& config);
+tensor::Shape input_shape(const ResidualTopologyConfig& config);
 
 }  // namespace cf::core

@@ -43,6 +43,10 @@ class LeakyRelu final : public Layer {
 
   FlopCounts flops() const override;
 
+  std::unique_ptr<Layer> clone_unplanned() const override {
+    return std::make_unique<LeakyRelu>(name(), slope_);
+  }
+
   float negative_slope() const noexcept { return slope_; }
 
  private:

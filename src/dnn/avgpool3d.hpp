@@ -48,6 +48,10 @@ class AvgPool3d final : public Layer {
 
   FlopCounts flops() const override;
 
+  std::unique_ptr<Layer> clone_unplanned() const override {
+    return std::make_unique<AvgPool3d>(name(), config_);
+  }
+
   const AvgPool3dConfig& config() const noexcept { return config_; }
 
  private:

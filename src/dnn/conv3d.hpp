@@ -115,6 +115,14 @@ class Conv3d final : public Layer {
   std::vector<ParamSpec> param_specs() override;
   FlopCounts flops() const override;
 
+  /// Un-planned copy (same config + fusion state, fresh geometry and
+  /// weights) for Network::make_shape_view.
+  std::unique_ptr<Layer> clone_unplanned() const override {
+    auto copy = std::make_unique<Conv3d>(name(), config_);
+    if (fused_) copy->fuse_leaky_relu(slope_);
+    return copy;
+  }
+
   const Conv3dConfig& config() const noexcept { return config_; }
 
   /// Deterministic He initialization (fan-in = IC * K^3).

@@ -65,6 +65,14 @@ class Dense final : public Layer {
   std::vector<ParamSpec> param_specs() override;
   FlopCounts flops() const override;
 
+  /// Un-planned copy (same widths + fusion state, fresh weights) for
+  /// Network::make_shape_view.
+  std::unique_ptr<Layer> clone_unplanned() const override {
+    auto copy = std::make_unique<Dense>(name(), in_, out_);
+    if (fused_) copy->fuse_leaky_relu(slope_);
+    return copy;
+  }
+
   /// Deterministic Xavier/Glorot initialization.
   void init_xavier(runtime::Rng& rng);
 

@@ -14,6 +14,27 @@ namespace cf::dnn {
 
 using tensor::Tensor;
 
+namespace {
+
+// Below this many elements the parallel_for overhead exceeds the work.
+constexpr std::size_t kSerialWorkLimit = 4096;
+
+/// dst += src, elementwise — the deterministic fan-in gradient merge.
+void accumulate_into(Tensor& dst, const Tensor& src,
+                     runtime::ThreadPool& pool) {
+  float* d = dst.data();
+  const float* s = src.data();
+  const std::size_t n = dst.size();
+  pool.parallel_for(
+      n,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        for (std::size_t i = begin; i < end; ++i) d[i] += s[i];
+      },
+      kSerialWorkLimit);
+}
+
+}  // namespace
+
 ExecContext::ExecContext(Network& net, ExecMode mode, Precision precision)
     : net_(&net), mode_(mode), precision_(precision) {
   if (precision_ != Precision::kFp32 && mode_ != ExecMode::kInference) {
@@ -61,10 +82,11 @@ void ExecContext::build_training_buffers() {
   const Network::MemPlan& plan = net_->mem_plan();
   const bool planned = net_->memory_planning();
   const std::size_t n_layers = net_->layer_count();
+  const Graph& graph = net_->graph();
 
-  // Activations: per-layer storage — backward re-reads every one of
-  // them (layer i's backward takes its own forward output *and* its
-  // input), so nothing can be collapsed here.
+  // Activations: per-node storage — backward re-reads every one of
+  // them (a node's backward takes its own forward output *and* its
+  // inputs), so nothing can be collapsed here.
   activations_.reserve(n_layers);
   diffs_.reserve(n_layers);
   for (std::size_t i = 0; i < n_layers; ++i) {
@@ -73,15 +95,16 @@ void ExecContext::build_training_buffers() {
   }
   act_bytes_ = plan.act_sum * sizeof(float);
 
-  // Diffs: the parity ping-pong arena when the network was finalized
-  // with memory planning (layer i reads parity i%2, writes parity
-  // (i-1)%2 — never a live pair on one buffer), per-layer storage
-  // otherwise.
+  // Diffs: the slot-colored arena when the network was finalized with
+  // memory planning (two diffs share a slot only if their live
+  // intervals over the reverse schedule are disjoint — on a linear
+  // chain this is exactly the historical even/odd parity ping-pong),
+  // per-node storage otherwise.
   if (planned) {
-    diff_arena_ =
-        runtime::AlignedBuffer<float>(plan.diff_even + plan.diff_odd);
+    const Network::SlotPlan& slots = net_->diff_slots();
+    diff_arena_ = runtime::AlignedBuffer<float>(slots.total);
     for (std::size_t i = 0; i < n_layers; ++i) {
-      float* base = diff_arena_.data() + (i % 2 == 0 ? 0 : plan.diff_even);
+      float* base = diff_arena_.data() + slots.offsets[i];
       diffs_[i].rebind({base, diffs_[i].size()});
     }
     diff_bytes_ = diff_arena_.size() * sizeof(float);
@@ -89,9 +112,28 @@ void ExecContext::build_training_buffers() {
     diff_bytes_ = plan.diff_sum * sizeof(float);
   }
 
-  // Backward scratch: one layer's backward runs at a time within a
-  // stream, so the planner hands every layer the same max-sized arena;
-  // unplanned contexts keep disjoint per-layer regions.
+  // Fan-in accumulation: one shared buffer sized to the largest tensor
+  // that can receive several gradient contributions; every such node's
+  // accum tensor aliases it at offset 0 — backward uses them strictly
+  // one at a time. Empty for purely sequential networks.
+  const std::size_t accum_floats = net_->bwd_accum_floats();
+  if (accum_floats > 0) {
+    accum_arena_ = runtime::AlignedBuffer<float>(accum_floats);
+    accum_.resize(n_layers);
+    for (std::size_t i = 0; i < n_layers; ++i) {
+      const std::size_t contributions =
+          graph.consumers(i).size() + (graph.is_head(i) ? 1 : 0);
+      if (contributions > 1) {
+        accum_[i] = Tensor(net_->layer(i).output_shape());
+        accum_[i].alias({accum_arena_.data(), accum_[i].size()});
+      }
+    }
+  }
+  diff_written_.assign(n_layers, 0);
+
+  // Backward scratch: one node's backward runs at a time within a
+  // stream, so the planner hands every node the same max-sized arena;
+  // unplanned contexts keep disjoint per-node regions.
   if (planned) {
     scratch_arena_ = runtime::AlignedBuffer<float>(plan.scratch_max);
     for (std::size_t i = 0; i < n_layers; ++i) {
@@ -108,8 +150,8 @@ void ExecContext::build_training_buffers() {
     }
   }
 
-  // Forward staging: disjoint per-layer regions, zeroed once — each
-  // layer's region keeps its zero borders between calls (nothing else
+  // Forward staging: disjoint per-node regions, zeroed once — each
+  // node's region keeps its zero borders between calls (nothing else
   // touches it), so conv staging skips the per-call border memset.
   workspace_arena_ = runtime::AlignedBuffer<float>(plan.workspace_sum);
   if (!workspace_arena_.empty()) {
@@ -126,7 +168,7 @@ void ExecContext::build_training_buffers() {
   }
 
   // Gradients: one flat arena with the exact layout of the network's
-  // param arena, each layer's gradient tensors rebound onto its
+  // param arena, each node's gradient tensors rebound onto its
   // segment (the allreduce operates on grad_arena() in place).
   grad_arena_ = runtime::AlignedBuffer<float>(net_->param_arena().size());
   zero_grads();
@@ -143,21 +185,24 @@ void ExecContext::build_training_buffers() {
       off += n;
     }
   }
+
+  if (net_->head_count() > 1) output_ = Tensor(net_->output_shape());
 }
 
 void ExecContext::build_inference_buffers() {
   const Network::MemPlan& plan = net_->mem_plan();
   const std::size_t n_layers = net_->layer_count();
 
-  // Forward-only liveness: layer i reads activation i-1 and writes
-  // activation i, then i-1 is dead — the parity ping-pong trick the
-  // planner applies to diffs works on the activations themselves. Only
-  // the two largest per-parity tensors are ever resident.
-  act_arena_ = runtime::AlignedBuffer<float>(plan.act_even + plan.act_odd);
+  // Forward-only liveness: an activation dies once its last consumer
+  // ran (heads survive the pass). The interval coloring collapses the
+  // whole pass onto a few max-sized slots — two slots on a linear
+  // chain, the historical even/odd ping-pong.
+  const Network::SlotPlan& slots = net_->act_slots();
+  act_arena_ = runtime::AlignedBuffer<float>(slots.total);
   activations_.reserve(n_layers);
   for (std::size_t i = 0; i < n_layers; ++i) {
     Tensor act(net_->layer(i).output_shape());
-    float* base = act_arena_.data() + (i % 2 == 0 ? 0 : plan.act_even);
+    float* base = act_arena_.data() + slots.offsets[i];
     act.rebind({base, act.size()});
     activations_.push_back(std::move(act));
   }
@@ -181,6 +226,7 @@ void ExecContext::build_inference_buffers() {
     exec_[i].workspace = {workspace_arena_.data(), ws};
     exec_[i].workspace_shared = users > 1;
   }
+  if (net_->head_count() > 1) output_ = Tensor(net_->output_shape());
   // No diffs, no backward scratch, no gradients: backward() and
   // params() throw in this mode.
 }
@@ -189,15 +235,13 @@ void ExecContext::build_inference_buffers_bf16() {
   const Network::MemPlan& plan = net_->mem_plan();
   const std::size_t n_layers = net_->layer_count();
 
-  // Same forward-only parity ping-pong as build_inference_buffers, but
+  // Same forward-only slot coloring as build_inference_buffers, but
   // the arena elements are bf16 — the layer outputs never exist in
   // fp32. No fp32 activation tensors are allocated at all; the only
-  // fp32 tensor is the widened network output forward() returns.
+  // fp32 tensor is the widened head output forward() returns.
   input16_ = runtime::AlignedBuffer<bf16_t>(
       static_cast<std::size_t>(net_->input_shape().numel()));
-  act16_arena_ =
-      runtime::AlignedBuffer<bf16_t>(plan.act_even + plan.act_odd);
-  act16_even_ = plan.act_even;
+  act16_arena_ = runtime::AlignedBuffer<bf16_t>(net_->act_slots().total);
   act_bytes_ = act16_arena_.size() * sizeof(bf16_t);
   output_ = Tensor(net_->output_shape());
 
@@ -234,10 +278,10 @@ const Tensor& ExecContext::forward(const Tensor& input,
     return forward_bf16_path(input, pool);
   }
   if (mode_ == ExecMode::kInference) {
-    // Nothing re-reads the input after the first layer in inference
+    // Nothing re-reads the input after its consumers in inference
     // mode (no backward), so the staging copy is pure overhead: run
-    // the layer loop straight off the caller's tensor. Every Tensor's
-    // storage is 64-byte aligned, so the kernels see identical
+    // the schedule loop straight off the caller's tensor. Every
+    // Tensor's storage is 64-byte aligned, so the kernels see identical
     // alignment and the outputs are bitwise-identical.
     return run_forward(input, pool);
   }
@@ -266,39 +310,74 @@ const Tensor& ExecContext::forward_staged(runtime::ThreadPool& pool) {
 const Tensor& ExecContext::run_forward(const Tensor& staged,
                                        runtime::ThreadPool& pool) {
   CF_TRACE_SCOPE("net/forward", "dnn");
-  const Tensor* src = &staged;
+  const Graph& graph = net_->graph();
   const bool int8w = precision_ == Precision::kInt8Weights;
   for (std::size_t i = 0; i < net_->layer_count(); ++i) {
     const Layer& layer = net_->layer(i);
     CF_TRACE_SCOPE(layer.span_label_fwd().c_str(), layer.kind().c_str());
-    if (int8w && layer.int8_weight_count() > 0) {
-      layer.forward_int8w(*src, activations_[i],
-                          net_->int8_weight_segment(i),
-                          net_->int8_scale_segment(i), exec_[i], pool);
+    const std::vector<NodeId>& ins = graph.inputs(i);
+    if (ins.size() == 1) {
+      const Tensor& src =
+          ins[0] == kGraphInput ? staged : activations_[ins[0]];
+      if (int8w && layer.int8_weight_count() > 0) {
+        layer.forward_int8w(src, activations_[i],
+                            net_->int8_weight_segment(i),
+                            net_->int8_scale_segment(i), exec_[i], pool);
+      } else {
+        layer.forward(src, activations_[i], exec_[i], pool);
+      }
     } else {
-      layer.forward(*src, activations_[i], exec_[i], pool);
+      src_ptrs_.clear();
+      for (NodeId p : ins) {
+        src_ptrs_.push_back(p == kGraphInput ? &staged : &activations_[p]);
+      }
+      layer.forward_multi({src_ptrs_.data(), src_ptrs_.size()},
+                          activations_[i], exec_[i], pool);
     }
-    src = &activations_[i];
   }
   forward_done_ = true;
-  return activations_.back();
+  // A single head hands back its activation directly (the bitwise path
+  // every sequential network takes); multiple heads concatenate flat
+  // into the context-owned output, in head order.
+  if (net_->head_count() == 1) return activations_[net_->head(0)];
+  for (std::size_t h = 0; h < net_->head_count(); ++h) {
+    const Tensor& act = activations_[net_->head(h)];
+    std::memcpy(output_.data() + net_->head_offset(h), act.data(),
+                act.size() * sizeof(float));
+  }
+  return output_;
 }
 
 const Tensor& ExecContext::forward_bf16_path(const Tensor& input,
                                              runtime::ThreadPool& pool) {
   CF_TRACE_SCOPE("net/forward", "dnn");
+  const Graph& graph = net_->graph();
+  const Network::SlotPlan& slots = net_->act_slots();
   bf16_from_f32(input.data(), input16_.data(), input.size());
-  const bf16_t* src = input16_.data();
-  bf16_t* dst = nullptr;
   for (std::size_t i = 0; i < net_->layer_count(); ++i) {
     const Layer& layer = net_->layer(i);
     CF_TRACE_SCOPE(layer.span_label_fwd().c_str(), layer.kind().c_str());
-    dst = act16_arena_.data() + (i % 2 == 0 ? 0 : act16_even_);
+    const std::vector<NodeId>& ins = graph.inputs(i);
+    if (ins.size() != 1) {
+      // Unreachable in practice: multi-input layers decline kBf16 in
+      // supports_precision, so prepare_inference_precision throws first.
+      throw std::logic_error(
+          "ExecContext: bf16 forward supports single-input nodes only");
+    }
+    const bf16_t* src = ins[0] == kGraphInput
+                            ? input16_.data()
+                            : act16_arena_.data() + slots.offsets[ins[0]];
+    bf16_t* dst = act16_arena_.data() + slots.offsets[i];
     layer.forward_bf16(src, dst, net_->bf16_param_segment(i), exec_[i],
                        pool);
-    src = dst;
   }
-  f32_from_bf16(dst, output_.data(), output_.size());
+  for (std::size_t h = 0; h < net_->head_count(); ++h) {
+    const NodeId head = net_->head(h);
+    const std::size_t numel =
+        static_cast<std::size_t>(net_->layer(head).output_shape().numel());
+    f32_from_bf16(act16_arena_.data() + slots.offsets[head],
+                  output_.data() + net_->head_offset(h), numel);
+  }
   forward_done_ = true;
   return output_;
 }
@@ -317,21 +396,74 @@ void ExecContext::backward(const Tensor& dloss, runtime::ThreadPool& pool,
         "ExecContext::backward: dloss shape mismatch");
   }
   CF_TRACE_SCOPE("net/backward", "dnn");
-  std::memcpy(diffs_.back().data(), dloss.data(),
-              dloss.size() * sizeof(float));
-  for (std::size_t i = net_->layer_count(); i-- > 0;) {
+  const Graph& graph = net_->graph();
+  const std::size_t n = net_->layer_count();
+
+  // Seed the head diffs from the per-head slices of dloss. A head that
+  // is also consumed downstream gets its consumers' contributions
+  // added on top during the sweep.
+  std::fill(diff_written_.begin(), diff_written_.end(), 0);
+  for (std::size_t h = 0; h < net_->head_count(); ++h) {
+    const NodeId head = net_->head(h);
+    std::memcpy(diffs_[head].data(), dloss.data() + net_->head_offset(h),
+                diffs_[head].size() * sizeof(float));
+    diff_written_[head] = 1;
+  }
+
+  for (std::size_t i = n; i-- > 0;) {
     const Layer& layer = net_->layer(i);
-    const Tensor& src = i == 0 ? input_ : activations_[i - 1];
-    const bool need_dsrc = i > 0;
-    // diffs_[i - 1] is overwritten by layer i's backward; pass a dummy
-    // for the first layer (its dsrc is skipped).
-    Tensor& dsrc = need_dsrc ? diffs_[i - 1] : diffs_[0];
+    const std::vector<NodeId>& ins = graph.inputs(i);
     {
       CF_TRACE_SCOPE(layer.span_label_bwd().c_str(), layer.kind().c_str());
-      // The dst overload: fused layers recover their activation mask
-      // from their own forward output.
-      layer.backward(src, activations_[i], diffs_[i], dsrc, need_dsrc,
-                     exec_[i], pool);
+      if (ins.size() == 1) {
+        const NodeId p = ins[0];
+        const Tensor& src = p == kGraphInput ? input_ : activations_[p];
+        if (p == kGraphInput) {
+          // The data gradient toward the network input is skipped; pass
+          // the node's own ddst as an untouched dummy dsrc.
+          layer.backward(src, activations_[i], diffs_[i], diffs_[i],
+                         /*need_dsrc=*/false, exec_[i], pool);
+        } else if (!diff_written_[p]) {
+          // First contribution: the layer overwrites the producer's
+          // diff directly — the sequential fast path.
+          layer.backward(src, activations_[i], diffs_[i], diffs_[p],
+                         /*need_dsrc=*/true, exec_[i], pool);
+          diff_written_[p] = 1;
+        } else {
+          // Fan-in: compute into the shared accumulation tensor, then
+          // add in place. Contributions land in reverse schedule order
+          // — deterministic by construction.
+          layer.backward(src, activations_[i], diffs_[i], accum_[p],
+                         /*need_dsrc=*/true, exec_[i], pool);
+          accumulate_into(diffs_[p], accum_[p], pool);
+        }
+      } else {
+        src_ptrs_.clear();
+        dsrc_ptrs_.clear();
+        need_flags_.clear();
+        accum_flags_.clear();
+        for (NodeId p : ins) {
+          if (p == kGraphInput) {
+            src_ptrs_.push_back(&input_);
+            dsrc_ptrs_.push_back(&diffs_[i]);  // dummy, need=0
+            need_flags_.push_back(0);
+            accum_flags_.push_back(0);
+          } else {
+            src_ptrs_.push_back(&activations_[p]);
+            dsrc_ptrs_.push_back(&diffs_[p]);
+            need_flags_.push_back(1);
+            // Edge order within one node is left to right; a repeated
+            // producer accumulates on its second edge.
+            accum_flags_.push_back(diff_written_[p] ? 1 : 0);
+            diff_written_[p] = 1;
+          }
+        }
+        layer.backward_multi(
+            {src_ptrs_.data(), src_ptrs_.size()}, activations_[i],
+            diffs_[i], {dsrc_ptrs_.data(), dsrc_ptrs_.size()},
+            {need_flags_.data(), need_flags_.size()},
+            {accum_flags_.data(), accum_flags_.size()}, exec_[i], pool);
+      }
     }
     if (grad_ready && net_->segment_size(i) > 0) grad_ready(i);
   }
@@ -408,7 +540,7 @@ std::size_t ExecContext::total_bytes() const noexcept {
          input16_.size() * sizeof(bf16_t) +
          output_.size() * sizeof(float) + activation_bytes() +
          diff_arena_bytes() + scratch_bytes() + workspace_bytes() +
-         grad_bytes();
+         grad_bytes() + accum_arena_.size() * sizeof(float);
 }
 
 }  // namespace cf::dnn

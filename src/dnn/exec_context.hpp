@@ -1,28 +1,34 @@
 // Per-stream execution state for a finalized dnn::Network.
 //
 // The model/stream split (DESIGN.md §2.3): a Network holds only
-// immutable-after-finalize state — the layers (geometry + weights in
+// immutable-after-finalize state — the graph (geometry + weights in
 // the flat param arena) and the plans computed by the fusion and
 // memory-planner passes. Everything one execution stream mutates lives
 // here instead: the input staging copy, the activation buffers, the
-// parity ping-pong diff arena, the shared backward scratch, the flat
-// gradient arena, and each layer's LayerExecState (timers, forward
+// slot-colored diff arena, the shared backward scratch, the flat
+// gradient arena, and each node's LayerExecState (timers, forward
 // staging workspace, gradient tensors). N contexts over one Network run
 // forward concurrently against one shared weight copy.
 //
+// Execution walks the network's schedule (insertion order, topological
+// by construction). Each node reads its producers' activations by edge;
+// backward walks the reverse schedule and accumulates fan-in gradient
+// contributions deterministically in edge order (DESIGN.md §2.8).
+//
 // ExecMode picks what gets allocated:
 //  * kTraining — the full set. Buffer placement matches the planner
-//    exactly (parity diff arena + shared scratch when the network was
-//    finalized with memory planning, per-layer buffers otherwise), so a
-//    training step through a context is bitwise identical to the
-//    pre-split Network-owned step.
-//  * kInference — forward-only: activations collapse onto a parity
-//    ping-pong arena (layer i writes parity i%2, reads parity (i-1)%2,
-//    never aliasing), one shared conv staging workspace sized to the
-//    largest request, and *no* diff/scratch/grad arenas at all.
+//    exactly (slot-colored diff arena + shared scratch when the network
+//    was finalized with memory planning, per-node buffers otherwise),
+//    so a training step through a context is bitwise identical to the
+//    pre-IR sequential step.
+//  * kInference — forward-only: activations collapse onto the
+//    interval-liveness slot arena (on a linear chain, the historical
+//    even/odd ping-pong), one shared conv staging workspace sized to
+//    the largest request, and *no* diff/scratch/grad arenas at all.
 //    backward(), zero_grads() and params() throw.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>
@@ -45,9 +51,9 @@ class ExecContext {
   /// otherwise address-stable). Non-fp32 precisions are inference-only
   /// and require the network to be prepared
   /// (Network::prepare_inference_precision) — make_context enforces
-  /// both. In kBf16 the activation ping-pong arena and the input
-  /// staging copy are bf16 (half the bytes); the forward() return value
-  /// is still an fp32 tensor, widened from the last layer's output.
+  /// both. In kBf16 the activation slot arena and the input staging
+  /// copy are bf16 (half the bytes); the forward() return value is
+  /// still an fp32 tensor, widened from the head's output.
   explicit ExecContext(Network& net, ExecMode mode,
                        Precision precision = Precision::kFp32);
 
@@ -60,11 +66,13 @@ class ExecContext {
   Precision precision() const noexcept { return precision_; }
 
   /// Runs the forward pass through this stream; the returned view stays
-  /// valid until the next forward() on the same context. Training
-  /// contexts stage `input` into the context-owned input copy first
-  /// (backward re-reads it); fp32/int8w *inference* contexts skip that
-  /// staging copy entirely and read `input` in place — `input` must
-  /// stay alive and unmodified until forward returns.
+  /// valid until the next forward() on the same context. A single-head
+  /// network returns the head's activation directly; multiple heads are
+  /// concatenated flat, in head order. Training contexts stage `input`
+  /// into the context-owned input copy first (backward re-reads it);
+  /// fp32/int8w *inference* contexts skip that staging copy entirely
+  /// and read `input` in place — `input` must stay alive and unmodified
+  /// until forward returns.
   const tensor::Tensor& forward(const tensor::Tensor& input,
                                 runtime::ThreadPool& pool);
 
@@ -80,19 +88,22 @@ class ExecContext {
   /// bitwise-identical to forward(t, pool) with t holding those bytes.
   const tensor::Tensor& forward_staged(runtime::ThreadPool& pool);
 
-  /// Invoked by backward() right after layer `i`'s backward pass (its
+  /// Invoked by backward() right after node `i`'s backward pass (its
   /// bwd_weights included) finishes, i.e. the moment grad_segment(i)
-  /// holds this step's final local gradients. Layers are visited last
-  /// to first, so segments become ready tail-first and contiguously —
-  /// callers can coalesce them into buckets and start communicating
-  /// while earlier layers are still computing.
+  /// holds this step's final local gradients. Nodes are visited in
+  /// reverse schedule order, so segments become ready tail-first and
+  /// contiguously — callers can coalesce them into buckets and start
+  /// communicating while earlier nodes are still computing.
   using GradReadyCallback = std::function<void(std::size_t layer_index)>;
 
   /// Runs the backward pass from the loss gradient w.r.t. the network
-  /// output. Parameter gradients accumulate into this context's grad
-  /// arena; the first layer's input difference signal is skipped (the
-  /// input is data, §V-A workflow). Requires a preceding forward() on
-  /// this context; training mode only.
+  /// output (per-head slices of `dloss` seed the head diffs). Parameter
+  /// gradients accumulate into this context's grad arena; data
+  /// gradients toward the network input are skipped (the input is data,
+  /// §V-A workflow). A diff receiving several contributions — fan-out
+  /// nodes, consumed heads — is summed deterministically in reverse
+  /// schedule / edge order. Requires a preceding forward() on this
+  /// context; training mode only.
   void backward(const tensor::Tensor& dloss, runtime::ThreadPool& pool,
                 const GradReadyCallback& grad_ready = {});
 
@@ -113,24 +124,24 @@ class ExecContext {
   }
 
   /// Parameter views pairing the network's (shared) values with this
-  /// context's gradients, in layer order — the optimizer input.
+  /// context's gradients, in schedule order — the optimizer input.
   /// Training mode only.
   std::vector<ParamView> params();
 
   // Flat gradient arena views (training mode; empty in inference).
-  // Layout is layer order, parameter-tensor order — identical to the
+  // Layout is schedule order, parameter-tensor order — identical to the
   // network's param arena layout.
   std::span<float> grad_arena() noexcept {
     return {grad_arena_.data(), grad_arena_.size()};
   }
-  /// Layer i's slice of the grad arena (empty for parameterless layers).
+  /// Node i's slice of the grad arena (empty for parameterless layers).
   std::span<float> grad_segment(std::size_t i);
 
   void copy_grads_to(std::span<float> out);
   void set_grads_from(std::span<const float> in);
 
-  /// The difference tensor written by layer i's producer (test hook for
-  /// planner aliasing checks; training mode).
+  /// Node i's difference tensor (test hook for planner aliasing checks;
+  /// training mode).
   const tensor::Tensor& diff(std::size_t i) const { return diffs_[i]; }
 
   /// Per-layer timing rows for Table I / Fig 3, read from this stream's
@@ -161,7 +172,7 @@ class ExecContext {
     return activation_bytes() + diff_arena_bytes() + scratch_bytes();
   }
   /// Everything: input staging + activations + diffs + scratch +
-  /// workspace + grads.
+  /// workspace + grads + fan-in accumulation buffer.
   std::size_t total_bytes() const noexcept;
 
  private:
@@ -170,7 +181,7 @@ class ExecContext {
   void build_inference_buffers_bf16();
   const tensor::Tensor& forward_bf16_path(const tensor::Tensor& input,
                                           runtime::ThreadPool& pool);
-  /// The fp32/int8w layer loop over an already-staged input tensor.
+  /// The fp32/int8w schedule loop over an already-staged input tensor.
   const tensor::Tensor& run_forward(const tensor::Tensor& staged,
                                     runtime::ThreadPool& pool);
 
@@ -179,30 +190,44 @@ class ExecContext {
   Precision precision_ = Precision::kFp32;
 
   tensor::Tensor input_;
-  std::vector<tensor::Tensor> activations_;  // output of each layer
+  std::vector<tensor::Tensor> activations_;  // output of each node
   std::vector<tensor::Tensor> diffs_;        // d(loss)/d(activation)
-  std::vector<LayerExecState> exec_;         // one per layer
+  std::vector<LayerExecState> exec_;         // one per node
 
-  // kBf16 stream storage: bf16 input staging, bf16 activation
-  // ping-pong arena (parity layout identical to act_arena_) and the
-  // fp32 widening of the last layer's output that forward() returns.
+  // kBf16 stream storage: bf16 input staging, bf16 activation slot
+  // arena (offsets identical to the fp32 act slots) and the fp32
+  // widening of the head outputs that forward() returns.
   runtime::AlignedBuffer<bf16_t> input16_;
   runtime::AlignedBuffer<bf16_t> act16_arena_;
-  std::size_t act16_even_ = 0;  // odd-parity base offset, in elements
+  // The concatenated multi-head output (fp32; also the bf16 widening
+  // target). Unallocated for single-head fp32/int8w contexts — those
+  // return the head activation itself.
   tensor::Tensor output_;
 
-  // Context-owned storage. act_arena_ backs the inference ping-pong
-  // activations (training activations own per-layer storage);
-  // diff_arena_ backs the parity diff buffers when the network was
-  // planned; scratch_arena_ the backward scratch; workspace_arena_ the
-  // forward staging regions; grad_arena_ the flat gradients.
+  // Context-owned storage. act_arena_ backs the inference slot-colored
+  // activations (training activations own per-node storage);
+  // diff_arena_ backs the slot-colored diff buffers when the network
+  // was planned; scratch_arena_ the backward scratch; workspace_arena_
+  // the forward staging regions; grad_arena_ the flat gradients;
+  // accum_arena_ the shared fan-in gradient accumulation buffer (all
+  // accum tensors alias it — they are used strictly one at a time).
   runtime::AlignedBuffer<float> act_arena_;
   runtime::AlignedBuffer<float> diff_arena_;
   runtime::AlignedBuffer<float> scratch_arena_;
   runtime::AlignedBuffer<float> workspace_arena_;
   runtime::AlignedBuffer<float> grad_arena_;
-  std::size_t act_bytes_ = 0;   // per-layer sum (training) / arena size
-  std::size_t diff_bytes_ = 0;  // per-layer sum or parity-arena size
+  runtime::AlignedBuffer<float> accum_arena_;
+  std::vector<tensor::Tensor> accum_;  // per fan-in node; alias accum_arena_
+  std::size_t act_bytes_ = 0;   // per-node sum (training) / arena size
+  std::size_t diff_bytes_ = 0;  // per-node sum or slot-arena size
+
+  // backward() bookkeeping: which diffs already hold a contribution
+  // this sweep, plus reusable gather scratch for multi-input dispatch.
+  std::vector<std::uint8_t> diff_written_;
+  std::vector<const tensor::Tensor*> src_ptrs_;
+  std::vector<tensor::Tensor*> dsrc_ptrs_;
+  std::vector<std::uint8_t> need_flags_;
+  std::vector<std::uint8_t> accum_flags_;
 
   bool forward_done_ = false;
 };

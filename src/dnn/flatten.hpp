@@ -39,6 +39,10 @@ class Flatten final : public Layer {
                     std::span<const bf16_t> params, LayerExecState& exec,
                     runtime::ThreadPool& pool) const override;
 
+  std::unique_ptr<Layer> clone_unplanned() const override {
+    return std::make_unique<Flatten>(name(), channels_);
+  }
+
  private:
   std::int64_t channels_ = 0;
   std::int64_t d_ = 0, h_ = 0, w_ = 0;

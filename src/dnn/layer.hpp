@@ -143,6 +143,67 @@ class Layer {
   /// Network::finalize. Allocates parameters and records geometry.
   virtual tensor::Shape plan(const tensor::Shape& input) = 0;
 
+  // --- Graph-IR hooks (DESIGN.md §2.8) --------------------------------
+  // A node in a dnn::Graph consumes arity() input tensors in a fixed
+  // edge order. Single-input layers get the multi-input entry points
+  // for free (they route to the plain overloads); multi-input layers
+  // (Add) override the *_multi set and leave the single-input ones
+  // throwing.
+
+  /// Number of input tensors this layer consumes (graph fan-in).
+  virtual std::size_t arity() const { return 1; }
+
+  /// plan() over all input shapes, in edge order.
+  virtual tensor::Shape plan_multi(std::span<const tensor::Shape> inputs) {
+    if (inputs.size() != 1) {
+      throw std::logic_error("Layer::plan_multi: " + name_ +
+                             " is single-input");
+    }
+    return plan(inputs[0]);
+  }
+
+  /// forward() over all inputs, in edge order.
+  virtual void forward_multi(std::span<const tensor::Tensor* const> srcs,
+                             tensor::Tensor& dst, LayerExecState& exec,
+                             runtime::ThreadPool& pool) const {
+    if (srcs.size() != 1) {
+      throw std::logic_error("Layer::forward_multi: " + name_ +
+                             " is single-input");
+    }
+    forward(*srcs[0], dst, exec, pool);
+  }
+
+  /// Backward over all input edges. `dsrcs[k]` receives d(loss)/d(input
+  /// k) when `need_dsrc[k]`; when `accumulate[k]` is additionally set
+  /// the edge's contribution must be *added* to dsrcs[k] (the producer
+  /// has other consumers whose contributions are already there) instead
+  /// of overwriting it. The execution context handles accumulation for
+  /// single-input layers itself, so they are only ever called with
+  /// accumulate[0] == false here.
+  virtual void backward_multi(std::span<const tensor::Tensor* const> srcs,
+                              const tensor::Tensor& dst,
+                              tensor::Tensor& ddst,
+                              std::span<tensor::Tensor* const> dsrcs,
+                              std::span<const std::uint8_t> need_dsrc,
+                              std::span<const std::uint8_t> accumulate,
+                              LayerExecState& exec,
+                              runtime::ThreadPool& pool) const {
+    if (srcs.size() != 1 || (need_dsrc[0] != 0 && accumulate[0] != 0)) {
+      throw std::logic_error("Layer::backward_multi: " + name_ +
+                             " is single-input");
+    }
+    backward(*srcs[0], dst, ddst, *dsrcs[0], need_dsrc[0] != 0, exec, pool);
+  }
+
+  /// Fresh, un-planned copy of this layer: same constructor arguments,
+  /// same fusion state, no geometry and no weights — the raw material
+  /// Network::make_shape_view re-plans at another input shape. Layers
+  /// that cannot be re-planned keep the throwing default.
+  virtual std::unique_ptr<Layer> clone_unplanned() const {
+    throw std::logic_error("Layer::clone_unplanned: " + name_ +
+                           " does not support per-shape cloning");
+  }
+
   const tensor::Shape& input_shape() const noexcept { return input_shape_; }
   const tensor::Shape& output_shape() const noexcept {
     return output_shape_;
